@@ -1,0 +1,316 @@
+package repro
+
+// One benchmark per figure/table of the paper's evaluation, plus
+// ablation and substrate microbenchmarks. Process-creation benchmarks
+// report both host ns/op (how fast the simulator runs) and the
+// virtual-time metric "virt-µs/op" (what the paper's axes show); the
+// virtual numbers are the reproduction, the host numbers are just the
+// simulator's own speed.
+//
+//	go test -bench=. -benchmem
+//
+// regenerates everything; see EXPERIMENTS.md for the mapping.
+
+import (
+	"testing"
+
+	"repro/internal/addrspace"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/experiments"
+	"repro/internal/kernel"
+	"repro/internal/ulib"
+	"repro/internal/vfs"
+)
+
+const (
+	kib = uint64(1) << 10
+	mib = uint64(1) << 20
+)
+
+// benchParent builds a kernel plus a dirty parent of the given size.
+func benchParent(b *testing.B, size uint64, huge bool) (*kernel.Kernel, *kernel.Process) {
+	b.Helper()
+	k := kernel.New(kernel.Options{RAMBytes: 4 << 30})
+	if err := ulib.Install(k, "true", "/bin/true"); err != nil {
+		b.Fatal(err)
+	}
+	p, err := experiments.BuildParent(k, "parent", size, huge)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k, p
+}
+
+// benchCreation is the shared body for Figure 1's lines.
+func benchCreation(b *testing.B, method core.Method, size uint64, huge bool) {
+	k, parent := benchParent(b, size, huge)
+	// Warm-up fork: the first one additionally downgrades the
+	// parent's PTEs.
+	if _, err := core.MeasureCreation(k, parent, method, "/bin/true"); err != nil {
+		b.Fatal(err)
+	}
+	var virt cost.Ticks
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		el, err := core.MeasureCreation(k, parent, method, "/bin/true")
+		if err != nil {
+			b.Fatal(err)
+		}
+		virt += el
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(virt)/float64(b.N)/1e3, "virt-µs/op")
+}
+
+// BenchmarkFigure1 regenerates every line of Figure 1 (creation
+// latency vs parent size). Sub-benchmark names give method and size.
+func BenchmarkFigure1(b *testing.B) {
+	sizes := []uint64{1 * mib, 16 * mib, 256 * mib, 1024 * mib}
+	for _, size := range sizes {
+		name := experiments.HumanBytes(size)
+		b.Run("fork+exec/"+name, func(b *testing.B) {
+			benchCreation(b, core.MethodForkExec, size, false)
+		})
+		b.Run("vfork+exec/"+name, func(b *testing.B) {
+			benchCreation(b, core.MethodVforkExec, size, false)
+		})
+		b.Run("posix_spawn/"+name, func(b *testing.B) {
+			benchCreation(b, core.MethodSpawn, size, false)
+		})
+		b.Run("fork+exec-huge/"+name, func(b *testing.B) {
+			benchCreation(b, core.MethodForkExec, size, true)
+		})
+	}
+}
+
+// BenchmarkTable1 runs the full probed semantics matrix (its cost is
+// dominated by the O(1)-in-parent-size probe, which forks a 128 MiB
+// parent).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCOWTax regenerates E3: per-page write cost before and
+// after a fork.
+func BenchmarkCOWTax(b *testing.B) {
+	var parentPerPage cost.Ticks
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CowTax(16 * mib)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parentPerPage = res.ParentPerPage
+	}
+	b.ReportMetric(float64(parentPerPage), "virt-ns/page")
+}
+
+// BenchmarkForkHuge regenerates E4's headline pair: fork+exec of a
+// 256 MiB parent with 4 KiB vs 2 MiB pages.
+func BenchmarkForkHuge(b *testing.B) {
+	b.Run("4KiB", func(b *testing.B) { benchCreation(b, core.MethodForkExec, 256*mib, false) })
+	b.Run("2MiB", func(b *testing.B) { benchCreation(b, core.MethodForkExec, 256*mib, true) })
+}
+
+// BenchmarkEagerFork regenerates ablation 1: 1970s fork that copies
+// every resident page at fork time.
+func BenchmarkEagerFork(b *testing.B) {
+	b.Run("cow", func(b *testing.B) { benchCreation(b, core.MethodForkExec, 64*mib, false) })
+	b.Run("eager", func(b *testing.B) { benchCreation(b, core.MethodForkEagerExec, 64*mib, false) })
+}
+
+// BenchmarkEmulatedFork regenerates E7's worst line: user-space fork
+// over cross-process operations.
+func BenchmarkEmulatedFork(b *testing.B) {
+	benchCreation(b, core.MethodEmulatedForkExec, 16*mib, false)
+}
+
+// BenchmarkOvercommit regenerates E5 (the full policy × size matrix).
+func BenchmarkOvercommit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Overcommit(128 * mib); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompose regenerates E6 (all four §4.2 demonstrations,
+// executed as VM programs).
+func BenchmarkCompose(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Compose(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpawnScale regenerates E7's throughput sweep.
+func BenchmarkSpawnScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Scale(1*mib, 64*mib); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate microbenchmarks -----------------------------------
+
+// BenchmarkDemandFault measures the simulator's page-fault path. The
+// faulted region is bounded and recycled (off the timer) so b.N can
+// grow past physical memory.
+func BenchmarkDemandFault(b *testing.B) {
+	k := kernel.New(kernel.Options{RAMBytes: 8 << 30})
+	p := k.NewSynthetic("p", nil)
+	const pages = 1 << 18 // 1 GiB region
+	remap := func() uint64 {
+		vma, err := p.Space().Map(0x10000000, pages*4096, addrspace.Read|addrspace.Write, addrspace.MapOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return vma.Start
+	}
+	start := remap()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%pages == 0 {
+			b.StopTimer()
+			if err := p.Space().Unmap(start, pages*4096); err != nil {
+				b.Fatal(err)
+			}
+			start = remap()
+			b.StartTimer()
+		}
+		if err := p.Space().Fault(start+uint64(i%pages)*4096, addrspace.AccessWrite); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCloneCOW measures the raw page-table COW clone (the fork
+// inner loop) for a 64 MiB parent.
+func BenchmarkCloneCOW(b *testing.B) {
+	k, parent := benchParent(b, 64*mib, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := parent.Space().CloneCOW()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		c.Destroy()
+		b.StartTimer()
+	}
+	_ = k
+}
+
+// BenchmarkVMExecution measures host-side interpreter speed
+// (instructions per host second) on a tight arithmetic loop.
+func BenchmarkVMExecution(b *testing.B) {
+	k := kernel.New(kernel.Options{})
+	im := asm.MustAssemble(`
+_start:
+    li r1, 1000000000
+loop:
+    addi r0, r0, 1
+    bne r0, r1, loop
+    sys SYS_EXIT
+` + ulib.Runtime)
+	if err := k.InstallImage("/bin/spin", im); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := k.BootInit("/bin/spin", []string{"spin"}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := k.Run(kernel.RunLimits{MaxInstructions: uint64(b.N)}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPipeTransfer measures the syscall+pipe path end to end: a
+// VM pingpong round trip per iteration (amortised).
+func BenchmarkPipeTransfer(b *testing.B) {
+	k := kernel.New(kernel.Options{})
+	if err := ulib.InstallAll(k); err != nil {
+		b.Fatal(err)
+	}
+	rounds := b.N
+	if rounds > 100000 {
+		rounds = 100000
+	}
+	if _, err := k.BootInit("/bin/pingpong", []string{"pingpong", itoa(rounds)}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := k.Run(kernel.RunLimits{}); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+}
+
+// BenchmarkAssemble measures the toolchain: assembling the whole ulib
+// runtime plus a representative program.
+func BenchmarkAssemble(b *testing.B) {
+	src := ulib.Sources["pingpong"] + ulib.Runtime
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.Assemble(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpawnVM measures end-to-end VM spawn throughput: one
+// spawn+wait of /bin/true per iteration, driven by the spawnloop
+// program.
+func BenchmarkSpawnVM(b *testing.B) {
+	k := kernel.New(kernel.Options{RAMBytes: 1 << 30})
+	if err := ulib.InstallAll(k); err != nil {
+		b.Fatal(err)
+	}
+	n := b.N
+	if n > 20000 {
+		n = 20000
+	}
+	if _, err := k.BootInit("/bin/spawnloop", []string{"spawnloop", itoa(n), "/bin/true"}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := k.Run(kernel.RunLimits{}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// A pipe write through the VFS layer alone (no VM), for the substrate
+// table in EXPERIMENTS.md.
+func BenchmarkPipeVFS(b *testing.B) {
+	r, w := vfs.NewPipe()
+	buf := make([]byte, 512)
+	b.SetBytes(512)
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Read(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Command forkbench regenerates the evaluation of "A fork() in the
+// road" (HotOS'19) on the simulator: Figure 1, the semantics matrix
+// (Table 1), and the E3–E7 claim experiments. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured notes.
+//
+// Usage:
+//
+//	forkbench [flags] <experiment>
+//
+//	experiments: fig1 table1 cowtax hugepages overcommit compose scale all
+//
+//	-max SIZE     largest parent for sweeps (default 1GiB for fig1)
+//	-reps N       repetitions per fig1 point (default 5)
+//	-eager        include the 1970s eager-copy fork line in fig1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func parseSize(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(s, "GiB"), strings.HasSuffix(s, "G"):
+		mult = experiments.GiB
+		s = strings.TrimSuffix(strings.TrimSuffix(s, "GiB"), "G")
+	case strings.HasSuffix(s, "MiB"), strings.HasSuffix(s, "M"):
+		mult = experiments.MiB
+		s = strings.TrimSuffix(strings.TrimSuffix(s, "MiB"), "M")
+	case strings.HasSuffix(s, "KiB"), strings.HasSuffix(s, "K"):
+		mult = experiments.KiB
+		s = strings.TrimSuffix(strings.TrimSuffix(s, "KiB"), "K")
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func main() {
+	maxFlag := flag.String("max", "1GiB", "largest parent size for sweeps")
+	reps := flag.Int("reps", 5, "repetitions per fig1 point")
+	eager := flag.Bool("eager", false, "include eager-copy fork line in fig1")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	maxBytes, err := parseSize(*maxFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	what := flag.Arg(0)
+	runAll := what == "all"
+	ran := false
+
+	if runAll || what == "fig1" {
+		ran = true
+		res, err := experiments.Figure1(experiments.Fig1Config{
+			MaxBytes: maxBytes, Reps: *reps, IncludeEager: *eager,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+		if cx, ok := res.Crossover(); ok {
+			fmt.Printf("spawn overtakes fork+exec at parent size %s\n\n", experiments.HumanBytes(cx))
+		}
+	}
+	if runAll || what == "table1" {
+		ran = true
+		res, err := experiments.Table1()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if runAll || what == "cowtax" {
+		ran = true
+		res, err := experiments.CowTax(0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if runAll || what == "hugepages" {
+		ran = true
+		hmax := maxBytes
+		if hmax > 512*experiments.MiB {
+			hmax = 512 * experiments.MiB
+		}
+		res, err := experiments.HugePages(0, hmax)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if runAll || what == "overcommit" {
+		ran = true
+		res, err := experiments.Overcommit(0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if runAll || what == "compose" {
+		ran = true
+		res, err := experiments.Compose()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if runAll || what == "scale" {
+		ran = true
+		smax := maxBytes
+		if smax > 256*experiments.MiB {
+			smax = 256 * experiments.MiB
+		}
+		res, err := experiments.Scale(0, smax)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if runAll || what == "ablations" {
+		ran = true
+		amax := maxBytes
+		if amax > 128*experiments.MiB {
+			amax = 128 * experiments.MiB
+		}
+		res, err := experiments.Ablations(amax)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "forkbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+		err  bool
+	}{
+		{"1GiB", 1 << 30, false},
+		{"2G", 2 << 30, false},
+		{"512MiB", 512 << 20, false},
+		{"64M", 64 << 20, false},
+		{"4KiB", 4 << 10, false},
+		{"128K", 128 << 10, false},
+		{"4096", 4096, false},
+		{" 8MiB ", 8 << 20, false},
+		{"", 0, true},
+		{"xMiB", 0, true},
+		{"GiB", 0, true},
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseSize(%q) = %d, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseSize(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

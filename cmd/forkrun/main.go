@@ -1,0 +1,113 @@
+// Command forkrun boots a simulated kernel and runs a program on it,
+// wiring the simulated console to the real terminal.
+//
+// Usage:
+//
+//	forkrun [flags] <program> [args...]
+//
+// <program> is either the name of a built-in userland program (see
+// `forkrun -list`) or a path to a .kxi image produced by kxasm.
+//
+//	-ram SIZE      physical memory (default 4GiB)
+//	-strict        strict commit accounting (overcommit_memory=2)
+//	-eager         eager-copy fork
+//	-trace         print exit diagnostics (virtual time, faults, ...)
+//	-list          list built-in programs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/abi"
+	"repro/internal/image"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/ulib"
+)
+
+func main() {
+	ram := flag.Uint64("ram", 4096, "physical memory in MiB")
+	strict := flag.Bool("strict", false, "strict commit accounting")
+	eager := flag.Bool("eager", false, "eager-copy fork")
+	trace := flag.Bool("trace", false, "print diagnostics on exit")
+	list := flag.Bool("list", false, "list built-in programs")
+	flag.Parse()
+
+	if *list {
+		var names []string
+		for n := range ulib.Sources {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: forkrun [flags] <program> [args...]")
+		os.Exit(2)
+	}
+
+	opts := kernel.Options{
+		RAMBytes:   *ram << 20,
+		ConsoleOut: os.Stdout,
+		ConsoleIn:  os.Stdin,
+		EagerFork:  *eager,
+	}
+	if *strict {
+		opts.Commit = mem.CommitStrict
+	}
+	k := kernel.New(opts)
+	if err := ulib.InstallAll(k); err != nil {
+		fatal(err)
+	}
+
+	prog := flag.Arg(0)
+	path := "/bin/" + prog
+	if strings.ContainsAny(prog, "/.") {
+		// Host path to a .kxi image.
+		raw, err := os.ReadFile(prog)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := image.DecodeHeader(raw); err != nil {
+			fatal(fmt.Errorf("%s: not a KXI image: %w", prog, err))
+		}
+		path = "/bin/a.out"
+		if _, err := k.FS().WriteFile(path, raw); err != nil {
+			fatal(err)
+		}
+	} else if _, ok := ulib.Sources[prog]; !ok {
+		fatal(fmt.Errorf("unknown program %q (try -list)", prog))
+	}
+
+	argv := append([]string{path}, flag.Args()[1:]...)
+	p, err := k.BootInit(path, argv)
+	if err != nil {
+		fatal(err)
+	}
+	runErr := k.Run(kernel.RunLimits{})
+	if *trace {
+		m := k.Meter()
+		fmt.Fprintf(os.Stderr, "---\nvirtual time: %v\ninstructions: %d\nsyscalls: %d\npage faults: %d\npage copies: %d\ncontext switches: %d\noom kills: %d\nsegv kills: %d\n",
+			k.Now(), m.Instructions, m.Syscalls, m.PageFaults, m.PageCopies, k.ContextSwitches(), k.OOMKills, k.SegvKills)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "forkrun:", runErr)
+		os.Exit(3)
+	}
+	status := p.ExitStatus()
+	if s := abi.StatusSignal(status); s != 0 {
+		fmt.Fprintf(os.Stderr, "forkrun: killed by signal %d\n", s)
+		os.Exit(128 + s)
+	}
+	os.Exit(abi.StatusExitCode(status))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "forkrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,332 @@
+// Command forksh is an interactive shell on the simulated OS. It is
+// the paper's §6 in miniature: a shell that never forks — every
+// command, including pipelines and redirections, is launched with the
+// spawn API (core.Spawn) using file actions to wire descriptors.
+//
+// Built-ins: cd, pwd, ls, cat, ps, vmmap PID, time CMD, help, exit.
+// External commands come from /bin (the ulib programs); "a | b | c"
+// builds pipelines, "> file" redirects stdout.
+//
+// Usage:
+//
+//	forksh            # interactive
+//	echo "cmds" | forksh
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/abi"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/ulib"
+	"repro/internal/vfs"
+)
+
+type shell struct {
+	k    *kernel.Kernel
+	self *kernel.Process // the shell's own (synthetic) process
+	cwd  string
+	out  *bufio.Writer
+}
+
+func main() {
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	sh, err := newShell(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "forksh:", err)
+		os.Exit(1)
+	}
+	sh.repl(os.Stdin, isTerminalHint())
+}
+
+// newShell boots a kernel and builds the (forkless) shell on it.
+func newShell(out *bufio.Writer) (*shell, error) {
+	k := kernel.New(kernel.Options{
+		RAMBytes:   4 << 30,
+		ConsoleOut: out,
+	})
+	if err := ulib.InstallAll(k); err != nil {
+		return nil, err
+	}
+	sh := &shell{k: k, cwd: "/", out: out}
+	sh.self = k.NewSynthetic("forksh", nil)
+	// The shell's stdin/stdout/stderr point at the console.
+	con, err := k.FS().Resolve(nil, "/dev/console")
+	if err != nil {
+		return nil, err
+	}
+	for fd := 0; fd < 3; fd++ {
+		flags := vfs.ORdOnly
+		if fd > 0 {
+			flags = vfs.OWrOnly
+		}
+		if err := sh.self.FDs().InstallAt(vfs.NewOpenFile(con, flags), false, fd); err != nil {
+			return nil, err
+		}
+	}
+	return sh, nil
+}
+
+// repl reads command lines until EOF or "exit".
+func (s *shell) repl(input io.Reader, interactive bool) {
+	in := bufio.NewScanner(input)
+	for {
+		if interactive {
+			fmt.Fprintf(s.out, "forksh:%s$ ", s.cwd)
+			s.out.Flush()
+		}
+		if !in.Scan() {
+			break
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "exit" {
+			break
+		}
+		if err := s.run(line); err != nil {
+			fmt.Fprintf(s.out, "forksh: %v\n", err)
+		}
+		s.out.Flush()
+	}
+}
+
+func isTerminalHint() bool {
+	st, err := os.Stdin.Stat()
+	return err == nil && st.Mode()&os.ModeCharDevice != 0
+}
+
+// run executes one command line.
+func (s *shell) run(line string) error {
+	// Redirection: split a trailing "> file".
+	redirect := ""
+	if i := strings.LastIndex(line, ">"); i >= 0 && !strings.Contains(line[i:], "|") {
+		redirect = strings.TrimSpace(line[i+1:])
+		line = strings.TrimSpace(line[:i])
+	}
+	stages := strings.Split(line, "|")
+	for i := range stages {
+		stages[i] = strings.TrimSpace(stages[i])
+	}
+	if len(stages) == 1 {
+		argv := strings.Fields(stages[0])
+		if done, err := s.builtin(argv); done {
+			return err
+		}
+	}
+	return s.pipeline(stages, redirect)
+}
+
+// builtin handles shell built-ins; done=false falls through to spawn.
+func (s *shell) builtin(argv []string) (bool, error) {
+	if len(argv) == 0 {
+		return true, nil
+	}
+	switch argv[0] {
+	case "cd":
+		dst := "/"
+		if len(argv) > 1 {
+			dst = s.resolvePath(argv[1])
+		}
+		ino, err := s.k.FS().Resolve(nil, dst)
+		if err != nil {
+			return true, fmt.Errorf("cd: %s: %v", dst, err)
+		}
+		if ino.Type != vfs.TypeDir {
+			return true, fmt.Errorf("cd: %s: not a directory", dst)
+		}
+		s.cwd = dst
+		return true, nil
+	case "pwd":
+		fmt.Fprintln(s.out, s.cwd)
+		return true, nil
+	case "ls":
+		dir := s.cwd
+		if len(argv) > 1 {
+			dir = s.resolvePath(argv[1])
+		}
+		names, err := s.k.FS().ReadDir(nil, dir)
+		if err != nil {
+			return true, fmt.Errorf("ls: %v", err)
+		}
+		fmt.Fprintln(s.out, strings.Join(names, "  "))
+		return true, nil
+	case "cat":
+		if len(argv) < 2 {
+			return false, nil // external cat copies console stdin
+		}
+		for _, a := range argv[1:] {
+			ino, err := s.k.FS().Resolve(nil, s.resolvePath(a))
+			if err != nil {
+				return true, fmt.Errorf("cat: %s: %v", a, err)
+			}
+			s.out.Write(ino.Data())
+		}
+		return true, nil
+	case "ps":
+		s.ps()
+		return true, nil
+	case "vmmap":
+		if len(argv) != 2 {
+			return true, fmt.Errorf("usage: vmmap PID")
+		}
+		var pid int
+		fmt.Sscanf(argv[1], "%d", &pid)
+		p := s.k.Lookup(kernel.PID(pid))
+		if p == nil || p.Space() == nil {
+			return true, fmt.Errorf("vmmap: no such process")
+		}
+		fmt.Fprint(s.out, p.Space().Dump())
+		return true, nil
+	case "time":
+		if len(argv) < 2 {
+			return true, fmt.Errorf("usage: time CMD...")
+		}
+		t0 := s.k.Now()
+		err := s.pipeline([]string{strings.Join(argv[1:], " ")}, "")
+		fmt.Fprintf(s.out, "virtual %v\n", s.k.Now()-t0)
+		return true, err
+	case "help":
+		fmt.Fprintln(s.out, "built-ins: cd pwd ls cat ps vmmap time help exit")
+		var names []string
+		for n := range ulib.Sources {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(s.out, "programs:  "+strings.Join(names, " "))
+		return true, nil
+	}
+	return false, nil
+}
+
+func (s *shell) resolvePath(p string) string {
+	if strings.HasPrefix(p, "/") {
+		return p
+	}
+	if s.cwd == "/" {
+		return "/" + p
+	}
+	return s.cwd + "/" + p
+}
+
+func (s *shell) ps() {
+	fmt.Fprintf(s.out, "%5s %-8s %-10s %s\n", "PID", "STATE", "RSS", "NAME")
+	for pid := kernel.PID(1); pid < 4096; pid++ {
+		p := s.k.Lookup(pid)
+		if p == nil {
+			continue
+		}
+		rss := uint64(0)
+		if p.Space() != nil {
+			rss = p.Space().RSS()
+		}
+		fmt.Fprintf(s.out, "%5d %-8s %-10d %s\n", p.Pid, p.State(), rss, p.Name)
+	}
+}
+
+// pipeline spawns each stage with its descriptors wired via file
+// actions — no fork anywhere.
+func (s *shell) pipeline(stages []string, redirect string) error {
+	type stage struct {
+		path string
+		argv []string
+	}
+	var prepared []stage
+	for _, raw := range stages {
+		argv := strings.Fields(raw)
+		if len(argv) == 0 {
+			return fmt.Errorf("empty pipeline stage")
+		}
+		path := argv[0]
+		if !strings.HasPrefix(path, "/") {
+			path = "/bin/" + path
+		}
+		if _, err := s.k.FS().Resolve(nil, path); err != nil {
+			return fmt.Errorf("%s: command not found", argv[0])
+		}
+		prepared = append(prepared, stage{path: path, argv: argv})
+	}
+
+	// Build N-1 pipes up front, installed temporarily in the
+	// shell's own descriptor table so the children can inherit
+	// them via dup2 file actions.
+	selfFDs := s.self.FDs()
+	var tempFDs []int
+	defer func() {
+		for _, fd := range tempFDs {
+			selfFDs.Close(fd)
+		}
+	}()
+	pipeFDs := make([][2]int, 0, len(prepared)-1)
+	for i := 0; i < len(prepared)-1; i++ {
+		r, w := vfs.NewPipe()
+		rfd, err := selfFDs.Install(r, false, 3)
+		if err != nil {
+			return err
+		}
+		wfd, err := selfFDs.Install(w, false, 3)
+		if err != nil {
+			return err
+		}
+		tempFDs = append(tempFDs, rfd, wfd)
+		pipeFDs = append(pipeFDs, [2]int{rfd, wfd})
+	}
+
+	var procs []*kernel.Process
+	for i, st := range prepared {
+		fa := new(core.FileActions)
+		if i > 0 {
+			fa.AddDup2(pipeFDs[i-1][0], 0)
+		}
+		if i < len(prepared)-1 {
+			fa.AddDup2(pipeFDs[i][1], 1)
+		} else if redirect != "" {
+			if _, err := s.k.FS().Create(nil, s.resolvePath(redirect)); err != nil {
+				return fmt.Errorf("> %s: %v", redirect, err)
+			}
+			fa.AddOpen(1, s.resolvePath(redirect), vfs.OWrOnly|vfs.OTrunc)
+		}
+		// The children must not keep the pipe descriptors beyond
+		// the dup2'd standard ones, or EOF never propagates.
+		for _, pf := range pipeFDs {
+			fa.AddClose(pf[0])
+			fa.AddClose(pf[1])
+		}
+		p, err := core.Spawn(s.k, s.self, st.path, st.argv, fa, nil)
+		if err != nil {
+			return fmt.Errorf("spawn %s: %v", st.argv[0], err)
+		}
+		procs = append(procs, p)
+	}
+	// Close the shell's copies so pipes see EOF, then run.
+	for _, fd := range tempFDs {
+		selfFDs.Close(fd)
+	}
+	tempFDs = nil
+
+	if err := s.k.Run(kernel.RunLimits{MaxInstructions: 500_000_000}); err != nil {
+		return err
+	}
+	// Reap and report.
+	for _, p := range procs {
+		if p.State() == kernel.ProcZombie {
+			_, status, err := s.k.WaitReap(s.self, p.Pid)
+			if err == nil {
+				if sg := abi.StatusSignal(status); sg != 0 {
+					fmt.Fprintf(s.out, "[%s killed by signal %d]\n", p.Name, sg)
+				} else if code := abi.StatusExitCode(status); code != 0 {
+					fmt.Fprintf(s.out, "[%s exited %d]\n", p.Name, code)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// script runs shell commands and returns everything printed.
+func script(t *testing.T, cmds string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	out := bufio.NewWriter(&buf)
+	sh, err := newShell(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.repl(strings.NewReader(cmds), false)
+	out.Flush()
+	return buf.String()
+}
+
+func TestShellEcho(t *testing.T) {
+	out := script(t, "echo forkless shell\n")
+	if out != "forkless shell\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestShellPipelineAndRedirect(t *testing.T) {
+	out := script(t, `
+echo one two | cat | cat > /tmp/result
+cat /tmp/result
+`)
+	if out != "one two\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestShellBuiltins(t *testing.T) {
+	out := script(t, `
+pwd
+cd /tmp
+pwd
+cd /nope
+`)
+	if !strings.Contains(out, "/\n/tmp\n") {
+		t.Errorf("pwd/cd output = %q", out)
+	}
+	if !strings.Contains(out, "forksh: cd: /nope") {
+		t.Errorf("missing cd error: %q", out)
+	}
+}
+
+func TestShellLsAndHelp(t *testing.T) {
+	out := script(t, "ls /bin\nhelp\n")
+	if !strings.Contains(out, "echo") || !strings.Contains(out, "true") {
+		t.Errorf("ls output = %q", out)
+	}
+	if !strings.Contains(out, "built-ins:") {
+		t.Errorf("help output = %q", out)
+	}
+}
+
+func TestShellExitStatusReport(t *testing.T) {
+	out := script(t, "false\n")
+	if !strings.Contains(out, "exited 1") {
+		t.Errorf("false's status not reported: %q", out)
+	}
+}
+
+func TestShellUnknownCommand(t *testing.T) {
+	out := script(t, "bogus\n")
+	if !strings.Contains(out, "command not found") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestShellTimeAndPs(t *testing.T) {
+	out := script(t, "time true\nps\n")
+	if !strings.Contains(out, "virtual ") {
+		t.Errorf("time output = %q", out)
+	}
+	if !strings.Contains(out, "forksh") {
+		t.Errorf("ps output = %q", out)
+	}
+}
+
+func TestShellDeadlockDemoSurvives(t *testing.T) {
+	// The shell must survive running the deadlock demo: Run returns
+	// a DeadlockError, reported as a normal error line.
+	out := script(t, "threads_deadlock\necho still alive\n")
+	if !strings.Contains(out, "deadlock") {
+		t.Errorf("deadlock not reported: %q", out)
+	}
+	if !strings.Contains(out, "still alive") {
+		t.Errorf("shell died after deadlock: %q", out)
+	}
+}

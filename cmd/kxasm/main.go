@@ -1,0 +1,73 @@
+// Command kxasm assembles a source file in the simulator's assembly
+// dialect (see internal/asm) into a KXI executable image runnable by
+// forkrun.
+//
+// Usage:
+//
+//	kxasm [-o out.kxi] [-runtime] [-d] file.kxs
+//
+//	-o FILE     output path (default: input with .kxi extension)
+//	-runtime    append the ulib runtime library (puts, mutexes, ...)
+//	-d          disassemble the text segment to stdout instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/ulib"
+)
+
+func main() {
+	out := flag.String("o", "", "output file")
+	withRuntime := flag.Bool("runtime", false, "append the ulib runtime")
+	disasm := flag.Bool("d", false, "disassemble instead of writing the image")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: kxasm [-o out.kxi] [-runtime] [-d] file.kxs")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	text := string(src)
+	if *withRuntime {
+		text += ulib.Runtime
+	}
+	im, err := asm.Assemble(text)
+	if err != nil {
+		fatal(err)
+	}
+	if *disasm {
+		for off := 0; off+isa.InstrSize <= len(im.Text); off += isa.InstrSize {
+			in := isa.Decode(im.Text[off : off+isa.InstrSize])
+			marker := "  "
+			if uint64(off)+im.TextBase == im.Entry {
+				marker = "=>"
+			}
+			fmt.Printf("%s %#08x: %s\n", marker, im.TextBase+uint64(off), in)
+		}
+		fmt.Printf("; text=%d data=%d bss=%d stack=%d entry=%#x\n",
+			len(im.Text), len(im.Data), im.BssSize, im.StackSize, im.Entry)
+		return
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(in, ".kxs") + ".kxi"
+	}
+	if err := os.WriteFile(dst, im.Encode(), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: text=%d data=%d bss=%d entry=%#x\n", dst, len(im.Text), len(im.Data), im.BssSize, im.Entry)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kxasm:", err)
+	os.Exit(1)
+}

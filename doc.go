@@ -1,0 +1,21 @@
+// Package repro is a from-scratch reproduction of "A fork() in the
+// road" (HotOS 2019): a deterministic user-level operating-system
+// simulator (virtual memory with copy-on-write, page tables, VFS,
+// signals, futexes, a bytecode VM and assembler for userland) plus the
+// process-creation APIs the paper compares — fork, vfork, posix_spawn,
+// and cross-process construction — and a harness that regenerates the
+// paper's figure and comparison table in virtual time.
+//
+// Layout:
+//
+//	internal/core        the paper's contribution: spawn + cross-process APIs
+//	internal/kernel      the simulated OS
+//	internal/mem, pagetable, addrspace, vfs, sig — substrates
+//	internal/isa, asm, image, ulib — the userland toolchain
+//	internal/experiments — Figure 1, Table 1, E3–E7
+//	cmd/forkbench, forkrun, forksh, kxasm — executables
+//	examples/            — runnable API walkthroughs
+//
+// See README.md, DESIGN.md and EXPERIMENTS.md. The benchmarks in
+// bench_test.go regenerate every experiment under `go test -bench`.
+package repro

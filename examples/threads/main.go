@@ -1,0 +1,52 @@
+// Threads: the §4.2 composition failure, live. A program starts a
+// helper thread that takes a mutex and blocks. The main thread forks.
+// POSIX duplicates only the calling thread, so the child's memory
+// image contains a locked mutex and no thread that will ever unlock
+// it; the child deadlocks on its first lock acquisition, and the
+// parent deadlocks waiting for the child. The simulator's detector
+// names every stuck thread.
+//
+// The same scenario with posix_spawn completes, because the child gets
+// a fresh image with no smuggled lock state.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/kernel"
+	"repro/internal/ulib"
+)
+
+func run(prog string) {
+	fmt.Printf("--- %s ---\n", prog)
+	k := kernel.New(kernel.Options{ConsoleOut: os.Stdout})
+	if err := ulib.InstallAll(k); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := k.BootInit("/bin/"+prog, []string{prog}); err != nil {
+		log.Fatal(err)
+	}
+	err := k.Run(kernel.RunLimits{MaxInstructions: 10_000_000})
+	var dl *kernel.DeadlockError
+	switch {
+	case errors.As(err, &dl):
+		fmt.Println("DEADLOCK detected:")
+		for _, t := range dl.Threads {
+			fmt.Printf("  %s\n", t)
+		}
+	case err != nil:
+		log.Fatal(err)
+	default:
+		fmt.Printf("completed normally at virtual time %v\n", k.Now())
+	}
+	fmt.Println()
+}
+
+func main() {
+	run("threads_deadlock") // fork in a threaded program
+	run("threads_spawn")    // identical program using posix_spawn
+	fmt.Println("fork copied the locked mutex but not its owner; spawn never copies either.")
+}

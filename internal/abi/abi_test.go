@@ -1,0 +1,69 @@
+package abi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStatusEncoding(t *testing.T) {
+	cases := []struct {
+		code, signal int
+	}{
+		{0, 0}, {1, 0}, {255, 0}, {0, 9}, {0, 11}, {42, 0},
+	}
+	for _, c := range cases {
+		s := EncodeStatus(c.code, c.signal)
+		if got := StatusExitCode(s); got != c.code {
+			t.Errorf("EncodeStatus(%d,%d): code = %d", c.code, c.signal, got)
+		}
+		if got := StatusSignal(s); got != c.signal {
+			t.Errorf("EncodeStatus(%d,%d): signal = %d", c.code, c.signal, got)
+		}
+	}
+}
+
+func TestQuickStatusRoundtrip(t *testing.T) {
+	f := func(code, signal uint8) bool {
+		s := EncodeStatus(int(code), int(signal))
+		return StatusExitCode(s) == int(code) && StatusSignal(s) == int(signal)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyscallNumbersDistinct(t *testing.T) {
+	nums := []int{
+		SysExit, SysWrite, SysRead, SysOpen, SysClose, SysDup, SysDup2,
+		SysPipe, SysFork, SysVfork, SysExec, SysSpawn, SysWaitPid,
+		SysGetPid, SysGetPPid, SysBrk, SysMmap, SysMunmap, SysTouch,
+		SysKill, SysSigaction, SysSigprocmask, SysSigreturn,
+		SysThreadCreate, SysThreadExit, SysFutexWait, SysFutexWake,
+		SysYield, SysNanosleep, SysClock, SysSeek, SysGetTid,
+		SysSetCloexec, SysStat, SysMkdir, SysUnlink, SysChdir,
+		SysReadDir, SysProcCount, SysGetRSS, SysMprotect,
+	}
+	seen := map[int]bool{}
+	for _, n := range nums {
+		if n <= 0 {
+			t.Errorf("syscall number %d not positive", n)
+		}
+		if seen[n] {
+			t.Errorf("syscall number %d duplicated", n)
+		}
+		seen[n] = true
+	}
+	if len(nums) != 41 {
+		t.Errorf("expected 41 syscalls, counted %d (update the docs!)", len(nums))
+	}
+}
+
+func TestFlagValuesMatchLinux(t *testing.T) {
+	// The assembler documents O_* as Linux-compatible.
+	if OCreate != 0x40 || OTrunc != 0x200 || OAppend != 0x400 || OCloexec != 0x80000 {
+		t.Error("open flags diverged from Linux values")
+	}
+	if ProtRead != 1 || ProtWrite != 2 || ProtExec != 4 {
+		t.Error("prot bits diverged")
+	}
+}

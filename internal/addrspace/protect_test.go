@@ -1,0 +1,160 @@
+package addrspace
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/errno"
+	"repro/internal/mem"
+)
+
+func TestProtectRevokeWrite(t *testing.T) {
+	s, _ := newSpace(64, mem.CommitHeuristic)
+	v, err := s.Map(0x100000, 4*mem.PageSize, Read|Write, MapOpts{Name: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBytes(v.Start, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Protect(v.Start, v.Len(), Read); err != nil {
+		t.Fatal(err)
+	}
+	// Reads still work.
+	buf := make([]byte, 4)
+	if err := s.ReadBytes(v.Start, buf); err != nil || string(buf) != "data" {
+		t.Fatalf("read after revoke: %q %v", buf, err)
+	}
+	// Writes fault.
+	if err := s.WriteBytes(v.Start, []byte("x")); !errors.Is(err, errno.EFAULT) {
+		t.Fatalf("write after revoke: %v, want EFAULT", err)
+	}
+	// Also on never-touched pages of the region.
+	if err := s.WriteBytes(v.Start+2*mem.PageSize, []byte("x")); !errors.Is(err, errno.EFAULT) {
+		t.Fatalf("write to untouched ro page: %v", err)
+	}
+}
+
+func TestProtectRestoreWrite(t *testing.T) {
+	s, phys := newSpace(64, mem.CommitHeuristic)
+	v, _ := s.Map(0x100000, 2*mem.PageSize, Read|Write, MapOpts{})
+	if err := s.WriteBytes(v.Start, []byte("orig")); err != nil {
+		t.Fatal(err)
+	}
+	before := phys.AllocatedPages()
+	if err := s.Protect(v.Start, v.Len(), Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Protect(v.Start, v.Len(), Read|Write); err != nil {
+		t.Fatal(err)
+	}
+	// The sole-owner upgrade path must not copy the frame.
+	if err := s.WriteBytes(v.Start, []byte("new!")); err != nil {
+		t.Fatalf("write after re-grant: %v", err)
+	}
+	if phys.AllocatedPages() != before {
+		t.Errorf("re-grant write copied a frame")
+	}
+	buf := make([]byte, 4)
+	s.ReadBytes(v.Start, buf)
+	if string(buf) != "new!" {
+		t.Errorf("content = %q", buf)
+	}
+}
+
+func TestProtectSplitsVMA(t *testing.T) {
+	s, _ := newSpace(64, mem.CommitHeuristic)
+	v, _ := s.Map(0x100000, 6*mem.PageSize, Read|Write, MapOpts{Name: "big"})
+	// Protect the middle third.
+	if err := s.Protect(v.Start+2*mem.PageSize, 2*mem.PageSize, Read); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.VMAs()) != 3 {
+		t.Fatalf("VMAs = %d, want 3:\n%s", len(s.VMAs()), s.Dump())
+	}
+	mid := s.FindVMA(v.Start + 2*mem.PageSize)
+	if mid.Prot != Read {
+		t.Errorf("mid prot = %v", mid.Prot)
+	}
+	left := s.FindVMA(v.Start)
+	right := s.FindVMA(v.Start + 5*mem.PageSize)
+	if left.Prot != Read|Write || right.Prot != Read|Write {
+		t.Errorf("outer prots = %v / %v", left.Prot, right.Prot)
+	}
+	// Writes: outer thirds fine, middle faults.
+	if err := s.WriteBytes(v.Start, []byte("x")); err != nil {
+		t.Errorf("left write: %v", err)
+	}
+	if err := s.WriteBytes(v.Start+5*mem.PageSize, []byte("x")); err != nil {
+		t.Errorf("right write: %v", err)
+	}
+	if err := s.WriteBytes(v.Start+3*mem.PageSize, []byte("x")); !errors.Is(err, errno.EFAULT) {
+		t.Errorf("mid write: %v", err)
+	}
+}
+
+func TestProtectCommitAccounting(t *testing.T) {
+	s, phys := newSpace(64, mem.CommitStrict)
+	v, _ := s.Map(0x100000, 8*mem.PageSize, Read|Write, MapOpts{})
+	committed := phys.Committed()
+	// RW → R releases commit.
+	if err := s.Protect(v.Start, v.Len(), Read); err != nil {
+		t.Fatal(err)
+	}
+	if phys.Committed() != committed-8 {
+		t.Errorf("committed after revoke = %d, want %d", phys.Committed(), committed-8)
+	}
+	// R → RW re-reserves.
+	if err := s.Protect(v.Start, v.Len(), Read|Write); err != nil {
+		t.Fatal(err)
+	}
+	if phys.Committed() != committed {
+		t.Errorf("committed after re-grant = %d, want %d", phys.Committed(), committed)
+	}
+	s.Destroy()
+	if phys.Committed() != 0 {
+		t.Errorf("commit leak: %d", phys.Committed())
+	}
+}
+
+func TestProtectUnmappedRange(t *testing.T) {
+	s, _ := newSpace(64, mem.CommitHeuristic)
+	s.Map(0x100000, 2*mem.PageSize, Read|Write, MapOpts{})
+	// Range extends past the mapping.
+	if err := s.Protect(0x100000, 4*mem.PageSize, Read); !errors.Is(err, errno.ENOMEM) {
+		t.Errorf("hole protect: %v, want ENOMEM", err)
+	}
+	if err := s.Protect(0x100001, mem.PageSize, Read); !errors.Is(err, errno.EINVAL) {
+		t.Errorf("unaligned protect: %v, want EINVAL", err)
+	}
+}
+
+func TestProtectCOWInteraction(t *testing.T) {
+	// mprotect(R) on COW pages, then fork-style clone, then restore
+	// W in the parent: the child must stay isolated.
+	s, _ := newSpace(64, mem.CommitHeuristic)
+	v, _ := s.Map(0x100000, mem.PageSize, Read|Write, MapOpts{})
+	s.WriteBytes(v.Start, []byte("base"))
+	c, err := s.CloneCOW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Protect(v.Start, v.Len(), Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Protect(v.Start, v.Len(), Read|Write); err != nil {
+		t.Fatal(err)
+	}
+	// Parent writes: must COW-copy (refs==2), not scribble on the
+	// shared frame.
+	if err := s.WriteBytes(v.Start, []byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	c.ReadBytes(v.Start, buf)
+	if string(buf) != "base" {
+		t.Errorf("child sees %q after parent's post-mprotect write", buf)
+	}
+	c.Destroy()
+	s.Destroy()
+}

@@ -1,0 +1,836 @@
+// Package asm implements a two-pass assembler for the simulator's ISA
+// (internal/isa), producing KXI executable images (internal/image).
+//
+// Syntax overview (see internal/ulib for real programs):
+//
+//	; comment            # comment
+//	.const NAME = 42
+//	.text                ; section switches
+//	.data
+//	.bss
+//	.align 8
+//	.word8 1, sym, 'c'   ; also .word4, .word1
+//	.asciz "text\n"
+//	.space 128
+//	.stack 65536         ; stack reservation in the header
+//	.entry main          ; default: _start, else start of text
+//
+//	label:
+//	    movi r0, 10
+//	    li   r1, 0x123456789   ; pseudo: expands to movi+movhi (16 bytes)
+//	    ld8  r2, [r1+8]
+//	    st8  [r14-8], r2
+//	    beq  r0, r2, label
+//	    call fn
+//	    sys  SYS_WRITE
+//
+// Operands may be integer literals (decimal, 0x hex, 'c' chars),
+// label or .const symbols, builtin ABI constants (SYS_*, O_*, SIG*,
+// STDOUT, ...), and single +/- combinations thereof.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// TextBase is where images link their text segment (mirrors
+// addrspace.TextBase without importing it; checked by a test).
+const TextBase = 0x400000
+
+// Error is an assembly diagnostic.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type section int
+
+const (
+	secText section = iota
+	secData
+	secBss
+)
+
+type stmtKind int
+
+const (
+	stInstr stmtKind = iota
+	stWord
+	stAsciz
+	stSpace
+	stAlign
+)
+
+type stmt struct {
+	line    int
+	sec     section
+	off     uint64 // offset within section
+	size    uint64
+	kind    stmtKind
+	op      string   // mnemonic for stInstr
+	args    []string // raw operand strings
+	strData string   // for .asciz
+	width   int      // for .word*
+}
+
+type assembler struct {
+	stmts   []stmt
+	size    [3]uint64 // current offset per section
+	symbols map[string]uint64
+	consts  map[string]uint64
+	labels  map[string]struct {
+		sec  section
+		off  uint64
+		line int
+	}
+	entrySym  string
+	stackSize uint64
+}
+
+// Assemble translates src into an executable image.
+func Assemble(src string) (*image.Image, error) {
+	a := &assembler{
+		symbols: map[string]uint64{},
+		consts:  map[string]uint64{},
+		labels: map[string]struct {
+			sec  section
+			off  uint64
+			line int
+		}{},
+	}
+	if err := a.pass1(src); err != nil {
+		return nil, err
+	}
+	return a.pass2()
+}
+
+// MustAssemble panics on error; for the program library and tests.
+func MustAssemble(src string) *image.Image {
+	im, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return im
+}
+
+func errAt(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// stripComment removes ;- or #-introduced comments, respecting quotes.
+func stripComment(s string) string {
+	inStr := false
+	esc := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr {
+			if esc {
+				esc = false
+			} else if c == '\\' {
+				esc = true
+			} else if c == '"' {
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case ';', '#':
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func (a *assembler) pass1(src string) error {
+	cur := secText
+	for ln, raw := range strings.Split(src, "\n") {
+		line := ln + 1
+		s := strings.TrimSpace(stripComment(raw))
+		if s == "" {
+			continue
+		}
+		// Labels (possibly several) at line start.
+		for {
+			i := strings.IndexByte(s, ':')
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(s[:i])
+			if !isIdent(name) {
+				break
+			}
+			if _, dup := a.labels[name]; dup {
+				return errAt(line, "duplicate label %q", name)
+			}
+			a.labels[name] = struct {
+				sec  section
+				off  uint64
+				line int
+			}{cur, a.size[cur], line}
+			s = strings.TrimSpace(s[i+1:])
+			if s == "" {
+				break
+			}
+		}
+		if s == "" {
+			continue
+		}
+		if strings.HasPrefix(s, ".") {
+			if err := a.directive(line, &cur, s); err != nil {
+				return err
+			}
+			continue
+		}
+		// Instruction.
+		if cur != secText {
+			return errAt(line, "instruction outside .text")
+		}
+		op, rest := splitOp(s)
+		op = strings.ToLower(op)
+		args := splitArgs(rest)
+		n := uint64(isa.InstrSize)
+		if op == "li" {
+			n = 2 * isa.InstrSize
+		}
+		a.stmts = append(a.stmts, stmt{
+			line: line, sec: cur, off: a.size[cur], size: n,
+			kind: stInstr, op: op, args: args,
+		})
+		a.size[cur] += n
+	}
+	return nil
+}
+
+func (a *assembler) directive(line int, cur *section, s string) error {
+	op, rest := splitOp(s)
+	switch strings.ToLower(op) {
+	case ".text":
+		*cur = secText
+	case ".data":
+		*cur = secData
+	case ".bss":
+		*cur = secBss
+	case ".const":
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return errAt(line, ".const needs NAME = value")
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !isIdent(name) {
+			return errAt(line, "bad const name %q", name)
+		}
+		v, err := a.eval(line, strings.TrimSpace(rest[eq+1:]), false)
+		if err != nil {
+			return err
+		}
+		a.consts[name] = v
+	case ".entry":
+		a.entrySym = strings.TrimSpace(rest)
+	case ".stack":
+		v, err := a.eval(line, strings.TrimSpace(rest), false)
+		if err != nil {
+			return err
+		}
+		a.stackSize = v
+	case ".align":
+		v, err := a.eval(line, strings.TrimSpace(rest), false)
+		if err != nil {
+			return err
+		}
+		if v == 0 || v&(v-1) != 0 {
+			return errAt(line, ".align must be a power of two")
+		}
+		old := a.size[*cur]
+		na := (old + v - 1) &^ (v - 1)
+		a.stmts = append(a.stmts, stmt{line: line, sec: *cur, off: old, size: na - old, kind: stAlign})
+		a.size[*cur] = na
+	case ".word8", ".word4", ".word1":
+		if *cur == secBss {
+			return errAt(line, "initialised data in .bss")
+		}
+		w := map[string]int{".word8": 8, ".word4": 4, ".word1": 1}[strings.ToLower(op)]
+		args := splitArgs(rest)
+		if len(args) == 0 {
+			return errAt(line, "%s needs at least one value", op)
+		}
+		a.stmts = append(a.stmts, stmt{
+			line: line, sec: *cur, off: a.size[*cur],
+			size: uint64(w * len(args)), kind: stWord, args: args, width: w,
+		})
+		a.size[*cur] += uint64(w * len(args))
+	case ".asciz":
+		if *cur == secBss {
+			return errAt(line, "initialised data in .bss")
+		}
+		str, err := parseString(strings.TrimSpace(rest))
+		if err != nil {
+			return errAt(line, "%v", err)
+		}
+		a.stmts = append(a.stmts, stmt{
+			line: line, sec: *cur, off: a.size[*cur],
+			size: uint64(len(str) + 1), kind: stAsciz, strData: str,
+		})
+		a.size[*cur] += uint64(len(str) + 1)
+	case ".space":
+		v, err := a.eval(line, strings.TrimSpace(rest), false)
+		if err != nil {
+			return err
+		}
+		a.stmts = append(a.stmts, stmt{line: line, sec: *cur, off: a.size[*cur], size: v, kind: stSpace})
+		a.size[*cur] += v
+	default:
+		return errAt(line, "unknown directive %s", op)
+	}
+	return nil
+}
+
+func (a *assembler) pass2() (*image.Image, error) {
+	// Final layout: text at TextBase; data on the next page
+	// boundary; bss straight after data (8-aligned).
+	textBase := uint64(TextBase)
+	dataBase := textBase + alignUp(a.size[secText], mem.PageSize)
+	bssBase := dataBase + alignUp(a.size[secData], 8)
+	base := [3]uint64{textBase, dataBase, bssBase}
+
+	// Resolve label symbols to absolute addresses.
+	for name, l := range a.labels {
+		if _, clash := a.consts[name]; clash {
+			return nil, errAt(l.line, "%q is both label and const", name)
+		}
+		a.symbols[name] = base[l.sec] + l.off
+	}
+	for name, v := range a.consts {
+		a.symbols[name] = v
+	}
+
+	text := make([]byte, a.size[secText])
+	data := make([]byte, a.size[secData])
+	for _, st := range a.stmts {
+		var buf []byte
+		switch st.sec {
+		case secText:
+			buf = text[st.off : st.off+st.size]
+		case secData:
+			buf = data[st.off : st.off+st.size]
+		case secBss:
+			continue // nothing to emit
+		}
+		switch st.kind {
+		case stAlign, stSpace:
+			// already zero
+		case stAsciz:
+			copy(buf, st.strData)
+		case stWord:
+			for i, arg := range st.args {
+				v, err := a.eval(st.line, arg, true)
+				if err != nil {
+					return nil, err
+				}
+				putUint(buf[i*st.width:], v, st.width)
+			}
+		case stInstr:
+			if err := a.emitInstr(st, buf, base[secText]+st.off); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	entry := textBase
+	switch {
+	case a.entrySym != "":
+		v, ok := a.symbols[a.entrySym]
+		if !ok {
+			return nil, errAt(0, "entry symbol %q undefined", a.entrySym)
+		}
+		entry = v
+	default:
+		if v, ok := a.symbols["_start"]; ok {
+			entry = v
+		}
+	}
+
+	return &image.Image{
+		Header: image.Header{
+			Entry:     entry,
+			TextBase:  textBase,
+			BssSize:   a.size[secBss],
+			StackSize: a.stackSize,
+		},
+		Text: text,
+		Data: data,
+	}, nil
+}
+
+func putUint(b []byte, v uint64, width int) {
+	for i := 0; i < width; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func alignUp(x, a uint64) uint64 { return (x + a - 1) &^ (a - 1) }
+
+// operand helpers -----------------------------------------------------
+
+func splitOp(s string) (op, rest string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i:])
+}
+
+// splitArgs splits on commas not inside quotes or brackets.
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	inStr := false
+	last := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 && !inStr {
+				out = append(out, strings.TrimSpace(s[last:i]))
+				last = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[last:]))
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || i > 0 && r >= '0' && r <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func parseString(s string) (string, error) {
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("expected quoted string, got %q", s)
+	}
+	return strconv.Unquote(s)
+}
+
+// eval evaluates an operand expression: term (('+'|'-') term)*, where
+// term is an integer literal, char literal, or symbol. Symbols resolve
+// only when allowSyms (pass 2 / .const of constants).
+func (a *assembler) eval(line int, expr string, allowSyms bool) (uint64, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return 0, errAt(line, "empty expression")
+	}
+	total := uint64(0)
+	sign := uint64(1) // 1 or ^0 (for subtraction via two's complement)
+	i := 0
+	first := true
+	for i < len(expr) {
+		for i < len(expr) && (expr[i] == ' ' || expr[i] == '\t') {
+			i++
+		}
+		if !first || expr[i] == '+' || expr[i] == '-' {
+			if i >= len(expr) {
+				return 0, errAt(line, "trailing operator in %q", expr)
+			}
+			switch expr[i] {
+			case '+':
+				sign = 1
+				i++
+			case '-':
+				sign = ^uint64(0)
+				i++
+			default:
+				if !first {
+					return 0, errAt(line, "expected +/- in %q", expr)
+				}
+			}
+			for i < len(expr) && (expr[i] == ' ' || expr[i] == '\t') {
+				i++
+			}
+		}
+		start := i
+		if i < len(expr) && expr[i] == '\'' {
+			// char literal
+			j := strings.IndexByte(expr[i+1:], '\'')
+			if j < 0 {
+				return 0, errAt(line, "unterminated char literal")
+			}
+			i += j + 2
+		} else {
+			for i < len(expr) && expr[i] != '+' && expr[i] != '-' && expr[i] != ' ' && expr[i] != '\t' {
+				i++
+			}
+		}
+		tok := expr[start:i]
+		v, err := a.term(line, tok, allowSyms)
+		if err != nil {
+			return 0, err
+		}
+		if sign == 1 {
+			total += v
+		} else {
+			total -= v
+		}
+		sign = 1
+		first = false
+		for i < len(expr) && (expr[i] == ' ' || expr[i] == '\t') {
+			i++
+		}
+	}
+	return total, nil
+}
+
+func (a *assembler) term(line int, tok string, allowSyms bool) (uint64, error) {
+	if tok == "" {
+		return 0, errAt(line, "empty term")
+	}
+	if tok[0] == '\'' {
+		s, err := strconv.Unquote(tok)
+		if err != nil || len(s) != 1 {
+			return 0, errAt(line, "bad char literal %s", tok)
+		}
+		return uint64(s[0]), nil
+	}
+	if tok[0] >= '0' && tok[0] <= '9' {
+		v, err := strconv.ParseUint(tok, 0, 64)
+		if err != nil {
+			return 0, errAt(line, "bad integer %q", tok)
+		}
+		return v, nil
+	}
+	if v, ok := a.consts[tok]; ok {
+		return v, nil
+	}
+	if v, ok := builtinConsts[tok]; ok {
+		return v, nil
+	}
+	if allowSyms {
+		if v, ok := a.symbols[tok]; ok {
+			return v, nil
+		}
+	}
+	return 0, errAt(line, "undefined symbol %q", tok)
+}
+
+// parseReg parses "r0".."r15" or "sp".
+func parseReg(line int, s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "sp" {
+		return isa.SP, nil
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, errAt(line, "bad register %q", s)
+}
+
+// parseMem parses "[reg]" or "[reg+expr]" / "[reg-expr]".
+func (a *assembler) parseMem(line int, s string) (uint8, int32, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 3 || s[0] != '[' || s[len(s)-1] != ']' {
+		return 0, 0, errAt(line, "bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	// find +/- separating reg from offset (reg names contain none)
+	sep := strings.IndexAny(inner, "+-")
+	regPart := inner
+	offPart := ""
+	if sep >= 0 {
+		regPart = inner[:sep]
+		offPart = inner[sep:]
+	}
+	r, err := parseReg(line, regPart)
+	if err != nil {
+		return 0, 0, err
+	}
+	var off uint64
+	if offPart != "" {
+		off, err = a.eval(line, offPart, true)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return r, int32(off), nil
+}
+
+func (a *assembler) immOf(line int, s string, pc uint64, relative bool) (int32, error) {
+	v, err := a.eval(line, s, true)
+	if err != nil {
+		return 0, err
+	}
+	if relative {
+		v -= pc
+	}
+	// Accept anything representable in 32 bits, signed or unsigned:
+	// branch offsets and movi are signed, while the logical
+	// immediates (andi/ori/xori) are zero-extended, so values like
+	// 0xff00ff00 must assemble. The encoding stores the low 32 bits
+	// either way.
+	iv := int64(v)
+	if iv > 1<<32-1 || iv < -(1<<31) {
+		return 0, errAt(line, "immediate %d out of 32-bit range", iv)
+	}
+	return int32(uint32(v)), nil
+}
+
+func (a *assembler) emitInstr(st stmt, buf []byte, pc uint64) error {
+	put := func(in isa.Instr) {
+		e := in.Encode()
+		copy(buf, e[:])
+	}
+	need := func(n int) error {
+		if len(st.args) != n {
+			return errAt(st.line, "%s expects %d operands, got %d", st.op, n, len(st.args))
+		}
+		return nil
+	}
+	line := st.line
+
+	switch st.op {
+	case "nop":
+		put(isa.Instr{Op: isa.OpNop})
+	case "halt":
+		put(isa.Instr{Op: isa.OpHalt})
+	case "ret":
+		put(isa.Instr{Op: isa.OpRet})
+	case "li":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(line, st.args[0])
+		if err != nil {
+			return err
+		}
+		v, err := a.eval(line, st.args[1], true)
+		if err != nil {
+			return err
+		}
+		lo := isa.Instr{Op: isa.OpMovi, Rd: rd, Imm: int32(uint32(v))}
+		hi := isa.Instr{Op: isa.OpMovhi, Rd: rd, Imm: int32(uint32(v >> 32))}
+		e1, e2 := lo.Encode(), hi.Encode()
+		copy(buf, e1[:])
+		copy(buf[isa.InstrSize:], e2[:])
+	case "movi", "movhi":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(line, st.args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := a.immOf(line, st.args[1], pc, false)
+		if err != nil {
+			return err
+		}
+		op := isa.OpMovi
+		if st.op == "movhi" {
+			op = isa.OpMovhi
+		}
+		put(isa.Instr{Op: op, Rd: rd, Imm: imm})
+	case "mov":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(line, st.args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(line, st.args[1])
+		if err != nil {
+			return err
+		}
+		put(isa.Instr{Op: isa.OpMov, Rd: rd, Rs1: rs})
+	case "add", "sub", "mul", "div", "mod", "and", "or", "xor", "shl", "shr", "sar":
+		if err := need(3); err != nil {
+			return err
+		}
+		op := map[string]isa.Op{
+			"add": isa.OpAdd, "sub": isa.OpSub, "mul": isa.OpMul,
+			"div": isa.OpDiv, "mod": isa.OpMod, "and": isa.OpAnd,
+			"or": isa.OpOr, "xor": isa.OpXor, "shl": isa.OpShl,
+			"shr": isa.OpShr, "sar": isa.OpSar,
+		}[st.op]
+		rd, err := parseReg(line, st.args[0])
+		if err != nil {
+			return err
+		}
+		r1, err := parseReg(line, st.args[1])
+		if err != nil {
+			return err
+		}
+		r2, err := parseReg(line, st.args[2])
+		if err != nil {
+			return err
+		}
+		put(isa.Instr{Op: op, Rd: rd, Rs1: r1, Rs2: r2})
+	case "addi", "muli", "andi", "ori", "xori", "shli", "shri":
+		if err := need(3); err != nil {
+			return err
+		}
+		op := map[string]isa.Op{
+			"addi": isa.OpAddi, "muli": isa.OpMuli, "andi": isa.OpAndi,
+			"ori": isa.OpOri, "xori": isa.OpXori, "shli": isa.OpShli,
+			"shri": isa.OpShri,
+		}[st.op]
+		rd, err := parseReg(line, st.args[0])
+		if err != nil {
+			return err
+		}
+		r1, err := parseReg(line, st.args[1])
+		if err != nil {
+			return err
+		}
+		imm, err := a.immOf(line, st.args[2], pc, false)
+		if err != nil {
+			return err
+		}
+		put(isa.Instr{Op: op, Rd: rd, Rs1: r1, Imm: imm})
+	case "ld8", "ld4", "ld1":
+		if err := need(2); err != nil {
+			return err
+		}
+		op := map[string]isa.Op{"ld8": isa.OpLd8, "ld4": isa.OpLd4, "ld1": isa.OpLd1}[st.op]
+		rd, err := parseReg(line, st.args[0])
+		if err != nil {
+			return err
+		}
+		r1, off, err := a.parseMem(line, st.args[1])
+		if err != nil {
+			return err
+		}
+		put(isa.Instr{Op: op, Rd: rd, Rs1: r1, Imm: off})
+	case "st8", "st4", "st1":
+		if err := need(2); err != nil {
+			return err
+		}
+		op := map[string]isa.Op{"st8": isa.OpSt8, "st4": isa.OpSt4, "st1": isa.OpSt1}[st.op]
+		r1, off, err := a.parseMem(line, st.args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(line, st.args[1])
+		if err != nil {
+			return err
+		}
+		put(isa.Instr{Op: op, Rs1: r1, Rs2: rs, Imm: off})
+	case "b", "call":
+		if err := need(1); err != nil {
+			return err
+		}
+		op := isa.OpB
+		if st.op == "call" {
+			op = isa.OpCall
+		}
+		imm, err := a.immOf(line, st.args[0], pc, true)
+		if err != nil {
+			return err
+		}
+		put(isa.Instr{Op: op, Imm: imm})
+	case "bz", "bnz":
+		if err := need(2); err != nil {
+			return err
+		}
+		op := isa.OpBz
+		if st.op == "bnz" {
+			op = isa.OpBnz
+		}
+		r1, err := parseReg(line, st.args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := a.immOf(line, st.args[1], pc, true)
+		if err != nil {
+			return err
+		}
+		put(isa.Instr{Op: op, Rs1: r1, Imm: imm})
+	case "beq", "bne", "blt", "bge", "bltu", "bgeu":
+		if err := need(3); err != nil {
+			return err
+		}
+		op := map[string]isa.Op{
+			"beq": isa.OpBeq, "bne": isa.OpBne, "blt": isa.OpBlt,
+			"bge": isa.OpBge, "bltu": isa.OpBltu, "bgeu": isa.OpBgeu,
+		}[st.op]
+		r1, err := parseReg(line, st.args[0])
+		if err != nil {
+			return err
+		}
+		r2, err := parseReg(line, st.args[1])
+		if err != nil {
+			return err
+		}
+		imm, err := a.immOf(line, st.args[2], pc, true)
+		if err != nil {
+			return err
+		}
+		put(isa.Instr{Op: op, Rs1: r1, Rs2: r2, Imm: imm})
+	case "callr":
+		if err := need(1); err != nil {
+			return err
+		}
+		r1, err := parseReg(line, st.args[0])
+		if err != nil {
+			return err
+		}
+		put(isa.Instr{Op: isa.OpCallr, Rs1: r1})
+	case "xchg":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(line, st.args[0])
+		if err != nil {
+			return err
+		}
+		r1, off, err := a.parseMem(line, st.args[1])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(line, st.args[2])
+		if err != nil {
+			return err
+		}
+		put(isa.Instr{Op: isa.OpXchg, Rd: rd, Rs1: r1, Rs2: rs, Imm: off})
+	case "sys":
+		if err := need(1); err != nil {
+			return err
+		}
+		imm, err := a.immOf(line, st.args[0], pc, false)
+		if err != nil {
+			return err
+		}
+		put(isa.Instr{Op: isa.OpSys, Imm: imm})
+	default:
+		return errAt(line, "unknown mnemonic %q", st.op)
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func decodeAt(t *testing.T, im *image.Image, off int) isa.Instr {
+	t.Helper()
+	if off+isa.InstrSize > len(im.Text) {
+		t.Fatalf("text too short for offset %d", off)
+	}
+	return isa.Decode(im.Text[off : off+isa.InstrSize])
+}
+
+func TestBasicProgram(t *testing.T) {
+	im, err := Assemble(`
+_start:
+    movi r0, 42
+    sys SYS_EXIT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Entry != TextBase {
+		t.Errorf("entry = %#x", im.Entry)
+	}
+	i0 := decodeAt(t, im, 0)
+	if i0.Op != isa.OpMovi || i0.Rd != 0 || i0.Imm != 42 {
+		t.Errorf("instr 0 = %v", i0)
+	}
+	i1 := decodeAt(t, im, 8)
+	if i1.Op != isa.OpSys || i1.Imm != 1 {
+		t.Errorf("instr 1 = %v", i1)
+	}
+}
+
+func TestBranchOffsets(t *testing.T) {
+	im, err := Assemble(`
+_start:
+    movi r0, 0
+loop:
+    addi r0, r0, 1
+    bne r0, r1, loop
+    b done
+    nop
+done:
+    sys SYS_EXIT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bne := decodeAt(t, im, 16)
+	if bne.Op != isa.OpBne || bne.Imm != -8 {
+		t.Errorf("bne = %v, want imm -8", bne)
+	}
+	br := decodeAt(t, im, 24)
+	if br.Op != isa.OpB || br.Imm != 16 {
+		t.Errorf("b = %v, want imm +16", br)
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	im, err := Assemble(`
+_start:
+    li r3, 0x123456789abcdef0
+    nop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := decodeAt(t, im, 0)
+	hi := decodeAt(t, im, 8)
+	if lo.Op != isa.OpMovi || uint32(lo.Imm) != 0x9abcdef0 {
+		t.Errorf("lo = %v", lo)
+	}
+	if hi.Op != isa.OpMovhi || uint32(hi.Imm) != 0x12345678 {
+		t.Errorf("hi = %v", hi)
+	}
+	// li occupies 16 bytes: nop lands at 16.
+	if n := decodeAt(t, im, 16); n.Op != isa.OpNop {
+		t.Errorf("after li: %v", n)
+	}
+}
+
+func TestSectionsAndSymbols(t *testing.T) {
+	im, err := Assemble(`
+.const GREET_LEN = 5
+_start:
+    li r1, greeting
+    movi r2, GREET_LEN
+    sys SYS_WRITE
+.data
+greeting: .asciz "hello"
+numbers: .word8 1, 2, greeting
+.bss
+.align 8
+buffer: .space 64
+buf_end:
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data starts at the page boundary after text.
+	dataBase := uint64(TextBase) + alignUp(uint64(len(im.Text)), mem.PageSize)
+	if string(im.Data[:6]) != "hello\x00" {
+		t.Errorf("data = %q", im.Data[:6])
+	}
+	// numbers[2] should hold greeting's absolute address.
+	off := 6 + 2*8
+	got := uint64(0)
+	for i := 0; i < 8; i++ {
+		got |= uint64(im.Data[off+i]) << (8 * i)
+	}
+	if got != dataBase {
+		t.Errorf("greeting symbol = %#x, want %#x", got, dataBase)
+	}
+	// li r1, greeting resolves to the same.
+	lo := decodeAt(t, im, 0)
+	hi := decodeAt(t, im, 8)
+	resolved := uint64(uint32(lo.Imm)) | uint64(uint32(hi.Imm))<<32
+	if resolved != dataBase {
+		t.Errorf("li resolved to %#x", resolved)
+	}
+	// bss contributes size but no bytes.
+	if im.BssSize < 64 {
+		t.Errorf("bss = %d", im.BssSize)
+	}
+}
+
+func TestEntryDirective(t *testing.T) {
+	im, err := Assemble(`
+.entry main
+helper:
+    ret
+main:
+    nop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Entry != TextBase+8 {
+		t.Errorf("entry = %#x, want %#x", im.Entry, TextBase+8)
+	}
+}
+
+func TestStackDirective(t *testing.T) {
+	im := MustAssemble(`
+.stack 262144
+_start:
+    nop
+`)
+	if im.StackSize != 262144 {
+		t.Errorf("stack = %d", im.StackSize)
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	im, err := Assemble(`
+.const A = 10
+.const B = A + 5
+_start:
+    movi r0, B - 3
+    movi r1, 'x'
+    movi r2, O_RDWR + O_CREATE
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := decodeAt(t, im, 0); i.Imm != 12 {
+		t.Errorf("B-3 = %d", i.Imm)
+	}
+	if i := decodeAt(t, im, 8); i.Imm != 'x' {
+		t.Errorf("'x' = %d", i.Imm)
+	}
+	if i := decodeAt(t, im, 16); i.Imm != 0x42 {
+		t.Errorf("flags = %#x", i.Imm)
+	}
+}
+
+func TestMemOperands(t *testing.T) {
+	im := MustAssemble(`
+_start:
+    ld8 r1, [sp+16]
+    st4 [r2-4], r3
+    xchg r4, [r5+0], r6
+`)
+	i0 := decodeAt(t, im, 0)
+	if i0.Op != isa.OpLd8 || i0.Rs1 != isa.SP || i0.Imm != 16 {
+		t.Errorf("ld8 = %v", i0)
+	}
+	i1 := decodeAt(t, im, 8)
+	if i1.Op != isa.OpSt4 || i1.Rs1 != 2 || i1.Rs2 != 3 || i1.Imm != -4 {
+		t.Errorf("st4 = %v", i1)
+	}
+	i2 := decodeAt(t, im, 16)
+	if i2.Op != isa.OpXchg || i2.Rd != 4 || i2.Rs1 != 5 || i2.Rs2 != 6 {
+		t.Errorf("xchg = %v", i2)
+	}
+}
+
+func TestComments(t *testing.T) {
+	im := MustAssemble(`
+; full-line comment
+_start:            # trailing comment styles
+    movi r0, 1     ; semicolon
+    movi r1, 2     # hash
+.data
+msg: .asciz "has ; and # inside"
+`)
+	if string(im.Data) != "has ; and # inside\x00" {
+		t.Errorf("string with comment chars mangled: %q", im.Data)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"_start:\n_start:\n nop", "duplicate label"},
+		{" movi r99, 1", "bad register"},
+		{" bogus r0", "unknown mnemonic"},
+		{" movi r0", "expects 2 operands"},
+		{" movi r0, nosuchsym", "undefined symbol"},
+		{".data\n movi r0, 1", "outside .text"},
+		{".align 3\n nop", "power of two"},
+		{".bss\nx: .asciz \"no\"", "initialised data in .bss"},
+		{" ld8 r0, r1", "bad memory operand"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("no error for %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("error for %q = %q, want substring %q", c.src, err.Error(), c.frag)
+		}
+	}
+}
+
+func TestErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("\n\n bogus r0\n")
+	ae, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ae.Line != 3 {
+		t.Errorf("line = %d, want 3", ae.Line)
+	}
+}
+
+// TestTextBaseMatchesAddrspace pins the constant shared (by value)
+// with addrspace.TextBase.
+func TestTextBaseMatchesAddrspace(t *testing.T) {
+	if TextBase != 0x400000 {
+		t.Fatalf("asm.TextBase = %#x; must equal addrspace.TextBase", TextBase)
+	}
+}

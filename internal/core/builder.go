@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/addrspace"
+	"repro/internal/errno"
+	"repro/internal/kernel"
+	"repro/internal/sig"
+	"repro/internal/vfs"
+)
+
+// Builder assembles a child process piece by piece before starting it
+// — the cross-process API of §6.2 ("a process should be a fresh,
+// empty container that the parent populates"). Unlike fork, nothing is
+// inherited implicitly: every descriptor, mapping, and signal setting
+// is an explicit call, so there is no hidden channel for secrets or
+// stale state to leak into the child.
+//
+// Typical use:
+//
+//	b := core.NewBuilder(k, parent, "worker")
+//	b.LoadImage("/bin/worker", []string{"worker", "3"})
+//	b.InheritFD(0, 0)
+//	b.InheritFD(1, 1)
+//	child, err := b.Start()
+type Builder struct {
+	k      *kernel.Kernel
+	parent *kernel.Process
+	child  *kernel.Process
+	err    error // first error; Start reports it
+	loaded bool
+	done   bool
+}
+
+// NewBuilder creates an empty child of parent. The child exists (it
+// has a pid and shows up in the process table) but is inert until
+// Start.
+func NewBuilder(k *kernel.Kernel, parent *kernel.Process, name string) *Builder {
+	return &Builder{
+		k:      k,
+		parent: parent,
+		child:  k.NewSynthetic(name, parent),
+	}
+}
+
+// Child exposes the process under construction (tests and advanced
+// callers).
+func (b *Builder) Child() *kernel.Process { return b.child }
+
+func (b *Builder) fail(err error) *Builder {
+	if b.err == nil && err != nil {
+		b.err = err
+	}
+	return b
+}
+
+// LoadImage loads an executable image into the child and primes its
+// stack with argv. Must be called exactly once before Start.
+func (b *Builder) LoadImage(path string, argv []string) *Builder {
+	if b.err != nil || b.done {
+		return b
+	}
+	if b.loaded {
+		return b.fail(fmt.Errorf("core: LoadImage called twice"))
+	}
+	if err := b.k.Exec(b.child, path, argv); err != nil {
+		return b.fail(fmt.Errorf("core: load image %s: %w", path, err))
+	}
+	b.loaded = true
+	return b
+}
+
+// InheritFD grants the child a copy of the parent's descriptor
+// parentFD at childFD. The open-file description (and thus the file
+// offset) is shared, exactly like inheritance across fork — but here
+// it is opt-in, per descriptor.
+func (b *Builder) InheritFD(parentFD, childFD int) *Builder {
+	if b.err != nil || b.done {
+		return b
+	}
+	of, err := b.parent.FDs().Get(parentFD)
+	if err != nil {
+		return b.fail(fmt.Errorf("core: inherit fd %d: %w", parentFD, err))
+	}
+	if err := b.child.FDs().InstallAt(of.Retain(), false, childFD); err != nil {
+		of.Release()
+		return b.fail(err)
+	}
+	return b
+}
+
+// OpenFD opens an existing path at childFD in the child. (Creation
+// belongs to the parent: create the file first, then hand it over.)
+func (b *Builder) OpenFD(childFD int, path string, flags vfs.OpenFlags) *Builder {
+	if b.err != nil || b.done {
+		return b
+	}
+	ino, err := b.k.FS().Resolve(nil, path)
+	if err != nil {
+		return b.fail(fmt.Errorf("core: open %s: %w", path, err))
+	}
+	of := vfs.NewOpenFile(ino, flags)
+	if err := b.child.FDs().InstallAt(of, false, childFD); err != nil {
+		of.Release()
+		return b.fail(err)
+	}
+	return b
+}
+
+// MapAnon adds an anonymous mapping to the child (length rounded up to
+// pages; addr 0 picks an address) and returns the builder. The start
+// address is written to *out if non-nil.
+func (b *Builder) MapAnon(addr, length uint64, prot addrspace.Prot, out *uint64) *Builder {
+	if b.err != nil || b.done {
+		return b
+	}
+	vma, err := b.child.Space().Map(addr, length, prot, addrspace.MapOpts{Kind: addrspace.KindAnon, Name: "builder"})
+	if err != nil {
+		return b.fail(fmt.Errorf("core: map anon: %w", err))
+	}
+	if out != nil {
+		*out = vma.Start
+	}
+	return b
+}
+
+// WriteMemory writes into the child's address space — the
+// cross-process operation fork-style APIs lack: the parent populates
+// the child directly instead of relying on inherited copies.
+func (b *Builder) WriteMemory(addr uint64, data []byte) *Builder {
+	if b.err != nil || b.done {
+		return b
+	}
+	if err := b.child.Space().WriteBytes(addr, data); err != nil {
+		return b.fail(fmt.Errorf("core: write child memory: %w", err))
+	}
+	return b
+}
+
+// SetSignal installs a disposition in the child.
+func (b *Builder) SetSignal(s sig.Signal, d sig.Disposition) *Builder {
+	if b.err != nil || b.done {
+		return b
+	}
+	if err := b.child.Signals().Set(s, d); err != nil {
+		return b.fail(err)
+	}
+	return b
+}
+
+// SetReg seeds a register in the child's initial context (after
+// LoadImage, which resets the context).
+func (b *Builder) SetReg(n int, v uint64) *Builder {
+	if b.err != nil || b.done {
+		return b
+	}
+	t := b.child.MainThread()
+	if t == nil {
+		return b.fail(errno.ESRCH)
+	}
+	t.SetReg(n, v)
+	return b
+}
+
+// Start makes the child runnable and returns it. After Start the
+// builder is spent.
+func (b *Builder) Start() (*kernel.Process, error) {
+	if b.err != nil {
+		b.Abort()
+		return nil, b.err
+	}
+	if b.done {
+		return nil, fmt.Errorf("core: builder already finished")
+	}
+	if !b.loaded {
+		b.Abort()
+		return nil, fmt.Errorf("core: Start before LoadImage")
+	}
+	b.done = true
+	if err := b.k.StartProcess(b.child); err != nil {
+		return nil, err
+	}
+	return b.child, nil
+}
+
+// Finish completes construction without starting the child (parked),
+// for the measurement harness.
+func (b *Builder) Finish() (*kernel.Process, error) {
+	if b.err != nil {
+		b.Abort()
+		return nil, b.err
+	}
+	if !b.loaded {
+		b.Abort()
+		return nil, fmt.Errorf("core: Finish before LoadImage")
+	}
+	b.done = true
+	return b.child, nil
+}
+
+// Abort tears down a half-built child.
+func (b *Builder) Abort() {
+	if b.child != nil && !b.done {
+		b.k.DestroyProcess(b.child)
+		b.done = true
+	}
+}

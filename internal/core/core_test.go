@@ -1,0 +1,287 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/addrspace"
+	"repro/internal/kernel"
+	"repro/internal/sig"
+	"repro/internal/ulib"
+	"repro/internal/vfs"
+)
+
+func newKernel(t *testing.T, out *bytes.Buffer) *kernel.Kernel {
+	t.Helper()
+	opts := kernel.Options{RAMBytes: 1 << 30}
+	if out != nil {
+		opts.ConsoleOut = out
+	}
+	k := kernel.New(opts)
+	if err := ulib.InstallAll(k); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func wireStdout(t *testing.T, k *kernel.Kernel, p *kernel.Process) {
+	t.Helper()
+	con, err := k.FS().Resolve(nil, "/dev/console")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FDs().InstallAt(vfs.NewOpenFile(con, vfs.OWrOnly), false, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpawnRunsChild(t *testing.T) {
+	var out bytes.Buffer
+	k := newKernel(t, &out)
+	parent := k.NewSynthetic("parent", nil)
+	wireStdout(t, k, parent)
+	child, err := Spawn(k, parent, "/bin/echo", []string{"echo", "spawned"}, nil, nil)
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	if err := k.Run(kernel.RunLimits{MaxInstructions: 1_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "spawned\n" {
+		t.Errorf("output = %q", out.String())
+	}
+	if child.State() != kernel.ProcZombie {
+		t.Errorf("child state = %v", child.State())
+	}
+	k.WaitReap(parent, child.Pid)
+	k.DestroyProcess(parent)
+}
+
+func TestSpawnFileActions(t *testing.T) {
+	k := newKernel(t, nil)
+	parent := k.NewSynthetic("parent", nil)
+	if _, err := k.FS().WriteFile("/tmp/out", nil); err != nil {
+		t.Fatal(err)
+	}
+	fa := new(FileActions).
+		AddOpen(1, "/tmp/out", vfs.OWrOnly).
+		AddDup2(1, 2)
+	if fa.Len() != 2 {
+		t.Fatalf("Len = %d", fa.Len())
+	}
+	child, err := Spawn(k, parent, "/bin/echo", []string{"echo", "to-file"}, fa, nil)
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	if err := k.Run(kernel.RunLimits{MaxInstructions: 1_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	ino, _ := k.FS().Resolve(nil, "/tmp/out")
+	if string(ino.Data()) != "to-file\n" {
+		t.Errorf("file = %q", ino.Data())
+	}
+	_ = child
+	k.WaitReap(parent, -1)
+	k.DestroyProcess(parent)
+}
+
+func TestSpawnAttrSignals(t *testing.T) {
+	k := newKernel(t, nil)
+	parent := k.NewSynthetic("parent", nil)
+	// Parent ignores SIGTERM; without attrs the child inherits the
+	// ignore (exec keeps ignores), with SetSigDefault it reverts.
+	if err := parent.Signals().Set(sig.SIGTERM, sig.Disposition{Kind: sig.ActIgnore}); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := SpawnParked(k, parent, "/bin/true", []string{"true"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Signals().Get(sig.SIGTERM).Kind != sig.ActIgnore {
+		t.Error("ignore not inherited by default")
+	}
+	attr := new(Attr).SetSigDefault(sig.MakeSet(sig.SIGTERM)).SetSigMask(sig.MakeSet(sig.SIGUSR1))
+	reset, err := SpawnParked(k, parent, "/bin/true", []string{"true"}, nil, attr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reset.Signals().Get(sig.SIGTERM).Kind != sig.ActDefault {
+		t.Error("SetSigDefault did not reset")
+	}
+	if !reset.MainThread().SigMask().Has(sig.SIGUSR1) {
+		t.Error("SetSigMask not applied")
+	}
+	k.DestroyProcess(plain)
+	k.DestroyProcess(reset)
+	k.DestroyProcess(parent)
+}
+
+func TestBuilderFull(t *testing.T) {
+	var out bytes.Buffer
+	k := newKernel(t, &out)
+	parent := k.NewSynthetic("parent", nil)
+	wireStdout(t, k, parent)
+
+	b := NewBuilder(k, parent, "worker")
+	b.LoadImage("/bin/echo", []string{"echo", "built"})
+	b.InheritFD(1, 1)
+	var scratch uint64
+	b.MapAnon(0, 1<<20, addrspace.Read|addrspace.Write, &scratch)
+	b.WriteMemory(scratch, []byte("pre-seeded"))
+	b.SetSignal(sig.SIGUSR2, sig.Disposition{Kind: sig.ActIgnore})
+	child, err := b.Start()
+	if err != nil {
+		t.Fatalf("builder: %v", err)
+	}
+	// The pre-seeded memory is visible inside the child.
+	buf := make([]byte, 10)
+	if err := child.Space().ReadBytes(scratch, buf); err != nil || string(buf) != "pre-seeded" {
+		t.Errorf("seeded memory: %q %v", buf, err)
+	}
+	if child.Signals().Get(sig.SIGUSR2).Kind != sig.ActIgnore {
+		t.Error("builder signal lost")
+	}
+	if err := k.Run(kernel.RunLimits{MaxInstructions: 1_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "built\n" {
+		t.Errorf("output = %q", out.String())
+	}
+	if got := abi.StatusExitCode(child.ExitStatus()); got != 0 {
+		t.Errorf("exit = %d", got)
+	}
+	k.WaitReap(parent, -1)
+	k.DestroyProcess(parent)
+}
+
+func TestBuilderErrorsAccumulate(t *testing.T) {
+	k := newKernel(t, nil)
+	parent := k.NewSynthetic("parent", nil)
+	b := NewBuilder(k, parent, "broken")
+	b.LoadImage("/no/such/binary", nil)
+	b.InheritFD(99, 0) // also broken, but the first error wins
+	if _, err := b.Start(); err == nil {
+		t.Fatal("Start succeeded with broken builder")
+	}
+	// The half-built child was torn down.
+	if got := k.LiveProcessCount(); got != 1 {
+		t.Errorf("live processes = %d, want 1 (parent only)", got)
+	}
+	// Start before LoadImage is rejected.
+	b2 := NewBuilder(k, parent, "empty")
+	if _, err := b2.Start(); err == nil {
+		t.Fatal("Start without LoadImage succeeded")
+	}
+	k.DestroyProcess(parent)
+}
+
+func TestEmulateForkCopiesState(t *testing.T) {
+	k := newKernel(t, nil)
+	parent := k.NewSynthetic("parent", nil)
+	v, err := parent.Space().Map(0x100000, 1<<20, addrspace.Read|addrspace.Write, addrspace.MapOpts{Name: "ws"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Space().WriteBytes(v.Start, []byte("emulated")); err != nil {
+		t.Fatal(err)
+	}
+	ino, _ := k.FS().WriteFile("/tmp/ef", []byte("z"))
+	parent.FDs().InstallAt(vfs.NewOpenFile(ino, vfs.ORdWr), false, 5)
+	parent.Signals().Set(sig.SIGUSR1, sig.Disposition{Kind: sig.ActHandler, Handler: 0x400100})
+	parent.MainThread().SetReg(7, 0xdead)
+
+	child, err := EmulateFork(k, parent)
+	if err != nil {
+		t.Fatalf("EmulateFork: %v", err)
+	}
+	buf := make([]byte, 8)
+	if err := child.Space().ReadBytes(v.Start, buf); err != nil || string(buf) != "emulated" {
+		t.Errorf("memory: %q %v", buf, err)
+	}
+	// Isolation: emulation copies eagerly, so divergence is immediate.
+	parent.Space().WriteBytes(v.Start, []byte("DIVERGED"))
+	child.Space().ReadBytes(v.Start, buf)
+	if string(buf) != "emulated" {
+		t.Errorf("no isolation: %q", buf)
+	}
+	if _, err := child.FDs().Get(5); err != nil {
+		t.Error("fd not duplicated")
+	}
+	if child.Signals().Get(sig.SIGUSR1).Kind != sig.ActHandler {
+		t.Error("signal table not copied")
+	}
+	if child.MainThread().Reg(7) != 0xdead {
+		t.Error("registers not copied")
+	}
+	k.DestroyProcess(child)
+	k.DestroyProcess(parent)
+}
+
+func TestMethodsNamed(t *testing.T) {
+	for _, m := range Methods() {
+		if m.String() == "" || m.String()[0] == 'm' && m.String() != "method(?)" {
+			continue
+		}
+	}
+	if MethodForkExec.String() != "fork+exec" || MethodSpawn.String() != "posix_spawn" {
+		t.Error("method names wrong")
+	}
+}
+
+func TestCreateChildAllMethods(t *testing.T) {
+	k := newKernel(t, nil)
+	parent := k.NewSynthetic("parent", nil)
+	if _, err := parent.Space().Map(0x100000, 4<<20, addrspace.Read|addrspace.Write, addrspace.MapOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Space().Touch(0x100000, 4<<20, addrspace.AccessWrite); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Methods() {
+		child, elapsed, err := CreateChild(k, parent, m, "/bin/true", []string{"true"})
+		if err != nil {
+			t.Errorf("%v: %v", m, err)
+			continue
+		}
+		if elapsed == 0 {
+			t.Errorf("%v: zero elapsed time", m)
+		}
+		if child.MainThread() == nil {
+			t.Errorf("%v: child has no thread", m)
+		}
+		k.DestroyProcess(child)
+	}
+	k.DestroyProcess(parent)
+}
+
+func TestSpawnChdirAction(t *testing.T) {
+	k := newKernel(t, nil)
+	parent := k.NewSynthetic("parent", nil)
+	if _, err := k.FS().MkdirAll("/data/deep"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.FS().WriteFile("/data/deep/input", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Relative AddOpen after AddChdir resolves in the new cwd.
+	fa := new(FileActions).AddChdir("/data/deep").AddOpen(5, "input", vfs.ORdOnly)
+	child, err := SpawnParked(k, parent, "/bin/true", []string{"true"}, fa, nil)
+	if err != nil {
+		t.Fatalf("spawn with chdir action: %v", err)
+	}
+	of, err := child.FDs().Get(5)
+	if err != nil {
+		t.Fatalf("fd 5 missing: %v", err)
+	}
+	if string(of.Inode().Data()) != "payload" {
+		t.Error("wrong file opened")
+	}
+	// Chdir to a missing directory fails the whole spawn.
+	bad := new(FileActions).AddChdir("/nope")
+	if _, err := SpawnParked(k, parent, "/bin/true", []string{"true"}, bad, nil); err == nil {
+		t.Error("spawn with bad chdir succeeded")
+	}
+	k.DestroyProcess(child)
+	k.DestroyProcess(parent)
+}

@@ -1,0 +1,183 @@
+// Package cost provides the virtual time base for the simulator.
+//
+// Nothing in the simulated operating system reads the wall clock.
+// Instead, every hardware-level operation (copying a page-table entry,
+// zero-filling a frame, taking a trap) charges a fixed number of ticks
+// to a Clock according to a Model. One tick is nominally one
+// nanosecond, so results print naturally in microseconds, but the unit
+// is only meaningful relative to the calibration in DefaultModel.
+package cost
+
+import "fmt"
+
+// Ticks is a span of virtual time. One tick is nominally 1 ns.
+type Ticks uint64
+
+// Common conversions.
+const (
+	Nanosecond  Ticks = 1
+	Microsecond Ticks = 1000 * Nanosecond
+	Millisecond Ticks = 1000 * Microsecond
+	Second      Ticks = 1000 * Millisecond
+)
+
+// Micros reports t in (virtual) microseconds.
+func (t Ticks) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis reports t in (virtual) milliseconds.
+func (t Ticks) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the duration with an adaptive unit.
+func (t Ticks) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", uint64(t))
+	}
+}
+
+// Clock is a monotonic virtual clock. It is not safe for concurrent
+// use; the simulator is single-threaded by design (see DESIGN.md,
+// "Determinism").
+type Clock struct {
+	now Ticks
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Ticks { return c.now }
+
+// Advance moves the clock forward by d ticks.
+func (c *Clock) Advance(d Ticks) { c.now += d }
+
+// Model is the hardware cost model: how many ticks each primitive
+// machine-level operation costs. The default values are calibrated so
+// that the simulated process-creation latencies land in the same
+// regime as the measurements reported in "A fork() in the road"
+// (HotOS'19): a minimal fork+exec around 50 µs, posix_spawn flat near
+// 165 µs, fork cost growing linearly with the number of page-table
+// entries copied (~65 µs per dirty MiB), and the fork/spawn crossover
+// in the low-MiB range. See EXPERIMENTS.md for the full rationale.
+type Model struct {
+	// Trap and dispatch overheads.
+	SyscallEntry  Ticks // user→kernel trap + dispatch
+	SyscallExit   Ticks // return to user
+	PageFault     Ticks // fault trap overhead, before servicing
+	ContextSwitch Ticks
+
+	// Address-translation hardware.
+	TLBFlush    Ticks // full flush on AS switch / fork
+	TLBShootIPI Ticks // per-CPU shootdown (modelled once; 1-CPU sim)
+
+	// Physical memory operations (per 4 KiB frame unless noted).
+	FrameAlloc Ticks // pull a frame off the free list
+	FrameFree  Ticks
+	PageZero   Ticks // zero-fill 4 KiB
+	PageCopy   Ticks // copy 4 KiB (COW break, eager fork)
+	HugeZero   Ticks // zero-fill 2 MiB
+	HugeCopy   Ticks // copy 2 MiB
+
+	// Page-table manipulation.
+	PTEWrite    Ticks // install/copy one PTE (the fork inner loop)
+	PTNodeAlloc Ticks // allocate + zero one page-table page
+	PTNodeFree  Ticks
+	PTWalk      Ticks // software walk on TLB miss
+
+	// Kernel object management.
+	ProcAlloc   Ticks // allocate task struct, pid, kernel stack
+	ThreadAlloc Ticks
+	VMAClone    Ticks // copy one VMA record
+	FDClone     Ticks // duplicate one descriptor slot
+	SigClone    Ticks // copy signal table
+
+	// Executable loading.
+	ImageHeader Ticks // parse + validate image header (exec/spawn)
+	ImagePageIn Ticks // read one 4 KiB page from the image backing store
+
+	// Spawn-path fixed overheads (the "shell out to the dynamic
+	// linker and libc start-up" costs that make posix_spawn's
+	// constant larger than a minimal fork's).
+	SpawnSetup Ticks
+
+	// Pipes and descriptors.
+	PipeXferByte Ticks // per byte copied through a pipe
+	InstrTick    Ticks // one VM instruction
+}
+
+// DefaultModel returns the calibrated model. See EXPERIMENTS.md for
+// the calibration rationale.
+func DefaultModel() Model {
+	return Model{
+		SyscallEntry:  300 * Nanosecond,
+		SyscallExit:   200 * Nanosecond,
+		PageFault:     600 * Nanosecond,
+		ContextSwitch: 1200 * Nanosecond,
+
+		TLBFlush:    500 * Nanosecond,
+		TLBShootIPI: 800 * Nanosecond,
+
+		FrameAlloc: 80 * Nanosecond,
+		FrameFree:  60 * Nanosecond,
+		PageZero:   250 * Nanosecond,
+		PageCopy:   350 * Nanosecond,
+		HugeZero:   60 * Microsecond,
+		HugeCopy:   90 * Microsecond,
+
+		PTEWrite:    250 * Nanosecond,
+		PTNodeAlloc: 400 * Nanosecond,
+		PTNodeFree:  150 * Nanosecond,
+		PTWalk:      200 * Nanosecond,
+
+		ProcAlloc:   18 * Microsecond,
+		ThreadAlloc: 4 * Microsecond,
+		VMAClone:    300 * Nanosecond,
+		FDClone:     120 * Nanosecond,
+		SigClone:    500 * Nanosecond,
+
+		ImageHeader: 6 * Microsecond,
+		ImagePageIn: 700 * Nanosecond,
+
+		SpawnSetup: 130 * Microsecond,
+
+		PipeXferByte: 1 * Nanosecond,
+		InstrTick:    1 * Nanosecond,
+	}
+}
+
+// Meter couples a clock with a model and accumulates per-category
+// counters so experiments can report *why* an operation cost what it
+// did (e.g. PTEs copied during a fork).
+type Meter struct {
+	Clock *Clock
+	Model Model
+
+	// Counters, exported for experiment reporting.
+	PTECopies    uint64
+	PTNodes      uint64
+	PageCopies   uint64
+	PageZeroes   uint64
+	PageFaults   uint64
+	Syscalls     uint64
+	Instructions uint64
+}
+
+// NewMeter returns a meter over a fresh clock using the given model.
+func NewMeter(m Model) *Meter {
+	return &Meter{Clock: &Clock{}, Model: m}
+}
+
+// Charge advances the clock by d.
+func (mt *Meter) Charge(d Ticks) { mt.Clock.Advance(d) }
+
+// Now returns the meter's current virtual time.
+func (mt *Meter) Now() Ticks { return mt.Clock.Now() }
+
+// ResetCounters zeroes the event counters (not the clock).
+func (mt *Meter) ResetCounters() {
+	mt.PTECopies, mt.PTNodes, mt.PageCopies = 0, 0, 0
+	mt.PageZeroes, mt.PageFaults, mt.Syscalls, mt.Instructions = 0, 0, 0, 0
+}

@@ -1,0 +1,71 @@
+package cost
+
+import "testing"
+
+func TestTickFormatting(t *testing.T) {
+	cases := []struct {
+		in   Ticks
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500µs"},
+		{2_500_000, "2.500ms"},
+		{3_000_000_000, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", uint64(c.in), got, c.want)
+		}
+	}
+	if Ticks(1500).Micros() != 1.5 {
+		t.Error("Micros wrong")
+	}
+	if Ticks(2_500_000).Millis() != 2.5 {
+		t.Error("Millis wrong")
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("clock not zero at start")
+	}
+	c.Advance(10)
+	c.Advance(5)
+	if c.Now() != 15 {
+		t.Errorf("Now = %d", c.Now())
+	}
+}
+
+func TestMeterChargesAndCounters(t *testing.T) {
+	m := NewMeter(DefaultModel())
+	m.Charge(m.Model.PageCopy)
+	m.PageCopies++
+	if m.Now() != m.Model.PageCopy {
+		t.Errorf("Now = %v", m.Now())
+	}
+	m.ResetCounters()
+	if m.PageCopies != 0 {
+		t.Error("ResetCounters missed PageCopies")
+	}
+	if m.Now() == 0 {
+		t.Error("ResetCounters must not reset the clock")
+	}
+}
+
+func TestDefaultModelSanity(t *testing.T) {
+	m := DefaultModel()
+	// The relationships the experiments depend on.
+	if m.PTEWrite == 0 || m.PageCopy == 0 || m.SpawnSetup == 0 {
+		t.Fatal("zero cost for a core operation")
+	}
+	if m.HugeCopy <= m.PageCopy {
+		t.Error("2MiB copy should cost more than 4KiB copy")
+	}
+	if m.SpawnSetup <= m.ProcAlloc {
+		t.Error("spawn setup must exceed bare process allocation (fork wins for tiny parents)")
+	}
+	if m.PageFault <= m.PTWalk {
+		t.Error("a fault costs more than a table walk")
+	}
+}

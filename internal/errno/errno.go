@@ -1,0 +1,102 @@
+// Package errno defines the simulated kernel's error numbers.
+//
+// The values follow the Linux x86-64 ABI where one exists so that the
+// simulated userland (see internal/ulib) can test against familiar
+// constants, but nothing outside this module depends on the exact
+// numbers.
+package errno
+
+import "fmt"
+
+// Errno is a kernel error number. The zero value means "no error".
+type Errno int
+
+// Error numbers used by the simulator.
+const (
+	OK        Errno = 0
+	EPERM     Errno = 1
+	ENOENT    Errno = 2
+	ESRCH     Errno = 3
+	EINTR     Errno = 4
+	EIO       Errno = 5
+	E2BIG     Errno = 7
+	ENOEXEC   Errno = 8
+	EBADF     Errno = 9
+	ECHILD    Errno = 10
+	EAGAIN    Errno = 11
+	ENOMEM    Errno = 12
+	EACCES    Errno = 13
+	EFAULT    Errno = 14
+	EBUSY     Errno = 16
+	EEXIST    Errno = 17
+	ENOTDIR   Errno = 20
+	EISDIR    Errno = 21
+	EINVAL    Errno = 22
+	ENFILE    Errno = 23
+	EMFILE    Errno = 24
+	ESPIPE    Errno = 29
+	EPIPE     Errno = 32
+	ERANGE    Errno = 34
+	EDEADLK   Errno = 35
+	ENOSYS    Errno = 38
+	ENOTEMPTY Errno = 39
+	ETIMEDOUT Errno = 110
+)
+
+var names = map[Errno]string{
+	OK:        "OK",
+	EPERM:     "EPERM",
+	ENOENT:    "ENOENT",
+	ESRCH:     "ESRCH",
+	EINTR:     "EINTR",
+	EIO:       "EIO",
+	E2BIG:     "E2BIG",
+	ENOEXEC:   "ENOEXEC",
+	EBADF:     "EBADF",
+	ECHILD:    "ECHILD",
+	EAGAIN:    "EAGAIN",
+	ENOMEM:    "ENOMEM",
+	EACCES:    "EACCES",
+	EFAULT:    "EFAULT",
+	EBUSY:     "EBUSY",
+	EEXIST:    "EEXIST",
+	ENOTDIR:   "ENOTDIR",
+	EISDIR:    "EISDIR",
+	EINVAL:    "EINVAL",
+	ENFILE:    "ENFILE",
+	EMFILE:    "EMFILE",
+	ESPIPE:    "ESPIPE",
+	EPIPE:     "EPIPE",
+	ERANGE:    "ERANGE",
+	EDEADLK:   "EDEADLK",
+	ENOSYS:    "ENOSYS",
+	ENOTEMPTY: "ENOTEMPTY",
+	ETIMEDOUT: "ETIMEDOUT",
+}
+
+// Error implements the error interface. OK should never be returned
+// as an error; callers return nil instead.
+func (e Errno) Error() string {
+	if s, ok := names[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("errno(%d)", int(e))
+}
+
+// Is allows errors.Is comparisons between wrapped errnos.
+func (e Errno) Is(target error) bool {
+	t, ok := target.(Errno)
+	return ok && t == e
+}
+
+// Of extracts the Errno from err, or returns fallback if err is not an
+// Errno. A nil err yields OK.
+func Of(err error, fallback Errno) Errno {
+	if err == nil {
+		return OK
+	}
+	if e, ok := err.(Errno); ok {
+		return e
+	}
+	return fallback
+}

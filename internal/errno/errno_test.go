@@ -1,0 +1,50 @@
+package errno
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestErrorStrings(t *testing.T) {
+	if ENOMEM.Error() != "ENOMEM" {
+		t.Errorf("ENOMEM prints %q", ENOMEM.Error())
+	}
+	if Errno(999).Error() != "errno(999)" {
+		t.Errorf("unknown prints %q", Errno(999).Error())
+	}
+}
+
+func TestIsThroughWrapping(t *testing.T) {
+	wrapped := fmt.Errorf("fork failed: %w", ENOMEM)
+	if !errors.Is(wrapped, ENOMEM) {
+		t.Error("errors.Is through wrap failed")
+	}
+	if errors.Is(wrapped, EAGAIN) {
+		t.Error("errors.Is matched wrong errno")
+	}
+}
+
+func TestOf(t *testing.T) {
+	if Of(nil, EINVAL) != OK {
+		t.Error("Of(nil) != OK")
+	}
+	if Of(EBADF, EINVAL) != EBADF {
+		t.Error("Of lost the errno")
+	}
+	if Of(errors.New("other"), EINVAL) != EINVAL {
+		t.Error("Of fallback failed")
+	}
+}
+
+func TestLinuxNumbering(t *testing.T) {
+	// Spot-check ABI compatibility claims in the package doc.
+	for _, c := range []struct {
+		e Errno
+		n int
+	}{{EPERM, 1}, {ENOENT, 2}, {EBADF, 9}, {ECHILD, 10}, {ENOMEM, 12}, {EINVAL, 22}, {EPIPE, 32}, {ENOSYS, 38}} {
+		if int(c.e) != c.n {
+			t.Errorf("%v = %d, want %d", c.e, int(c.e), c.n)
+		}
+	}
+}

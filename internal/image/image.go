@@ -1,0 +1,113 @@
+// Package image defines the KXI executable format the simulated
+// kernel loads: a fixed header followed by the text and initialised
+// data segments. Text is mapped read-execute at its link base, data
+// read-write on the following page boundary, then zero-filled bss and
+// a stack sized by the header.
+//
+// The format is deliberately ELF-shaped but minimal: enough structure
+// that exec() and posix_spawn() do real header validation and
+// demand-paged segment mapping, which is what gives spawn its O(1)
+// cost in the parent's address-space size.
+package image
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/errno"
+)
+
+// Magic identifies a KXI image.
+var Magic = [4]byte{'K', 'X', 'I', '1'}
+
+// HeaderSize is the fixed header length in bytes.
+const HeaderSize = 64
+
+// DefaultStackSize is used when an image requests none.
+const DefaultStackSize = 64 * 1024
+
+// Header describes an executable image.
+type Header struct {
+	Entry     uint64 // initial pc (absolute)
+	TextBase  uint64 // link base of the text segment
+	TextSize  uint64 // bytes of text in the file
+	DataSize  uint64 // bytes of initialised data in the file
+	BssSize   uint64 // zero-filled bytes after data
+	StackSize uint64 // stack reservation
+}
+
+// Image is a decoded executable.
+type Image struct {
+	Header
+	Text []byte
+	Data []byte
+}
+
+// Encode serialises the image.
+func (im *Image) Encode() []byte {
+	h := make([]byte, HeaderSize)
+	copy(h[0:4], Magic[:])
+	le := binary.LittleEndian
+	le.PutUint64(h[8:], im.Entry)
+	le.PutUint64(h[16:], im.TextBase)
+	le.PutUint64(h[24:], uint64(len(im.Text)))
+	le.PutUint64(h[32:], uint64(len(im.Data)))
+	le.PutUint64(h[40:], im.BssSize)
+	le.PutUint64(h[48:], im.StackSize)
+	out := make([]byte, 0, HeaderSize+len(im.Text)+len(im.Data))
+	out = append(out, h...)
+	out = append(out, im.Text...)
+	out = append(out, im.Data...)
+	return out
+}
+
+// DecodeHeader parses and validates an image header. It returns
+// ENOEXEC for anything malformed — the error exec(2) gives for a bad
+// binary.
+func DecodeHeader(b []byte) (Header, error) {
+	if len(b) < HeaderSize {
+		return Header{}, errno.ENOEXEC
+	}
+	if [4]byte(b[0:4]) != Magic {
+		return Header{}, errno.ENOEXEC
+	}
+	le := binary.LittleEndian
+	h := Header{
+		Entry:     le.Uint64(b[8:]),
+		TextBase:  le.Uint64(b[16:]),
+		TextSize:  le.Uint64(b[24:]),
+		DataSize:  le.Uint64(b[32:]),
+		BssSize:   le.Uint64(b[40:]),
+		StackSize: le.Uint64(b[48:]),
+	}
+	if h.TextSize+h.DataSize+HeaderSize > uint64(len(b)) {
+		return Header{}, errno.ENOEXEC
+	}
+	if h.TextSize == 0 {
+		return Header{}, errno.ENOEXEC
+	}
+	if h.Entry < h.TextBase || h.Entry >= h.TextBase+h.TextSize {
+		return Header{}, errno.ENOEXEC
+	}
+	if h.StackSize == 0 {
+		h.StackSize = DefaultStackSize
+	}
+	return h, nil
+}
+
+// Decode parses a whole image.
+func Decode(b []byte) (*Image, error) {
+	h, err := DecodeHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	im := &Image{Header: h}
+	im.Text = b[HeaderSize : HeaderSize+h.TextSize]
+	im.Data = b[HeaderSize+h.TextSize : HeaderSize+h.TextSize+h.DataSize]
+	return im, nil
+}
+
+func (h Header) String() string {
+	return fmt.Sprintf("KXI entry=%#x text=%#x+%d data=%d bss=%d stack=%d",
+		h.Entry, h.TextBase, h.TextSize, h.DataSize, h.BssSize, h.StackSize)
+}

@@ -1,0 +1,124 @@
+package image
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/errno"
+)
+
+func sample() *Image {
+	return &Image{
+		Header: Header{
+			Entry:     0x400010,
+			TextBase:  0x400000,
+			BssSize:   128,
+			StackSize: 8192,
+		},
+		Text: make([]byte, 64),
+		Data: []byte("initialised"),
+	}
+}
+
+func TestRoundtrip(t *testing.T) {
+	im := sample()
+	b := im.Encode()
+	out, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Entry != im.Entry || out.TextBase != im.TextBase ||
+		out.BssSize != im.BssSize || out.StackSize != im.StackSize {
+		t.Errorf("header mismatch: %+v vs %+v", out.Header, im.Header)
+	}
+	if string(out.Data) != "initialised" || len(out.Text) != 64 {
+		t.Errorf("segments mismatch")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := sample().Encode()
+
+	short := good[:HeaderSize-1]
+	if _, err := DecodeHeader(short); !errors.Is(err, errno.ENOEXEC) {
+		t.Errorf("short: %v", err)
+	}
+
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] = 'Z'
+	if _, err := DecodeHeader(badMagic); !errors.Is(err, errno.ENOEXEC) {
+		t.Errorf("magic: %v", err)
+	}
+
+	truncated := good[:HeaderSize+10] // claims 64 text bytes
+	if _, err := DecodeHeader(truncated); !errors.Is(err, errno.ENOEXEC) {
+		t.Errorf("truncated: %v", err)
+	}
+
+	// Entry outside text.
+	bad := sample()
+	bad.Entry = 0x500000
+	if _, err := DecodeHeader(bad.Encode()); !errors.Is(err, errno.ENOEXEC) {
+		t.Errorf("entry: %v", err)
+	}
+
+	// Empty text.
+	empty := sample()
+	empty.Text = nil
+	if _, err := DecodeHeader(empty.Encode()); !errors.Is(err, errno.ENOEXEC) {
+		t.Errorf("empty text: %v", err)
+	}
+}
+
+func TestDefaultStack(t *testing.T) {
+	im := sample()
+	im.StackSize = 0
+	h, err := DecodeHeader(im.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.StackSize != DefaultStackSize {
+		t.Errorf("default stack = %d", h.StackSize)
+	}
+}
+
+// TestQuickRoundtrip: arbitrary segment contents survive a roundtrip.
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(text, data []byte, bss, stack uint32) bool {
+		if len(text) == 0 {
+			text = []byte{1}
+		}
+		im := &Image{
+			Header: Header{
+				Entry:     0x400000,
+				TextBase:  0x400000,
+				BssSize:   uint64(bss),
+				StackSize: uint64(stack),
+			},
+			Text: text,
+			Data: data,
+		}
+		out, err := Decode(im.Encode())
+		if err != nil {
+			return false
+		}
+		if len(out.Text) != len(text) || len(out.Data) != len(data) {
+			return false
+		}
+		for i := range text {
+			if out.Text[i] != text[i] {
+				return false
+			}
+		}
+		for i := range data {
+			if out.Data[i] != data[i] {
+				return false
+			}
+		}
+		return out.BssSize == uint64(bss)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

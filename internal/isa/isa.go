@@ -1,0 +1,178 @@
+// Package isa defines the simulated machine's instruction set: a
+// 64-bit load/store architecture with sixteen general registers and a
+// fixed 8-byte instruction encoding. The kernel's VM executes it; the
+// assembler in internal/asm targets it.
+//
+// Encoding (little-endian):
+//
+//	byte 0   opcode
+//	byte 1   rd
+//	byte 2   rs1
+//	byte 3   rs2
+//	bytes 4-7 imm (int32, sign-extended where used)
+//
+// Calling convention used by the userland library: r14 is the stack
+// pointer, CALL pushes the return address, arguments and returns in
+// r0-r5, syscall number is the SYS immediate with arguments in r0-r5
+// and the result in r0 (negative values are -errno).
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// NumRegs is the register-file size.
+const NumRegs = 16
+
+// SP is the conventional stack-pointer register.
+const SP = 14
+
+// InstrSize is the fixed instruction width in bytes.
+const InstrSize = 8
+
+// Op is an opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	OpNop   Op = iota
+	OpMovi     // rd = imm (sign-extended)
+	OpMovhi    // rd = (rd & 0xffffffff) | imm<<32
+	OpMov      // rd = rs1
+	OpAdd      // rd = rs1 + rs2
+	OpSub      // rd = rs1 - rs2
+	OpMul      // rd = rs1 * rs2
+	OpDiv      // rd = rs1 / rs2 (unsigned; rs2==0 faults)
+	OpMod      // rd = rs1 % rs2 (unsigned; rs2==0 faults)
+	OpAnd      // rd = rs1 & rs2
+	OpOr       // rd = rs1 | rs2
+	OpXor      // rd = rs1 ^ rs2
+	OpShl      // rd = rs1 << (rs2 & 63)
+	OpShr      // rd = rs1 >> (rs2 & 63) (logical)
+	OpSar      // rd = int64(rs1) >> (rs2 & 63)
+	OpAddi     // rd = rs1 + imm
+	OpMuli     // rd = rs1 * imm
+	OpAndi     // rd = rs1 & uint64(uint32(imm)) — zero-extended mask
+	OpOri      // rd = rs1 | uint64(uint32(imm))
+	OpXori     // rd = rs1 ^ uint64(uint32(imm))
+	OpShli     // rd = rs1 << (imm & 63)
+	OpShri     // rd = rs1 >> (imm & 63)
+	OpLd8      // rd = mem64[rs1 + imm]
+	OpLd4      // rd = zext(mem32[rs1 + imm])
+	OpLd1      // rd = zext(mem8[rs1 + imm])
+	OpSt8      // mem64[rs1 + imm] = rs2
+	OpSt4      // mem32[rs1 + imm] = low32(rs2)
+	OpSt1      // mem8[rs1 + imm] = low8(rs2)
+	OpB        // pc += imm
+	OpBz       // if rs1 == 0: pc += imm
+	OpBnz      // if rs1 != 0: pc += imm
+	OpBeq      // if rs1 == rs2: pc += imm
+	OpBne      // if rs1 != rs2: pc += imm
+	OpBlt      // if int64(rs1) < int64(rs2): pc += imm
+	OpBge      // if int64(rs1) >= int64(rs2): pc += imm
+	OpBltu     // if rs1 < rs2 (unsigned): pc += imm
+	OpBgeu     // if rs1 >= rs2 (unsigned): pc += imm
+	OpCall     // push pc+8; pc += imm
+	OpCallr    // push pc+8; pc = rs1
+	OpRet      // pc = pop
+	OpSys      // syscall imm
+	OpHalt     // illegal-instruction trap (SIGILL)
+	OpXchg     // rd = mem64[rs1+imm]; mem64[rs1+imm] = rs2 (atomic)
+
+	opCount
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpMovi: "movi", OpMovhi: "movhi", OpMov: "mov",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpSar: "sar", OpAddi: "addi", OpMuli: "muli", OpAndi: "andi",
+	OpOri: "ori", OpXori: "xori", OpShli: "shli", OpShri: "shri",
+	OpLd8: "ld8", OpLd4: "ld4", OpLd1: "ld1",
+	OpSt8: "st8", OpSt4: "st4", OpSt1: "st1",
+	OpB: "b", OpBz: "bz", OpBnz: "bnz", OpBeq: "beq", OpBne: "bne",
+	OpBlt: "blt", OpBge: "bge", OpBltu: "bltu", OpBgeu: "bgeu",
+	OpCall: "call", OpCallr: "callr", OpRet: "ret",
+	OpSys: "sys", OpHalt: "halt", OpXchg: "xchg",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < opCount }
+
+// Instr is a decoded instruction.
+type Instr struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32
+}
+
+// Encode packs i into its 8-byte form.
+func (i Instr) Encode() [InstrSize]byte {
+	var b [InstrSize]byte
+	b[0] = byte(i.Op)
+	b[1] = i.Rd
+	b[2] = i.Rs1
+	b[3] = i.Rs2
+	binary.LittleEndian.PutUint32(b[4:], uint32(i.Imm))
+	return b
+}
+
+// Decode unpacks an instruction. It never fails; invalid opcodes are
+// caught at execution time (SIGILL), like real hardware.
+func Decode(b []byte) Instr {
+	_ = b[7]
+	return Instr{
+		Op:  Op(b[0]),
+		Rd:  b[1] & (NumRegs - 1),
+		Rs1: b[2] & (NumRegs - 1),
+		Rs2: b[3] & (NumRegs - 1),
+		Imm: int32(binary.LittleEndian.Uint32(b[4:])),
+	}
+}
+
+// String disassembles the instruction.
+func (i Instr) String() string {
+	r := func(n uint8) string { return fmt.Sprintf("r%d", n) }
+	switch i.Op {
+	case OpNop, OpRet:
+		return i.Op.String()
+	case OpMovi, OpMovhi:
+		return fmt.Sprintf("%s %s, %d", i.Op, r(i.Rd), i.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov %s, %s", r(i.Rd), r(i.Rs1))
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSar:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, r(i.Rd), r(i.Rs1), r(i.Rs2))
+	case OpAddi, OpMuli, OpAndi, OpOri, OpXori, OpShli, OpShri:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, r(i.Rd), r(i.Rs1), i.Imm)
+	case OpLd8, OpLd4, OpLd1:
+		return fmt.Sprintf("%s %s, [%s%+d]", i.Op, r(i.Rd), r(i.Rs1), i.Imm)
+	case OpSt8, OpSt4, OpSt1:
+		return fmt.Sprintf("%s [%s%+d], %s", i.Op, r(i.Rs1), i.Imm, r(i.Rs2))
+	case OpB, OpCall:
+		return fmt.Sprintf("%s %+d", i.Op, i.Imm)
+	case OpBz, OpBnz:
+		return fmt.Sprintf("%s %s, %+d", i.Op, r(i.Rs1), i.Imm)
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return fmt.Sprintf("%s %s, %s, %+d", i.Op, r(i.Rs1), r(i.Rs2), i.Imm)
+	case OpCallr:
+		return fmt.Sprintf("callr %s", r(i.Rs1))
+	case OpSys:
+		return fmt.Sprintf("sys %d", i.Imm)
+	case OpHalt:
+		return "halt"
+	case OpXchg:
+		return fmt.Sprintf("xchg %s, [%s%+d], %s", r(i.Rd), r(i.Rs1), i.Imm, r(i.Rs2))
+	}
+	return fmt.Sprintf("%s ?", i.Op)
+}

@@ -1,0 +1,87 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	in := Instr{Op: OpAddi, Rd: 3, Rs1: 14, Rs2: 0, Imm: -4096}
+	b := in.Encode()
+	out := Decode(b[:])
+	if out != in {
+		t.Errorf("roundtrip: %+v != %+v", out, in)
+	}
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(op uint8, rd, r1, r2 uint8, imm int32) bool {
+		in := Instr{
+			Op:  Op(op % uint8(opCount)),
+			Rd:  rd % NumRegs,
+			Rs1: r1 % NumRegs,
+			Rs2: r2 % NumRegs,
+			Imm: imm,
+		}
+		b := in.Encode()
+		return Decode(b[:]) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeMasksRegisters(t *testing.T) {
+	var b [InstrSize]byte
+	b[0] = byte(OpMov)
+	b[1] = 0xFF // rd out of range
+	in := Decode(b[:])
+	if in.Rd >= NumRegs {
+		t.Errorf("Rd = %d not masked", in.Rd)
+	}
+}
+
+func TestOpValidity(t *testing.T) {
+	if !OpXchg.Valid() || !OpNop.Valid() {
+		t.Error("valid ops reported invalid")
+	}
+	if Op(200).Valid() {
+		t.Error("bogus op reported valid")
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpNop}, "nop"},
+		{Instr{Op: OpMovi, Rd: 2, Imm: -7}, "movi r2, -7"},
+		{Instr{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Instr{Op: OpLd8, Rd: 4, Rs1: 14, Imm: 16}, "ld8 r4, [r14+16]"},
+		{Instr{Op: OpSt1, Rs1: 5, Rs2: 6, Imm: -8}, "st1 [r5-8], r6"},
+		{Instr{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: 64}, "beq r1, r2, +64"},
+		{Instr{Op: OpSys, Imm: 9}, "sys 9"},
+		{Instr{Op: OpXchg, Rd: 1, Rs1: 2, Rs2: 3, Imm: 0}, "xchg r1, [r2+0], r3"},
+		{Instr{Op: OpRet}, "ret"},
+		{Instr{Op: OpCallr, Rs1: 7}, "callr r7"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("disasm %v = %q, want %q", c.in.Op, got, c.want)
+		}
+	}
+	// Every opcode has a distinct non-placeholder mnemonic.
+	seen := map[string]Op{}
+	for op := Op(0); op < opCount; op++ {
+		name := op.String()
+		if strings.HasPrefix(name, "op(") {
+			t.Errorf("op %d has no mnemonic", op)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("mnemonic %q shared by %d and %d", name, prev, op)
+		}
+		seen[name] = op
+	}
+}

@@ -1,0 +1,174 @@
+package kernel
+
+import (
+	"encoding/binary"
+
+	"repro/internal/addrspace"
+	"repro/internal/errno"
+	"repro/internal/image"
+	"repro/internal/mem"
+	"repro/internal/vfs"
+)
+
+// entryContext is the register file handed to a freshly exec'd or
+// spawned program: r0=argc, r1=argv, sp at the bottom of the argument
+// block, pc at the image entry point.
+type entryContext struct {
+	regs [16]uint64
+	pc   uint64
+}
+
+// resolveExecutable looks up path and validates its image header.
+func (k *Kernel) resolveExecutable(cwd *vfs.Inode, path string) (*vfs.Inode, image.Header, error) {
+	ino, err := k.fs.Resolve(cwd, path)
+	if err != nil {
+		return nil, image.Header{}, err
+	}
+	if ino.Type == vfs.TypeDir {
+		return nil, image.Header{}, errno.EISDIR
+	}
+	if ino.Type != vfs.TypeFile {
+		return nil, image.Header{}, errno.EACCES
+	}
+	k.meter.Charge(k.meter.Model.ImageHeader)
+	hdr, err := image.DecodeHeader(ino.Data())
+	if err != nil {
+		return nil, image.Header{}, err
+	}
+	return ino, hdr, nil
+}
+
+// buildSpace constructs a fresh address space for an image: text
+// (read-execute, demand-paged from the file), data+bss (read-write,
+// private), a heap origin, and a stack primed with argv. This is the
+// spawn/exec path — its cost does not depend on any parent's size.
+func (k *Kernel) buildSpace(ino *vfs.Inode, hdr image.Header, argv []string) (*addrspace.Space, entryContext, error) {
+	sp := addrspace.New(k.phys, k.meter)
+	fail := func(err error) (*addrspace.Space, entryContext, error) {
+		sp.Destroy()
+		return nil, entryContext{}, err
+	}
+
+	textLen := alignPage(hdr.TextSize)
+	if _, err := sp.Map(hdr.TextBase, textLen, addrspace.Read|addrspace.Exec, addrspace.MapOpts{
+		Kind: addrspace.KindText, Name: "text", Backing: ino, BackingOff: image.HeaderSize,
+	}); err != nil {
+		return fail(err)
+	}
+
+	dataStart := hdr.TextBase + textLen
+	dataLen := alignPage(hdr.DataSize + hdr.BssSize)
+	if dataLen > 0 {
+		// The data segment is the last thing in a KXI file, so
+		// the inode's zero-fill-past-EOF behaviour supplies the
+		// bss for free.
+		if _, err := sp.Map(dataStart, dataLen, addrspace.Read|addrspace.Write, addrspace.MapOpts{
+			Kind: addrspace.KindData, Name: "data",
+			Backing: ino, BackingOff: image.HeaderSize + hdr.TextSize,
+		}); err != nil {
+			return fail(err)
+		}
+	}
+	sp.SetupHeap(dataStart + dataLen)
+
+	stackLen := alignPage(hdr.StackSize)
+	stackBase := addrspace.StackTop - stackLen
+	if _, err := sp.Map(stackBase, stackLen, addrspace.Read|addrspace.Write, addrspace.MapOpts{
+		Kind: addrspace.KindStack, Name: "stack",
+	}); err != nil {
+		return fail(err)
+	}
+
+	// Argument block: strings at the top of the stack, then the
+	// NULL-terminated pointer array, then sp.
+	strp := addrspace.StackTop
+	ptrs := make([]uint64, 0, len(argv)+1)
+	for _, a := range argv {
+		strp -= uint64(len(a) + 1)
+		ptrs = append(ptrs, strp)
+	}
+	strp &^= 7 // align the array
+	for i, a := range argv {
+		if err := sp.WriteBytes(ptrs[i], append([]byte(a), 0)); err != nil {
+			return fail(err)
+		}
+	}
+	ptrs = append(ptrs, 0)
+	arr := strp - uint64(8*len(ptrs))
+	buf := make([]byte, 8*len(ptrs))
+	for i, p := range ptrs {
+		binary.LittleEndian.PutUint64(buf[8*i:], p)
+	}
+	if err := sp.WriteBytes(arr, buf); err != nil {
+		return fail(err)
+	}
+
+	var ctx entryContext
+	ctx.regs[0] = uint64(len(argv))
+	ctx.regs[1] = arr
+	ctx.regs[14] = arr &^ 15 // sp, 16-aligned below the argument block
+	ctx.pc = hdr.Entry
+	return sp, ctx, nil
+}
+
+// doExec replaces caller's process image: POSIX exec semantics. On
+// failure the old image is untouched and the error returned; on
+// success the caller thread restarts at the new entry point, other
+// threads are destroyed, close-on-exec descriptors close, and caught
+// signals reset to default.
+func (k *Kernel) doExec(caller *Thread, path string, argv []string) error {
+	p := caller.proc
+	ino, hdr, err := k.resolveExecutable(p.cwd, path)
+	if err != nil {
+		return err
+	}
+	newSpace, ctx, err := k.buildSpace(ino, hdr, argv)
+	if err != nil {
+		return err
+	}
+
+	// Point of no return. Kill sibling threads.
+	for _, t := range p.threads {
+		if t != caller && t.state != TExited {
+			k.detachThread(t)
+		}
+	}
+
+	old, owned := p.space, p.spaceOwned
+	p.space = newSpace
+	p.spaceOwned = true
+	if owned && old != nil {
+		old.Destroy()
+	}
+	// A vfork child returning the parent's space: resume the parent.
+	if w := p.vforkWaiter; w != nil {
+		p.vforkWaiter = nil
+		w.vforkChild = nil
+		k.unblock(w)
+	}
+
+	p.fds.DoCloexec()
+	p.sigs.ResetForExec()
+	if len(argv) > 0 {
+		p.Name = argv[0]
+	} else {
+		p.Name = path
+	}
+
+	caller.regs = ctx.regs
+	caller.pc = ctx.pc
+	return nil
+}
+
+// Exec is the Go-harness exec on p's main thread.
+func (k *Kernel) Exec(p *Process, path string, argv []string) error {
+	caller := p.MainThread()
+	if caller == nil {
+		return errno.ESRCH
+	}
+	return k.doExec(caller, path, argv)
+}
+
+func alignPage(x uint64) uint64 {
+	return (x + mem.PageSize - 1) &^ uint64(mem.PageSize-1)
+}

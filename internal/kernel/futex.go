@@ -1,0 +1,69 @@
+package kernel
+
+import (
+	"repro/internal/addrspace"
+	"repro/internal/errno"
+)
+
+// futexKey identifies a futex word. The address space pointer is part
+// of the key, so after a fork the child's futex words are distinct
+// from the parent's even at the same virtual address — which is
+// exactly why a lock held by a non-forked thread can never be released
+// in the child (§4.2's deadlock, reproduced by TestForkThreadsDeadlock
+// and examples/threads).
+type futexKey struct {
+	space *addrspace.Space
+	va    uint64
+}
+
+func (k *Kernel) futexQ(key futexKey) *WaitQueue {
+	q := k.futexes[key]
+	if q == nil {
+		q = NewWaitQueue("futex")
+		k.futexes[key] = q
+	}
+	return q
+}
+
+// sysFutexWait blocks t until a wake on addr, unless *addr != expected
+// (EAGAIN). The load and the block are atomic with respect to the
+// simulation (single-threaded kernel), so there is no lost-wakeup
+// window.
+func (k *Kernel) sysFutexWait(t *Thread, addr, expected uint64) (uint64, error) {
+	cur, err := readU64(t.proc.space, addr)
+	if err != nil {
+		return 0, errno.EFAULT
+	}
+	key := futexKey{t.proc.space, addr}
+	if cur != expected {
+		// Memory changed since the caller's check. If this is a
+		// retry after wakeup the caller still sees success —
+		// but with restartable syscalls we cannot distinguish;
+		// return EAGAIN and let userland loop (the ulib lock
+		// does exactly that).
+		return 0, errno.EAGAIN
+	}
+	k.block(t, k.futexQ(key), "futex")
+	return 0, errBlocked
+}
+
+// sysFutexWake wakes up to count waiters on addr and returns how many
+// woke. Waking advances the blocked threads past their wait — their
+// SYS futex_wait instruction will re-execute, observe the changed
+// value, and return EAGAIN to userland, which then re-examines the
+// lock word.
+func (k *Kernel) sysFutexWake(t *Thread, addr, count uint64) (uint64, error) {
+	key := futexKey{t.proc.space, addr}
+	q, ok := k.futexes[key]
+	if !ok {
+		return 0, nil
+	}
+	woken := uint64(0)
+	for woken < count && k.wakeOne(q) {
+		woken++
+	}
+	if q.Len() == 0 {
+		delete(k.futexes, key)
+	}
+	return woken, nil
+}

@@ -1,0 +1,367 @@
+// Package kernel is the simulated operating system: a process table,
+// deterministic scheduler, virtual-memory management, descriptor
+// layer, signals, futexes, and a syscall interface executed by the
+// built-in bytecode VM.
+//
+// The kernel exposes two surfaces:
+//
+//   - the syscall ABI (internal/abi) used by programs assembled with
+//     internal/asm and run on the VM, and
+//   - a direct Go API (BootInit, NewSynthetic, Fork, Exec, Spawn,
+//     StartProcess, WaitReap, ...) used
+//     by the measurement harness in internal/experiments and by
+//     internal/core, which implements the paper's proposed
+//     process-creation APIs on top of these primitives.
+//
+// Everything is single-threaded and driven by a virtual clock
+// (internal/cost); given the same inputs a simulation is reproducible
+// bit-for-bit.
+package kernel
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/addrspace"
+	"repro/internal/cost"
+	"repro/internal/image"
+	"repro/internal/mem"
+	"repro/internal/vfs"
+)
+
+// Options configures a kernel instance.
+type Options struct {
+	// RAMBytes sizes physical memory (default 4 GiB).
+	RAMBytes uint64
+	// SwapBytes adds commit headroom beyond RAM (default 0).
+	SwapBytes uint64
+	// Commit selects the overcommit policy (default heuristic).
+	Commit mem.CommitPolicy
+	// Model is the hardware cost model (default cost.DefaultModel).
+	Model *cost.Model
+	// EagerFork switches fork to 1970s eager copying (ablation).
+	EagerFork bool
+	// DenyMultithreadedFork makes fork fail with EAGAIN when the
+	// caller has more than one live thread — the mitigation §8 of
+	// the paper proposes on the road to deprecating fork entirely
+	// (a child that cannot deadlock is better than one that can).
+	DenyMultithreadedFork bool
+	// Quantum is the scheduler timeslice in instructions (default 2048).
+	Quantum int
+	// ConsoleOut receives /dev/console writes (default: discard).
+	ConsoleOut io.Writer
+	// ConsoleIn supplies /dev/console reads (default: EOF).
+	ConsoleIn io.Reader
+}
+
+// Kernel is one simulated machine.
+type Kernel struct {
+	opts  Options
+	meter *cost.Meter
+	phys  *mem.Physical
+	fs    *vfs.FS
+
+	procs   map[PID]*Process
+	nextPID PID
+
+	runq     []*Thread
+	sleepers []*Thread // blocked in nanosleep, unordered
+
+	futexes map[futexKey]*WaitQueue
+
+	// Diagnostics.
+	OOMKills        int
+	SegvKills       int
+	lastStop        StopReason
+	contextSwitches uint64
+}
+
+// StopReason reports why Run returned.
+type StopReason int
+
+// Stop reasons.
+const (
+	StopIdle StopReason = iota // no runnable, no sleeping, no live threads
+	StopDeadlock
+	StopLimit
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopIdle:
+		return "idle"
+	case StopDeadlock:
+		return "deadlock"
+	case StopLimit:
+		return "limit"
+	}
+	return fmt.Sprintf("stop(%d)", int(r))
+}
+
+// New boots a kernel with an empty filesystem containing /dev, /bin,
+// and /tmp.
+func New(opts Options) *Kernel {
+	if opts.RAMBytes == 0 {
+		opts.RAMBytes = 4 << 30
+	}
+	if opts.Quantum == 0 {
+		opts.Quantum = 2048
+	}
+	model := cost.DefaultModel()
+	if opts.Model != nil {
+		model = *opts.Model
+	}
+	meter := cost.NewMeter(model)
+	k := &Kernel{
+		opts:    opts,
+		meter:   meter,
+		phys:    mem.NewPhysical(meter, opts.RAMBytes, opts.SwapBytes, opts.Commit),
+		fs:      vfs.NewFS(),
+		procs:   map[PID]*Process{},
+		nextPID: 1,
+		futexes: map[futexKey]*WaitQueue{},
+	}
+	for _, d := range []string{"/dev", "/bin", "/tmp"} {
+		if _, err := k.fs.MkdirAll(d); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := k.fs.Mknod("/dev/null", vfs.NullDevice{}); err != nil {
+		panic(err)
+	}
+	console := &vfs.ConsoleDevice{In: opts.ConsoleIn, Out: opts.ConsoleOut}
+	if _, err := k.fs.Mknod("/dev/console", console); err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Meter exposes the cost meter (experiments read the clock and event
+// counters from here).
+func (k *Kernel) Meter() *cost.Meter { return k.meter }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() cost.Ticks { return k.meter.Now() }
+
+// Phys exposes physical memory.
+func (k *Kernel) Phys() *mem.Physical { return k.phys }
+
+// FS exposes the filesystem (for mkfs-style setup).
+func (k *Kernel) FS() *vfs.FS { return k.fs }
+
+// Options returns the boot options.
+func (k *Kernel) Options() Options { return k.opts }
+
+// LastStop reports why the previous Run returned.
+func (k *Kernel) LastStop() StopReason { return k.lastStop }
+
+// ContextSwitches reports the scheduler's dispatch count.
+func (k *Kernel) ContextSwitches() uint64 { return k.contextSwitches }
+
+// WaitQueue is a FIFO of blocked threads.
+type WaitQueue struct {
+	name string
+	ts   []*Thread
+}
+
+// NewWaitQueue creates a named queue (name appears in deadlock reports).
+func NewWaitQueue(name string) *WaitQueue { return &WaitQueue{name: name} }
+
+// Len reports the number of waiters.
+func (q *WaitQueue) Len() int { return len(q.ts) }
+
+// block parks t on q. The current instruction is *not* advanced, so
+// the syscall retries when the thread is woken (all blocking syscalls
+// in this kernel are restartable). A nil queue is allowed for waits
+// that are woken directly (vfork's parent suspension).
+func (k *Kernel) block(t *Thread, q *WaitQueue, reason string) {
+	if t.state == TBlocked {
+		panic("kernel: double block of " + t.String())
+	}
+	t.state = TBlocked
+	t.wait = q
+	t.waitReason = reason
+	if q != nil {
+		q.ts = append(q.ts, t)
+	}
+}
+
+// unblock makes t runnable again, removing it from its queue.
+func (k *Kernel) unblock(t *Thread) {
+	if t.state != TBlocked {
+		return
+	}
+	if q := t.wait; q != nil {
+		for i, w := range q.ts {
+			if w == t {
+				q.ts = append(q.ts[:i], q.ts[i+1:]...)
+				break
+			}
+		}
+	}
+	t.wait = nil
+	t.waitReason = ""
+	// sleepDeadline is deliberately left alone: the nanosleep
+	// handler clears it when the sleep completes, and a sleeper
+	// woken early (signal) re-blocks for the remaining time.
+	t.state = TRunnable
+	k.runq = append(k.runq, t)
+}
+
+// wakeOne wakes the oldest waiter; it reports whether one was woken.
+func (k *Kernel) wakeOne(q *WaitQueue) bool {
+	if len(q.ts) == 0 {
+		return false
+	}
+	k.unblock(q.ts[0])
+	return true
+}
+
+// wakeAll wakes every waiter and reports how many.
+func (k *Kernel) wakeAll(q *WaitQueue) int {
+	n := 0
+	for len(q.ts) > 0 {
+		k.unblock(q.ts[0])
+		n++
+	}
+	return n
+}
+
+// RunLimits bounds a Run call. Zero fields mean "no limit".
+type RunLimits struct {
+	MaxInstructions uint64
+	MaxTicks        cost.Ticks
+}
+
+// DeadlockError reports a simulation where live threads exist but none
+// can ever run again — e.g. the child of a multithreaded fork blocking
+// on a mutex whose holder was not duplicated (§4.2 of the paper).
+type DeadlockError struct {
+	Threads []string // human-readable blocked-thread descriptions
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("kernel: deadlock: %d thread(s) blocked forever: %s",
+		len(e.Threads), strings.Join(e.Threads, "; "))
+}
+
+// Run drives the machine until every thread has exited or parked
+// (StopIdle), the system deadlocks (returns *DeadlockError), or a
+// limit is hit (StopLimit). It is the only place virtual time advances
+// for instruction execution.
+func (k *Kernel) Run(limits RunLimits) error {
+	startInstr := k.meter.Instructions
+	deadline := cost.Ticks(0)
+	if limits.MaxTicks != 0 {
+		deadline = k.meter.Now() + limits.MaxTicks
+	}
+	for {
+		if limits.MaxInstructions != 0 && k.meter.Instructions-startInstr >= limits.MaxInstructions {
+			k.lastStop = StopLimit
+			return nil
+		}
+		if deadline != 0 && k.meter.Now() >= deadline {
+			k.lastStop = StopLimit
+			return nil
+		}
+		if len(k.runq) == 0 {
+			if k.wakeSleepers() {
+				continue
+			}
+			// No runnable, no sleeper. Deadlock if any thread
+			// is still blocked.
+			var stuck []string
+			for _, p := range k.procs {
+				if p.state != ProcAlive {
+					continue
+				}
+				for _, t := range p.threads {
+					if t.state == TBlocked {
+						stuck = append(stuck, fmt.Sprintf("%s on %s", t, t.waitReason))
+					}
+				}
+			}
+			if len(stuck) > 0 {
+				k.lastStop = StopDeadlock
+				return &DeadlockError{Threads: stuck}
+			}
+			k.lastStop = StopIdle
+			return nil
+		}
+		t := k.runq[0]
+		k.runq = k.runq[1:]
+		if t.state != TRunnable {
+			continue // exited or re-blocked while queued
+		}
+		k.dispatch(t, limits, startInstr, deadline)
+	}
+}
+
+// dispatch runs t for up to one quantum.
+func (k *Kernel) dispatch(t *Thread, limits RunLimits, startInstr uint64, deadline cost.Ticks) {
+	t.state = TRunning
+	k.contextSwitches++
+	k.meter.Charge(k.meter.Model.ContextSwitch)
+	for i := 0; i < k.opts.Quantum; i++ {
+		if t.state != TRunning {
+			return // blocked or exited inside step
+		}
+		if limits.MaxInstructions != 0 && k.meter.Instructions-startInstr >= limits.MaxInstructions {
+			break
+		}
+		if deadline != 0 && k.meter.Now() >= deadline {
+			break
+		}
+		k.step(t)
+	}
+	if t.state == TRunning {
+		t.state = TRunnable
+		k.runq = append(k.runq, t)
+	}
+}
+
+// wakeSleepers advances the clock to the earliest sleep deadline and
+// wakes the threads due then. It reports whether anything was woken.
+func (k *Kernel) wakeSleepers() bool {
+	if len(k.sleepers) == 0 {
+		return false
+	}
+	earliest := k.sleepers[0].sleepDeadline
+	for _, t := range k.sleepers[1:] {
+		if t.sleepDeadline < earliest {
+			earliest = t.sleepDeadline
+		}
+	}
+	if earliest > k.meter.Now() {
+		k.meter.Charge(earliest - k.meter.Now())
+	}
+	rest := k.sleepers[:0]
+	for _, t := range k.sleepers {
+		switch {
+		case t.state != TBlocked:
+			// Woken early (e.g. by a signal); drop the stale
+			// sleeper entry.
+		case t.sleepDeadline <= k.meter.Now():
+			k.unblock(t)
+		default:
+			rest = append(rest, t)
+		}
+	}
+	k.sleepers = rest
+	return true
+}
+
+// Idle reports whether nothing can run.
+func (k *Kernel) Idle() bool { return len(k.runq) == 0 && len(k.sleepers) == 0 }
+
+// newSpace creates an empty address space bound to this kernel's
+// physical memory and meter.
+func (k *Kernel) newSpace() *addrspace.Space { return addrspace.New(k.phys, k.meter) }
+
+// InstallImage writes an executable image into the filesystem at path
+// (mkfs helper used by boot code, tests, and the experiment harness).
+func (k *Kernel) InstallImage(path string, im *image.Image) error {
+	_, err := k.fs.WriteFile(path, im.Encode())
+	return err
+}

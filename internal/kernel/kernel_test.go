@@ -1,0 +1,368 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/addrspace"
+	"repro/internal/mem"
+	"repro/internal/sig"
+	"repro/internal/ulib"
+	"repro/internal/vfs"
+)
+
+// boot creates a kernel with ulib installed and a console capture.
+func boot(t *testing.T, opts Options) (*Kernel, *bytes.Buffer) {
+	t.Helper()
+	var out bytes.Buffer
+	opts.ConsoleOut = &out
+	k := New(opts)
+	if err := ulib.InstallAll(k); err != nil {
+		t.Fatalf("install ulib: %v", err)
+	}
+	return k, &out
+}
+
+// run boots path as init with args and runs to completion.
+func run(t *testing.T, opts Options, path string, argv ...string) (*Kernel, *Process, string, error) {
+	t.Helper()
+	k, out := boot(t, opts)
+	p, err := k.BootInit(path, append([]string{path}, argv...))
+	if err != nil {
+		t.Fatalf("BootInit(%s): %v", path, err)
+	}
+	err = k.Run(RunLimits{MaxInstructions: 50_000_000})
+	if k.LastStop() == StopLimit {
+		t.Fatalf("%s: instruction limit hit (runaway program)", path)
+	}
+	return k, p, out.String(), err
+}
+
+func TestBootTrue(t *testing.T) {
+	_, p, out, err := run(t, Options{}, "/bin/true")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out != "" {
+		t.Errorf("unexpected output %q", out)
+	}
+	if p.State() != ProcReaped {
+		t.Errorf("init state = %v, want reaped", p.State())
+	}
+	if got := abi.StatusExitCode(p.ExitStatus()); got != 0 {
+		t.Errorf("exit code = %d, want 0", got)
+	}
+}
+
+func TestBootFalse(t *testing.T) {
+	_, p, _, err := run(t, Options{}, "/bin/false")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := abi.StatusExitCode(p.ExitStatus()); got != 1 {
+		t.Errorf("exit code = %d, want 1", got)
+	}
+}
+
+func TestEchoArgs(t *testing.T) {
+	_, _, out, err := run(t, Options{}, "/bin/echo", "hello", "fork", "world")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if want := "hello fork world\n"; out != want {
+		t.Errorf("echo output = %q, want %q", out, want)
+	}
+}
+
+func TestForkExec(t *testing.T) {
+	k, p, _, err := run(t, Options{}, "/bin/forkexec")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := abi.StatusExitCode(p.ExitStatus()); got != 0 {
+		t.Errorf("exit code = %d, want 0", got)
+	}
+	if k.OOMKills != 0 || k.SegvKills != 0 {
+		t.Errorf("unexpected kills: oom=%d segv=%d", k.OOMKills, k.SegvKills)
+	}
+}
+
+func TestVforkExec(t *testing.T) {
+	_, p, _, err := run(t, Options{}, "/bin/vforkexec")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := abi.StatusExitCode(p.ExitStatus()); got != 0 {
+		t.Errorf("exit code = %d, want 0", got)
+	}
+}
+
+func TestForkLoop(t *testing.T) {
+	k, p, _, err := run(t, Options{}, "/bin/forkloop", "10")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := abi.StatusExitCode(p.ExitStatus()); got != 0 {
+		t.Errorf("exit code = %d, want 0", got)
+	}
+	if n := len(k.procs); n != 0 {
+		t.Errorf("%d processes leaked", n)
+	}
+}
+
+func TestSpawnLoop(t *testing.T) {
+	_, p, _, err := run(t, Options{}, "/bin/spawnloop", "10", "/bin/true")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := abi.StatusExitCode(p.ExitStatus()); got != 0 {
+		t.Errorf("exit code = %d, want 0", got)
+	}
+}
+
+func TestInitSpawnsChildren(t *testing.T) {
+	_, _, out, err := run(t, Options{}, "/bin/init", "/bin/echo")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if want := "\n"; out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+// TestStdioForkDuplication reproduces §4.2's buffered-I/O bug: bytes
+// buffered before fork flush twice.
+func TestStdioForkDuplication(t *testing.T) {
+	_, _, out, err := run(t, Options{}, "/bin/stdio_fork")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if want := "unflushed;unflushed;"; out != want {
+		t.Errorf("output = %q, want %q (duplicated buffer)", out, want)
+	}
+}
+
+// TestOffsetSharedAcrossFork reproduces the shared-offset semantics:
+// the child's write advances the parent's file position.
+func TestOffsetSharedAcrossFork(t *testing.T) {
+	k, _, _, err := run(t, Options{}, "/bin/offset_fork")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	ino, err := k.FS().Resolve(nil, "/tmp/offset_fork")
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if got := string(ino.Data()); got != "BA" {
+		t.Errorf("file = %q, want %q (offset must be shared)", got, "BA")
+	}
+}
+
+func TestThreadsSum(t *testing.T) {
+	// A small quantum forces preemption inside the critical
+	// sections, so this fails if the futex mutex is broken.
+	_, _, out, err := run(t, Options{Quantum: 37}, "/bin/threads_sum")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if want := "2000\n"; out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+// TestForkThreadsDeadlock is the paper's §4.2 composition failure:
+// fork in a multithreaded program captures a locked mutex whose owner
+// does not exist in the child.
+func TestForkThreadsDeadlock(t *testing.T) {
+	_, _, _, err := run(t, Options{}, "/bin/threads_deadlock")
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(dl.Threads) != 3 {
+		t.Errorf("blocked threads = %d (%v), want 3 (child on futex, parent in waitpid, helper on futex)", len(dl.Threads), dl.Threads)
+	}
+	found := false
+	for _, d := range dl.Threads {
+		if strings.Contains(d, "futex") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no futex waiter in deadlock report: %v", dl.Threads)
+	}
+}
+
+func TestSegvKillsProcess(t *testing.T) {
+	k, p, _, err := run(t, Options{}, "/bin/segv")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if k.SegvKills != 1 {
+		t.Errorf("SegvKills = %d, want 1", k.SegvKills)
+	}
+	if got := abi.StatusSignal(p.ExitStatus()); got != int(sig.SIGSEGV) {
+		t.Errorf("termination signal = %d, want SIGSEGV", got)
+	}
+}
+
+func TestSignalHandlerAndSigreturn(t *testing.T) {
+	_, p, out, err := run(t, Options{}, "/bin/sigdemo")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if want := "caught\ndone\n"; out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+	if got := abi.StatusExitCode(p.ExitStatus()); got != 0 {
+		t.Errorf("exit code = %d", got)
+	}
+}
+
+func TestPipePingPong(t *testing.T) {
+	_, p, out, err := run(t, Options{}, "/bin/pingpong", "50")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if want := "pingpong ok\n"; out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+	if got := abi.StatusExitCode(p.ExitStatus()); got != 0 {
+		t.Errorf("exit code = %d", got)
+	}
+}
+
+// TestHogForkStrictCommit: under strict overcommit, forking a process
+// that has dirtied >50% of commit fails up front with ENOMEM (exit 2
+// in the hog program).
+func TestHogForkStrictCommit(t *testing.T) {
+	opts := Options{RAMBytes: 64 << 20, Commit: mem.CommitStrict}
+	k, p, _, err := run(t, opts, "/bin/hog", "40", "fork")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := abi.StatusExitCode(p.ExitStatus()); got != 2 {
+		t.Errorf("exit code = %d, want 2 (fork ENOMEM)", got)
+	}
+	if k.OOMKills != 0 {
+		t.Errorf("OOMKills = %d, want 0 under strict", k.OOMKills)
+	}
+}
+
+// TestHogForkHeuristicOOM: under heuristic overcommit the fork
+// succeeds, and the child's COW storm later runs the machine out of
+// frames — the OOM killer fires.
+func TestHogForkHeuristicOOM(t *testing.T) {
+	opts := Options{RAMBytes: 64 << 20, Commit: mem.CommitHeuristic}
+	k, _, _, err := run(t, opts, "/bin/hog", "40", "fork")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if k.OOMKills == 0 {
+		t.Errorf("OOMKills = 0, want >0 under heuristic overcommit")
+	}
+}
+
+// TestCloexecAcrossSpawn: a descriptor marked close-on-exec must not
+// survive into a spawned child; an unmarked one must.
+func TestCloexecAcrossSpawn(t *testing.T) {
+	for _, tc := range []struct {
+		cloexec bool
+		want    string
+	}{
+		{false, "V"},
+		{true, "C"},
+	} {
+		k, out := boot(t, Options{})
+		parent := k.NewSynthetic("parent", nil)
+		ino, err := k.FS().WriteFile("/tmp/probe", []byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		of := vfs.NewOpenFile(ino, vfs.ORdWr)
+		if err := parent.FDs().InstallAt(of, tc.cloexec, 9); err != nil {
+			t.Fatal(err)
+		}
+		child, err := k.Spawn(parent, "/bin/cloexec_probe", []string{"probe"}, nil, SpawnAttr{}, true)
+		if err != nil {
+			t.Fatalf("spawn: %v", err)
+		}
+		// Wire the child's stdout to the console so puts works.
+		con, _ := k.FS().Resolve(nil, "/dev/console")
+		child.FDs().InstallAt(vfs.NewOpenFile(con, vfs.OWrOnly), false, 1)
+		if err := k.Run(RunLimits{MaxInstructions: 1_000_000}); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if got := out.String(); got != tc.want {
+			t.Errorf("cloexec=%v: probe printed %q, want %q", tc.cloexec, got, tc.want)
+		}
+		k.DestroyProcess(parent)
+	}
+}
+
+// TestForkGoAPI exercises the harness-level fork on a synthetic
+// process: memory written before the fork is visible in the child,
+// and writes after it are isolated.
+func TestForkGoAPI(t *testing.T) {
+	k, _ := boot(t, Options{})
+	p := k.NewSynthetic("parent", nil)
+	vma, err := p.Space().Map(0, 1<<20, addrspace.Read|addrspace.Write, addrspace.MapOpts{Name: "test"})
+	if err != nil {
+		t.Fatalf("map: %v", err)
+	}
+	if err := p.Space().WriteBytes(vma.Start, []byte("before")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	child, err := k.Fork(p)
+	if err != nil {
+		t.Fatalf("fork: %v", err)
+	}
+	buf := make([]byte, 6)
+	if err := child.Space().ReadBytes(vma.Start, buf); err != nil {
+		t.Fatalf("child read: %v", err)
+	}
+	if string(buf) != "before" {
+		t.Errorf("child sees %q, want %q", buf, "before")
+	}
+	if err := p.Space().WriteBytes(vma.Start, []byte("parent")); err != nil {
+		t.Fatalf("parent write: %v", err)
+	}
+	if err := child.Space().ReadBytes(vma.Start, buf); err != nil {
+		t.Fatalf("child read2: %v", err)
+	}
+	if string(buf) != "before" {
+		t.Errorf("COW isolation broken: child sees %q", buf)
+	}
+	k.DestroyProcess(child)
+	k.DestroyProcess(p)
+}
+
+// TestZombieAndReap: a child that exits stays a zombie until waited.
+func TestZombieAndReap(t *testing.T) {
+	k, _ := boot(t, Options{})
+	parent := k.NewSynthetic("parent", nil)
+	child, err := k.Spawn(parent, "/bin/true", []string{"true"}, nil, SpawnAttr{}, true)
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if err := k.Run(RunLimits{MaxInstructions: 10_000}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if child.State() != ProcZombie {
+		t.Fatalf("child state = %v, want zombie", child.State())
+	}
+	pid, status, err := k.WaitReap(parent, -1)
+	if err != nil {
+		t.Fatalf("WaitReap: %v", err)
+	}
+	if pid != child.Pid || abi.StatusExitCode(status) != 0 {
+		t.Errorf("reaped pid=%d status=%d", pid, status)
+	}
+	if child.State() != ProcReaped {
+		t.Errorf("child state = %v, want reaped", child.State())
+	}
+	k.DestroyProcess(parent)
+}

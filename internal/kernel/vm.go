@@ -1,0 +1,250 @@
+package kernel
+
+import (
+	"encoding/binary"
+
+	"repro/internal/addrspace"
+	"repro/internal/errno"
+	"repro/internal/isa"
+	"repro/internal/sig"
+)
+
+// step executes one instruction of t, including signal-delivery checks
+// at instruction boundaries (the simulator's equivalent of "on return
+// to user mode").
+func (k *Kernel) step(t *Thread) {
+	if k.checkSignals(t) {
+		// A signal was delivered (handler frame pushed) or the
+		// process died; either way this step is consumed.
+		return
+	}
+
+	sp := t.proc.space
+	if t.pc%isa.InstrSize != 0 {
+		k.threadFault(t, sig.SIGILL)
+		return
+	}
+	var ibuf [isa.InstrSize]byte
+	if err := k.readUser(sp, t.pc, ibuf[:], addrspace.AccessExec); err != nil {
+		k.faultOrKill(t, err)
+		return
+	}
+	in := isa.Decode(ibuf[:])
+	k.meter.Instructions++
+	k.meter.Charge(k.meter.Model.InstrTick)
+
+	r := &t.regs
+	imm := uint64(int64(in.Imm)) // sign-extended
+	next := t.pc + isa.InstrSize
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpMovi:
+		r[in.Rd] = imm
+	case isa.OpMovhi:
+		r[in.Rd] = r[in.Rd]&0xffffffff | uint64(uint32(in.Imm))<<32
+	case isa.OpMov:
+		r[in.Rd] = r[in.Rs1]
+	case isa.OpAdd:
+		r[in.Rd] = r[in.Rs1] + r[in.Rs2]
+	case isa.OpSub:
+		r[in.Rd] = r[in.Rs1] - r[in.Rs2]
+	case isa.OpMul:
+		r[in.Rd] = r[in.Rs1] * r[in.Rs2]
+	case isa.OpDiv:
+		if r[in.Rs2] == 0 {
+			k.threadFault(t, sig.SIGFPE)
+			return
+		}
+		r[in.Rd] = r[in.Rs1] / r[in.Rs2]
+	case isa.OpMod:
+		if r[in.Rs2] == 0 {
+			k.threadFault(t, sig.SIGFPE)
+			return
+		}
+		r[in.Rd] = r[in.Rs1] % r[in.Rs2]
+	case isa.OpAnd:
+		r[in.Rd] = r[in.Rs1] & r[in.Rs2]
+	case isa.OpOr:
+		r[in.Rd] = r[in.Rs1] | r[in.Rs2]
+	case isa.OpXor:
+		r[in.Rd] = r[in.Rs1] ^ r[in.Rs2]
+	case isa.OpShl:
+		r[in.Rd] = r[in.Rs1] << (r[in.Rs2] & 63)
+	case isa.OpShr:
+		r[in.Rd] = r[in.Rs1] >> (r[in.Rs2] & 63)
+	case isa.OpSar:
+		r[in.Rd] = uint64(int64(r[in.Rs1]) >> (r[in.Rs2] & 63))
+	case isa.OpAddi:
+		r[in.Rd] = r[in.Rs1] + imm
+	case isa.OpMuli:
+		r[in.Rd] = r[in.Rs1] * imm
+	case isa.OpAndi:
+		r[in.Rd] = r[in.Rs1] & uint64(uint32(in.Imm))
+	case isa.OpOri:
+		r[in.Rd] = r[in.Rs1] | uint64(uint32(in.Imm))
+	case isa.OpXori:
+		r[in.Rd] = r[in.Rs1] ^ uint64(uint32(in.Imm))
+	case isa.OpShli:
+		r[in.Rd] = r[in.Rs1] << (uint(in.Imm) & 63)
+	case isa.OpShri:
+		r[in.Rd] = r[in.Rs1] >> (uint(in.Imm) & 63)
+
+	case isa.OpLd8, isa.OpLd4, isa.OpLd1:
+		size := map[isa.Op]int{isa.OpLd8: 8, isa.OpLd4: 4, isa.OpLd1: 1}[in.Op]
+		var buf [8]byte
+		va := r[in.Rs1] + imm
+		if err := k.readUser(sp, va, buf[:size], addrspace.AccessRead); err != nil {
+			k.faultOrKill(t, err)
+			return
+		}
+		r[in.Rd] = binary.LittleEndian.Uint64(buf[:])
+
+	case isa.OpSt8, isa.OpSt4, isa.OpSt1:
+		size := map[isa.Op]int{isa.OpSt8: 8, isa.OpSt4: 4, isa.OpSt1: 1}[in.Op]
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], r[in.Rs2])
+		va := r[in.Rs1] + imm
+		if err := k.writeUser(sp, va, buf[:size]); err != nil {
+			k.faultOrKill(t, err)
+			return
+		}
+
+	case isa.OpB:
+		next = t.pc + imm
+	case isa.OpBz:
+		if r[in.Rs1] == 0 {
+			next = t.pc + imm
+		}
+	case isa.OpBnz:
+		if r[in.Rs1] != 0 {
+			next = t.pc + imm
+		}
+	case isa.OpBeq:
+		if r[in.Rs1] == r[in.Rs2] {
+			next = t.pc + imm
+		}
+	case isa.OpBne:
+		if r[in.Rs1] != r[in.Rs2] {
+			next = t.pc + imm
+		}
+	case isa.OpBlt:
+		if int64(r[in.Rs1]) < int64(r[in.Rs2]) {
+			next = t.pc + imm
+		}
+	case isa.OpBge:
+		if int64(r[in.Rs1]) >= int64(r[in.Rs2]) {
+			next = t.pc + imm
+		}
+	case isa.OpBltu:
+		if r[in.Rs1] < r[in.Rs2] {
+			next = t.pc + imm
+		}
+	case isa.OpBgeu:
+		if r[in.Rs1] >= r[in.Rs2] {
+			next = t.pc + imm
+		}
+
+	case isa.OpCall, isa.OpCallr:
+		r[isa.SP] -= 8
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], t.pc+isa.InstrSize)
+		if err := k.writeUser(sp, r[isa.SP], buf[:]); err != nil {
+			k.faultOrKill(t, err)
+			return
+		}
+		if in.Op == isa.OpCall {
+			next = t.pc + imm
+		} else {
+			next = r[in.Rs1]
+		}
+	case isa.OpRet:
+		var buf [8]byte
+		if err := k.readUser(sp, r[isa.SP], buf[:], addrspace.AccessRead); err != nil {
+			k.faultOrKill(t, err)
+			return
+		}
+		r[isa.SP] += 8
+		next = binary.LittleEndian.Uint64(buf[:])
+
+	case isa.OpXchg:
+		// Atomic by construction: one instruction, one kernel.
+		va := r[in.Rs1] + imm
+		var buf [8]byte
+		if err := k.readUser(sp, va, buf[:], addrspace.AccessRead); err != nil {
+			k.faultOrKill(t, err)
+			return
+		}
+		old := binary.LittleEndian.Uint64(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], r[in.Rs2])
+		if err := k.writeUser(sp, va, buf[:]); err != nil {
+			k.faultOrKill(t, err)
+			return
+		}
+		r[in.Rd] = old
+
+	case isa.OpSys:
+		// The syscall layer advances pc itself (blocking calls
+		// leave it so the instruction restarts on wakeup).
+		k.syscall(t, uint64(in.Imm))
+		return
+
+	default:
+		k.threadFault(t, sig.SIGILL)
+		return
+	}
+	t.pc = next
+}
+
+// readUser reads user memory, mapping OOM to a process kill distinct
+// from a segfault.
+func (k *Kernel) readUser(sp *addrspace.Space, va uint64, buf []byte, access addrspace.Access) error {
+	if access == addrspace.AccessExec {
+		// Instruction fetch: translate with exec permission.
+		f, off, err := sp.Translate(va, addrspace.AccessExec)
+		if err != nil {
+			return err
+		}
+		sp.Phys().Read(f, off, buf)
+		return nil
+	}
+	return sp.ReadBytes(va, buf)
+}
+
+func (k *Kernel) writeUser(sp *addrspace.Space, va uint64, data []byte) error {
+	return sp.WriteBytes(va, data)
+}
+
+// threadFault delivers a synchronous fault signal (SIGSEGV, SIGILL,
+// SIGFPE) to t. If the process neither catches nor ignores it, the
+// process dies with that signal; if a handler is installed, it runs.
+// Ignoring a synchronous fault would spin, so ignore also kills (real
+// kernels would re-raise forever; the simulator is merciful).
+func (k *Kernel) threadFault(t *Thread, s sig.Signal) {
+	d := t.proc.sigs.Get(s)
+	if d.Kind == sig.ActHandler {
+		t.pending = t.pending.Add(s)
+		// Delivery happens on the next step; the faulting
+		// instruction will re-execute after the handler returns.
+		return
+	}
+	k.SegvKills++
+	k.killProcess(t.proc, s)
+}
+
+// oomKill is the OOM-killer path: a page fault could not get a frame.
+func (k *Kernel) oomKill(p *Process) {
+	k.OOMKills++
+	p.oomKilled = true
+	k.killProcess(p, sig.SIGKILL)
+}
+
+// faultOrKill routes a memory-management error from a user access:
+// ENOMEM triggers the OOM killer, anything else is a segfault.
+func (k *Kernel) faultOrKill(t *Thread, err error) {
+	if err == errno.ENOMEM {
+		k.oomKill(t.proc)
+		return
+	}
+	k.threadFault(t, sig.SIGSEGV)
+}

@@ -1,0 +1,361 @@
+package kernel
+
+// Instruction-level semantics tests: tiny programs exercise each ISA
+// corner (arithmetic edge cases, branches, call/ret, xchg, traps) and
+// report results via exit codes.
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/sig"
+)
+
+// asmExpect runs src and asserts the exit code.
+func asmExpect(t *testing.T, want int, src string) {
+	t.Helper()
+	_, p, _, err := runAsm(t, Options{}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exitCode(t, p); got != want {
+		t.Fatalf("exit %d, want %d", got, want)
+	}
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	asmExpect(t, 0, `
+_start:
+    ; 64-bit wrap-around add
+    li r1, 0xffffffffffffffff
+    movi r2, 1
+    add r3, r1, r2
+    bnz r3, fail
+    ; subtraction borrow
+    movi r1, 3
+    movi r2, 5
+    sub r3, r1, r2          ; -2
+    movi r4, 2
+    add r3, r3, r4
+    bnz r3, fail
+    ; unsigned div/mod
+    movi r1, 17
+    movi r2, 5
+    div r3, r1, r2
+    movi r4, 3
+    bne r3, r4, fail
+    mod r3, r1, r2
+    movi r4, 2
+    bne r3, r4, fail
+    ; logical vs arithmetic shift on a negative value
+    movi r1, -8
+    movi r2, 1
+    sar r3, r1, r2          ; -4
+    movi r4, -4
+    bne r3, r4, fail
+    shr r3, r1, r2          ; huge positive
+    blt r3, r2, fail        ; signed compare: must be positive? r3 top bit clear
+    ; masked immediate ops are zero-extended
+    li r1, 0xff00ff00ff00ff00
+    andi r3, r1, 0xff00ff00
+    li r4, 0xff00ff00
+    bne r3, r4, fail
+    movi r0, 0
+    sys SYS_EXIT
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+`)
+}
+
+func TestBranchSemantics(t *testing.T) {
+	asmExpect(t, 0, `
+_start:
+    ; signed vs unsigned comparisons
+    movi r1, -1
+    movi r2, 1
+    blt r1, r2, s_ok        ; -1 < 1 signed
+    b fail
+s_ok:
+    bltu r1, r2, fail       ; 0xfff... not < 1 unsigned
+    bgeu r1, r2, u_ok
+    b fail
+u_ok:
+    beq r1, r1, eq_ok
+    b fail
+eq_ok:
+    bne r1, r2, ne_ok
+    b fail
+ne_ok:
+    bz r1, fail
+    movi r3, 0
+    bz r3, z_ok
+    b fail
+z_ok:
+    movi r0, 0
+    sys SYS_EXIT
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+`)
+}
+
+func TestCallRetNesting(t *testing.T) {
+	asmExpect(t, 0, `
+_start:
+    movi r10, 0
+    call level1
+    movi r3, 3
+    bne r10, r3, fail
+    movi r0, 0
+    sys SYS_EXIT
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+level1:
+    addi r10, r10, 1
+    call level2
+    ret
+level2:
+    addi r10, r10, 1
+    li r1, level3
+    callr r1                ; indirect call
+    ret
+level3:
+    addi r10, r10, 1
+    ret
+`)
+}
+
+func TestXchgSemantics(t *testing.T) {
+	asmExpect(t, 0, `
+_start:
+    li r1, word
+    movi r2, 111
+    st8 [r1+0], r2
+    movi r3, 222
+    xchg r4, [r1+0], r3
+    movi r5, 111
+    bne r4, r5, fail        ; old value returned
+    ld8 r4, [r1+0]
+    movi r5, 222
+    bne r4, r5, fail        ; new value stored
+    movi r0, 0
+    sys SYS_EXIT
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+.bss
+.align 8
+word: .space 8
+`)
+}
+
+func TestSubWordLoadsStores(t *testing.T) {
+	asmExpect(t, 0, `
+_start:
+    li r1, buf
+    li r2, 0x1122334455667788
+    st8 [r1+0], r2
+    ld4 r3, [r1+0]          ; low half, zero-extended
+    li r4, 0x55667788
+    bne r3, r4, fail
+    ld1 r3, [r1+7]          ; highest byte
+    movi r4, 0x11
+    bne r3, r4, fail
+    st1 [r1+0], r4          ; patch one byte
+    ld8 r3, [r1+0]
+    li r4, 0x1122334455667711
+    bne r3, r4, fail
+    st4 [r1+4], r2          ; patch high half with low 32 of r2
+    ld8 r3, [r1+0]
+    li r4, 0x5566778855667711
+    bne r3, r4, fail
+    movi r0, 0
+    sys SYS_EXIT
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+.bss
+.align 8
+buf: .space 8
+`)
+}
+
+func TestDivByZeroRaisesSIGFPE(t *testing.T) {
+	_, p, _, err := runAsm(t, Options{}, `
+_start:
+    movi r1, 10
+    movi r2, 0
+    div r3, r1, r2
+    movi r0, 0
+    sys SYS_EXIT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := abi.StatusSignal(p.ExitStatus()); got != int(sig.SIGFPE) {
+		t.Fatalf("signal = %d, want SIGFPE", got)
+	}
+}
+
+func TestBadOpcodeRaisesSIGILL(t *testing.T) {
+	// `halt` decodes to the explicit illegal-instruction trap.
+	_, p, _, err := runAsm(t, Options{}, `
+_start:
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := abi.StatusSignal(p.ExitStatus()); got != int(sig.SIGILL) {
+		t.Fatalf("signal = %d, want SIGILL", got)
+	}
+}
+
+func TestMisalignedPCRaisesSIGILL(t *testing.T) {
+	_, p, _, err := runAsm(t, Options{}, `
+_start:
+    li r1, _start
+    addi r1, r1, 4          ; misaligned target
+    callr r1
+    movi r0, 0
+    sys SYS_EXIT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := abi.StatusSignal(p.ExitStatus()); got != int(sig.SIGILL) {
+		t.Fatalf("signal = %d, want SIGILL", got)
+	}
+}
+
+func TestMovhiComposesConstants(t *testing.T) {
+	asmExpect(t, 0, `
+_start:
+    movi r1, 0x7fffffff     ; positive 32-bit
+    movhi r1, 0x12345678
+    li r2, 0x123456787fffffff
+    bne r1, r2, fail
+    ; movi sign-extends; movhi then replaces the top half entirely
+    movi r1, -1
+    movhi r1, 0
+    li r2, 0xffffffff
+    bne r1, r2, fail
+    movi r0, 0
+    sys SYS_EXIT
+fail:
+    movi r0, 1
+    sys SYS_EXIT
+`)
+}
+
+// TestSchedulerDeterminism: two identical multi-threaded runs produce
+// identical instruction counts, context switches, and virtual time.
+func TestSchedulerDeterminism(t *testing.T) {
+	type snap struct {
+		instr, cs uint64
+		now       uint64
+		out       string
+	}
+	one := func() snap {
+		k, _, out, err := runAsm(t, Options{Quantum: 64}, srcInterleave)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap{k.Meter().Instructions, k.ContextSwitches(), uint64(k.Now()), out}
+	}
+	a, b := one(), one()
+	if a != b {
+		t.Errorf("nondeterministic scheduling: %+v vs %+v", a, b)
+	}
+}
+
+const srcInterleave = `
+_start:
+    li r0, worker
+    movi r1, 0
+    li r2, stack1_top
+    sys SYS_THREAD_CREATE
+    li r0, worker
+    movi r1, 0
+    li r2, stack2_top
+    sys SYS_THREAD_CREATE
+join:
+    li r3, done
+    ld8 r4, [r3+0]
+    movi r5, 2
+    beq r4, r5, out
+    sys SYS_YIELD
+    b join
+out:
+    movi r0, 0
+    sys SYS_EXIT
+worker:
+    movi r10, 500
+w_loop:
+    addi r10, r10, -1
+    bnz r10, w_loop
+    li r0, lk
+    call mutex_lock
+    li r3, done
+    ld8 r4, [r3+0]
+    addi r4, r4, 1
+    st8 [r3+0], r4
+    li r0, lk
+    call mutex_unlock
+    sys SYS_THREAD_EXIT
+.bss
+.align 8
+lk: .space 8
+done: .space 8
+stack1: .space 2048
+stack1_top: .space 8
+stack2: .space 2048
+stack2_top: .space 8
+`
+
+// TestYieldRoundRobin: a yielding thread lets an equal-priority peer
+// run; strict alternation under a huge quantum proves yield works.
+func TestYieldRoundRobin(t *testing.T) {
+	_, _, out, err := runAsm(t, Options{Quantum: 1 << 20}, `
+_start:
+    li r0, peer
+    movi r1, 0
+    li r2, pstack_top
+    sys SYS_THREAD_CREATE
+    movi r10, 3
+main_loop:
+    li r0, amsg
+    call puts
+    sys SYS_YIELD
+    addi r10, r10, -1
+    bnz r10, main_loop
+    ; drain: let the peer finish
+    sys SYS_YIELD
+    sys SYS_YIELD
+    movi r0, 0
+    sys SYS_EXIT
+peer:
+    movi r10, 3
+peer_loop:
+    li r0, bmsg
+    call puts
+    sys SYS_YIELD
+    addi r10, r10, -1
+    bnz r10, peer_loop
+    sys SYS_THREAD_EXIT
+.data
+amsg: .asciz "A"
+bmsg: .asciz "B"
+.bss
+pstack: .space 2048
+pstack_top: .space 8
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "ABABAB" {
+		t.Errorf("interleaving = %q, want ABABAB", out)
+	}
+}

@@ -1,0 +1,385 @@
+// Package mem implements the simulated machine's physical memory: a
+// frame allocator with per-frame reference counts (for copy-on-write
+// sharing), lazily materialised frame contents, huge (2 MiB) frames,
+// and commit accounting with selectable overcommit policies.
+//
+// Base frames are 4 KiB. A frame whose contents have never been
+// written holds no backing []byte at all and reads as zeroes; this
+// lets the simulator model multi-gigabyte address spaces without
+// allocating gigabytes of host memory, while still charging the
+// virtual-time cost of zeroing and copying.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/errno"
+)
+
+// Page geometry. These mirror x86-64 4 KiB base pages and 2 MiB huge
+// pages.
+const (
+	PageShift     = 12
+	PageSize      = 1 << PageShift // 4096
+	HugeShift     = 21
+	HugeSize      = 1 << HugeShift // 2 MiB
+	FramesPerHuge = HugeSize / PageSize
+)
+
+// FrameID names a physical frame. Huge frames live in a separate
+// namespace distinguished by the top bit. NoFrame is the invalid
+// sentinel.
+type FrameID uint32
+
+// NoFrame is an invalid frame id.
+const NoFrame FrameID = ^FrameID(0)
+
+const hugeBit FrameID = 1 << 31
+
+// IsHuge reports whether f names a 2 MiB frame.
+func (f FrameID) IsHuge() bool { return f != NoFrame && f&hugeBit != 0 }
+
+// Size reports the frame's size in bytes.
+func (f FrameID) Size() int {
+	if f.IsHuge() {
+		return HugeSize
+	}
+	return PageSize
+}
+
+// Pages reports the frame's size in 4 KiB pages.
+func (f FrameID) Pages() uint64 {
+	if f.IsHuge() {
+		return FramesPerHuge
+	}
+	return 1
+}
+
+type frame struct {
+	refs int32
+	data []byte // nil ⇒ logically zero-filled
+}
+
+// CommitPolicy selects how commit (reservation) accounting behaves.
+// It models /proc/sys/vm/overcommit_memory.
+type CommitPolicy int
+
+const (
+	// CommitHeuristic allows reservations freely unless a single
+	// request is larger than RAM+swap; processes discover memory
+	// exhaustion later, at fault time (the OOM-killer regime the
+	// paper blames fork for normalising).
+	CommitHeuristic CommitPolicy = iota
+	// CommitStrict refuses any reservation that would push total
+	// committed pages past the commit limit (RAM + swap). Under
+	// this policy forking a large process fails up front with
+	// ENOMEM.
+	CommitStrict
+	// CommitAlways never refuses a reservation (overcommit_memory=1).
+	CommitAlways
+)
+
+func (p CommitPolicy) String() string {
+	switch p {
+	case CommitHeuristic:
+		return "heuristic"
+	case CommitStrict:
+		return "strict"
+	case CommitAlways:
+		return "always"
+	}
+	return fmt.Sprintf("CommitPolicy(%d)", int(p))
+}
+
+// Physical is the machine's physical memory.
+type Physical struct {
+	meter *cost.Meter
+
+	frames []frame   // base (4 KiB) frames
+	free   []FrameID // LIFO free stack of base frames
+
+	hframes []frame   // huge (2 MiB) frames, grown on demand
+	hfree   []FrameID // LIFO free stack of huge frames
+
+	totalPages     uint64 // RAM size in 4 KiB pages
+	allocatedPages uint64 // pages currently handed out (huge counts 512)
+
+	policy      CommitPolicy
+	commitLimit uint64 // pages (RAM + swap)
+	committed   uint64 // pages currently reserved
+}
+
+// NewPhysical creates physical memory of ramBytes plus swapBytes of
+// commit headroom under the given policy. Sizes are rounded down to
+// whole pages. The meter is charged for every hardware operation.
+func NewPhysical(meter *cost.Meter, ramBytes, swapBytes uint64, policy CommitPolicy) *Physical {
+	nframes := ramBytes >> PageShift
+	p := &Physical{
+		meter:       meter,
+		frames:      make([]frame, nframes),
+		free:        make([]FrameID, 0, nframes),
+		totalPages:  nframes,
+		policy:      policy,
+		commitLimit: (ramBytes + swapBytes) >> PageShift,
+	}
+	// Push in reverse so frame 0 pops first; allocation order is
+	// deterministic either way but ascending reads better in traces.
+	for i := int64(nframes) - 1; i >= 0; i-- {
+		p.free = append(p.free, FrameID(i))
+	}
+	return p
+}
+
+// TotalPages reports the RAM size in 4 KiB pages.
+func (p *Physical) TotalPages() uint64 { return p.totalPages }
+
+// FreePages reports how many 4 KiB pages remain unallocated.
+func (p *Physical) FreePages() uint64 { return p.totalPages - p.allocatedPages }
+
+// AllocatedPages reports how many 4 KiB pages are handed out (a huge
+// frame accounts for 512).
+func (p *Physical) AllocatedPages() uint64 { return p.allocatedPages }
+
+// CommitLimit reports the commit ceiling in pages.
+func (p *Physical) CommitLimit() uint64 { return p.commitLimit }
+
+// Committed reports the pages currently reserved.
+func (p *Physical) Committed() uint64 { return p.committed }
+
+// Policy reports the commit policy in force.
+func (p *Physical) Policy() CommitPolicy { return p.policy }
+
+// SetPolicy changes the overcommit policy (used by experiments).
+func (p *Physical) SetPolicy(pol CommitPolicy) { p.policy = pol }
+
+// Reserve requests commit for n pages of private writable memory.
+// Under CommitStrict it fails with ENOMEM when the commit limit would
+// be exceeded; under CommitHeuristic it fails only for single requests
+// larger than the limit; CommitAlways never fails.
+func (p *Physical) Reserve(n uint64) error {
+	switch p.policy {
+	case CommitStrict:
+		if p.committed+n > p.commitLimit {
+			return errno.ENOMEM
+		}
+	case CommitHeuristic:
+		if n > p.commitLimit {
+			return errno.ENOMEM
+		}
+	case CommitAlways:
+	}
+	p.committed += n
+	return nil
+}
+
+// Unreserve returns commit for n pages.
+func (p *Physical) Unreserve(n uint64) {
+	if n > p.committed {
+		panic(fmt.Sprintf("mem: unreserve %d with only %d committed", n, p.committed))
+	}
+	p.committed -= n
+}
+
+func (p *Physical) slot(f FrameID) *frame {
+	if f == NoFrame {
+		panic("mem: NoFrame")
+	}
+	if f.IsHuge() {
+		i := f &^ hugeBit
+		if uint64(i) >= uint64(len(p.hframes)) {
+			panic(fmt.Sprintf("mem: bad huge frame %d", i))
+		}
+		return &p.hframes[i]
+	}
+	if uint64(f) >= uint64(len(p.frames)) {
+		panic(fmt.Sprintf("mem: bad frame %d", f))
+	}
+	return &p.frames[f]
+}
+
+func (p *Physical) live(f FrameID) *frame {
+	fr := p.slot(f)
+	if fr.refs <= 0 {
+		panic(fmt.Sprintf("mem: use of free frame %d", f))
+	}
+	return fr
+}
+
+// Alloc hands out one 4 KiB frame with refcount 1 and logically zero
+// contents. It fails with ENOMEM when RAM is exhausted — the simulated
+// OOM condition.
+func (p *Physical) Alloc() (FrameID, error) {
+	if len(p.free) == 0 || p.allocatedPages+1 > p.totalPages {
+		return NoFrame, errno.ENOMEM
+	}
+	f := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.frames[f] = frame{refs: 1}
+	p.allocatedPages++
+	p.meter.Charge(p.meter.Model.FrameAlloc)
+	return f, nil
+}
+
+// AllocHuge hands out one 2 MiB frame with refcount 1. The 512-page
+// budget is charged against the same RAM pool as base frames.
+func (p *Physical) AllocHuge() (FrameID, error) {
+	if p.allocatedPages+FramesPerHuge > p.totalPages {
+		return NoFrame, errno.ENOMEM
+	}
+	var f FrameID
+	if n := len(p.hfree); n > 0 {
+		f = p.hfree[n-1]
+		p.hfree = p.hfree[:n-1]
+	} else {
+		p.hframes = append(p.hframes, frame{})
+		f = FrameID(len(p.hframes)-1) | hugeBit
+	}
+	*p.slot(f) = frame{refs: 1}
+	p.allocatedPages += FramesPerHuge
+	p.meter.Charge(p.meter.Model.FrameAlloc)
+	return f, nil
+}
+
+// AllocZero allocates a 4 KiB frame and charges the zero-fill cost.
+// (Contents are lazily zero anyway; the charge models the hardware.)
+func (p *Physical) AllocZero() (FrameID, error) {
+	f, err := p.Alloc()
+	if err != nil {
+		return NoFrame, err
+	}
+	p.meter.Charge(p.meter.Model.PageZero)
+	p.meter.PageZeroes++
+	return f, nil
+}
+
+// AllocHugeZero allocates a 2 MiB frame and charges the 2 MiB
+// zero-fill cost.
+func (p *Physical) AllocHugeZero() (FrameID, error) {
+	f, err := p.AllocHuge()
+	if err != nil {
+		return NoFrame, err
+	}
+	p.meter.Charge(p.meter.Model.HugeZero)
+	p.meter.PageZeroes += FramesPerHuge
+	return f, nil
+}
+
+// IncRef adds a reference to f (COW sharing on fork).
+func (p *Physical) IncRef(f FrameID) {
+	p.live(f).refs++
+}
+
+// DecRef drops a reference; when the count reaches zero the frame is
+// freed and true is returned.
+func (p *Physical) DecRef(f FrameID) bool {
+	fr := p.live(f)
+	fr.refs--
+	if fr.refs > 0 {
+		return false
+	}
+	*fr = frame{}
+	if f.IsHuge() {
+		p.hfree = append(p.hfree, f)
+		p.allocatedPages -= FramesPerHuge
+	} else {
+		p.free = append(p.free, f)
+		p.allocatedPages--
+	}
+	p.meter.Charge(p.meter.Model.FrameFree)
+	return true
+}
+
+// Refs reports the reference count of f.
+func (p *Physical) Refs(f FrameID) int32 {
+	return p.live(f).refs
+}
+
+// Read copies frame contents at off into buf. Unmaterialised frames
+// read as zeroes.
+func (p *Physical) Read(f FrameID, off int, buf []byte) {
+	fr := p.live(f)
+	if off < 0 || off+len(buf) > f.Size() {
+		panic(fmt.Sprintf("mem: read off=%d len=%d beyond frame size %d", off, len(buf), f.Size()))
+	}
+	if fr.data == nil {
+		clear(buf)
+		return
+	}
+	copy(buf, fr.data[off:off+len(buf)])
+}
+
+// Write stores data into frame f at off, materialising the frame's
+// backing store only if the write changes its contents (an all-zero
+// write to a zero frame stays lazy).
+func (p *Physical) Write(f FrameID, off int, data []byte) {
+	fr := p.live(f)
+	if off < 0 || off+len(data) > f.Size() {
+		panic(fmt.Sprintf("mem: write off=%d len=%d beyond frame size %d", off, len(data), f.Size()))
+	}
+	if fr.data == nil {
+		allZero := true
+		for _, b := range data {
+			if b != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			return
+		}
+		fr.data = make([]byte, f.Size())
+	}
+	copy(fr.data[off:], data)
+}
+
+// Materialised reports whether f has real backing storage (false ⇒
+// it is a lazy zero frame). Used by tests and memory accounting.
+func (p *Physical) Materialised(f FrameID) bool {
+	return p.live(f).data != nil
+}
+
+// CopyFrame duplicates src into a newly allocated frame of the same
+// size, charging the copy cost (the COW-break path). The new frame has
+// refcount 1.
+func (p *Physical) CopyFrame(src FrameID) (FrameID, error) {
+	sf := p.live(src)
+	var dst FrameID
+	var err error
+	if src.IsHuge() {
+		dst, err = p.AllocHuge()
+		if err == nil {
+			p.meter.Charge(p.meter.Model.HugeCopy)
+			p.meter.PageCopies += FramesPerHuge
+		}
+	} else {
+		dst, err = p.Alloc()
+		if err == nil {
+			p.meter.Charge(p.meter.Model.PageCopy)
+			p.meter.PageCopies++
+		}
+	}
+	if err != nil {
+		return NoFrame, err
+	}
+	if sf.data != nil {
+		nd := make([]byte, src.Size())
+		copy(nd, sf.data)
+		p.slot(dst).data = nd
+	}
+	return dst, nil
+}
+
+// ZeroFrame resets f's contents to zero (used when recycling pages
+// within an address space, e.g. exec tearing down the old image).
+func (p *Physical) ZeroFrame(f FrameID) {
+	fr := p.live(f)
+	fr.data = nil
+	if f.IsHuge() {
+		p.meter.Charge(p.meter.Model.HugeZero)
+		p.meter.PageZeroes += FramesPerHuge
+	} else {
+		p.meter.Charge(p.meter.Model.PageZero)
+		p.meter.PageZeroes++
+	}
+}

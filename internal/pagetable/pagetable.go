@@ -1,0 +1,516 @@
+// Package pagetable implements x86-64-style 4-level radix page tables
+// for the simulator: 48-bit virtual addresses, 4 KiB base pages, and
+// 2 MiB huge mappings installed one level up.
+//
+// This is the data structure whose duplication dominates the cost of
+// fork() in "A fork() in the road": CloneCOW walks the whole radix
+// tree, allocating mirror nodes and copying one entry per mapped page,
+// so its virtual-time cost is Θ(mapped pages) — exactly the linear
+// growth the paper's Figure 1 shows.
+package pagetable
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/mem"
+)
+
+// PTE is a page-table entry: flag bits in the low 12 bits and the
+// frame id shifted into the address bits.
+type PTE uint64
+
+// PTE flag bits.
+const (
+	FlagPresent  PTE = 1 << 0
+	FlagWritable PTE = 1 << 1
+	FlagExec     PTE = 1 << 2
+	// FlagCOW marks a private page temporarily made read-only
+	// because parent and child share the frame after fork. A write
+	// fault on a COW page copies the frame (or reclaims it if the
+	// refcount dropped back to 1).
+	FlagCOW PTE = 1 << 3
+	// FlagHuge marks a 2 MiB mapping installed at level 1 (the PD).
+	FlagHuge     PTE = 1 << 4
+	FlagDirty    PTE = 1 << 5
+	FlagAccessed PTE = 1 << 6
+	// FlagShared marks a MAP_SHARED page: fork shares the frame
+	// without COW.
+	FlagShared PTE = 1 << 7
+
+	frameShift = 12
+)
+
+// Make builds a PTE from a frame and flags.
+func Make(f mem.FrameID, flags PTE) PTE {
+	return PTE(uint64(f))<<frameShift | (flags & 0xfff)
+}
+
+// Frame extracts the frame id.
+func (e PTE) Frame() mem.FrameID { return mem.FrameID(e >> frameShift) }
+
+// Flags extracts the flag bits.
+func (e PTE) Flags() PTE { return e & 0xfff }
+
+// Present reports whether the entry maps a frame.
+func (e PTE) Present() bool { return e&FlagPresent != 0 }
+
+// Writable reports the hardware-writable bit.
+func (e PTE) Writable() bool { return e&FlagWritable != 0 }
+
+// COW reports the software copy-on-write bit.
+func (e PTE) COW() bool { return e&FlagCOW != 0 }
+
+// Huge reports whether this is a 2 MiB mapping.
+func (e PTE) Huge() bool { return e&FlagHuge != 0 }
+
+// Shared reports whether this page is MAP_SHARED.
+func (e PTE) Shared() bool { return e&FlagShared != 0 }
+
+// With returns e with the given flags set.
+func (e PTE) With(flags PTE) PTE { return e | flags }
+
+// Without returns e with the given flags cleared.
+func (e PTE) Without(flags PTE) PTE { return e &^ flags }
+
+func (e PTE) String() string {
+	if !e.Present() {
+		return "<absent>"
+	}
+	s := fmt.Sprintf("frame=%d", e.Frame())
+	for _, f := range []struct {
+		bit  PTE
+		name string
+	}{
+		{FlagWritable, "W"}, {FlagExec, "X"}, {FlagCOW, "cow"},
+		{FlagHuge, "huge"}, {FlagDirty, "D"}, {FlagAccessed, "A"},
+		{FlagShared, "shared"},
+	} {
+		if e&f.bit != 0 {
+			s += "+" + f.name
+		}
+	}
+	return s
+}
+
+// Virtual-address geometry.
+const (
+	LevelBits = 9
+	Levels    = 4
+	VABits    = Levels*LevelBits + mem.PageShift // 48
+	// MaxVA is one past the highest mappable virtual address.
+	MaxVA = uint64(1) << VABits
+
+	entriesPerNode = 1 << LevelBits // 512
+	tlbSize        = 64
+)
+
+// level of a node: 3 (root/PML4) down to 0 (PT). Huge mappings live at
+// level 1.
+func index(va uint64, level int) int {
+	return int(va>>(mem.PageShift+uint(level)*LevelBits)) & (entriesPerNode - 1)
+}
+
+type node struct {
+	// kids is used at levels 3..1; ptes at level 0, and also at
+	// level 1 for huge mappings (a slot holds either a kid or a
+	// huge PTE, never both).
+	kids [entriesPerNode]*node
+	ptes [entriesPerNode]PTE
+}
+
+type tlbEntry struct {
+	vpn   uint64 // virtual page number (base-page granularity)
+	pte   PTE
+	valid bool
+}
+
+// Table is one address space's page-table tree plus a tiny TLB.
+type Table struct {
+	phys  *mem.Physical
+	meter *cost.Meter
+	root  *node
+
+	nodes       int // interior + leaf page-table pages, excluding root
+	entries     int // present leaf PTEs (a huge mapping counts once)
+	hugeEntries int
+
+	tlb [tlbSize]tlbEntry
+}
+
+// New creates an empty table. The root node is charged like any other
+// page-table page.
+func New(phys *mem.Physical, meter *cost.Meter) *Table {
+	meter.Charge(meter.Model.PTNodeAlloc)
+	meter.PTNodes++
+	return &Table{phys: phys, meter: meter, root: &node{}}
+}
+
+// Entries reports the number of present leaf entries (huge counts 1).
+func (t *Table) Entries() int { return t.entries }
+
+// HugeEntries reports how many of the entries are 2 MiB mappings.
+func (t *Table) HugeEntries() int { return t.hugeEntries }
+
+// Nodes reports the number of page-table pages below the root.
+func (t *Table) Nodes() int { return t.nodes }
+
+func (t *Table) tlbSlot(vpn uint64) *tlbEntry { return &t.tlb[vpn%tlbSize] }
+
+// InvalidateTLB drops any cached translation for va. Operations on
+// huge mappings do a full FlushTLB instead, since a single huge entry
+// backs 512 cached vpns.
+func (t *Table) InvalidateTLB(va uint64) {
+	vpn := va >> mem.PageShift
+	if s := t.tlbSlot(vpn); s.valid && s.vpn == vpn {
+		s.valid = false
+	}
+}
+
+// FlushTLB drops all cached translations and charges the flush cost.
+func (t *Table) FlushTLB() {
+	for i := range t.tlb {
+		t.tlb[i].valid = false
+	}
+	t.meter.Charge(t.meter.Model.TLBFlush)
+}
+
+func checkVA(va uint64) {
+	if va >= MaxVA {
+		panic(fmt.Sprintf("pagetable: va %#x beyond %d-bit space", va, VABits))
+	}
+}
+
+// Map installs a 4 KiB mapping for va (page-aligned). Any existing
+// entry is overwritten; the caller is responsible for frame refcounts
+// of a replaced entry (use Unmap first if that matters).
+func (t *Table) Map(va uint64, e PTE) {
+	checkVA(va)
+	if va&(mem.PageSize-1) != 0 {
+		panic(fmt.Sprintf("pagetable: unaligned map %#x", va))
+	}
+	n := t.root
+	for level := Levels - 1; level > 0; level-- {
+		i := index(va, level)
+		if level == 1 && n.ptes[i].Present() && n.ptes[i].Huge() {
+			panic(fmt.Sprintf("pagetable: 4K map %#x overlaps huge mapping", va))
+		}
+		if n.kids[i] == nil {
+			n.kids[i] = &node{}
+			t.nodes++
+			t.meter.Charge(t.meter.Model.PTNodeAlloc)
+			t.meter.PTNodes++
+		}
+		n = n.kids[i]
+	}
+	i := index(va, 0)
+	if !n.ptes[i].Present() {
+		t.entries++
+	}
+	n.ptes[i] = e | FlagPresent
+	t.meter.Charge(t.meter.Model.PTEWrite)
+	t.InvalidateTLB(va)
+}
+
+// MapHuge installs a 2 MiB mapping at va (2 MiB-aligned) at level 1.
+func (t *Table) MapHuge(va uint64, e PTE) {
+	checkVA(va)
+	if va&(mem.HugeSize-1) != 0 {
+		panic(fmt.Sprintf("pagetable: unaligned huge map %#x", va))
+	}
+	n := t.root
+	for level := Levels - 1; level > 1; level-- {
+		i := index(va, level)
+		if n.kids[i] == nil {
+			n.kids[i] = &node{}
+			t.nodes++
+			t.meter.Charge(t.meter.Model.PTNodeAlloc)
+			t.meter.PTNodes++
+		}
+		n = n.kids[i]
+	}
+	i := index(va, 1)
+	if n.kids[i] != nil {
+		panic(fmt.Sprintf("pagetable: huge map %#x overlaps 4K mappings", va))
+	}
+	if !n.ptes[i].Present() {
+		t.entries++
+		t.hugeEntries++
+	}
+	n.ptes[i] = e | FlagPresent | FlagHuge
+	t.meter.Charge(t.meter.Model.PTEWrite)
+	t.FlushTLB()
+}
+
+// lookup returns the leaf slot holding va's translation, or nil.
+// hugeBase receives the huge mapping's base va when the translation is
+// huge.
+func (t *Table) lookupSlot(va uint64) (slot *PTE, huge bool) {
+	n := t.root
+	for level := Levels - 1; level > 0; level-- {
+		i := index(va, level)
+		if level == 1 {
+			if n.ptes[i].Present() && n.ptes[i].Huge() {
+				return &n.ptes[i], true
+			}
+		}
+		if n.kids[i] == nil {
+			return nil, false
+		}
+		n = n.kids[i]
+	}
+	i := index(va, 0)
+	if !n.ptes[i].Present() {
+		return nil, false
+	}
+	return &n.ptes[i], false
+}
+
+// Lookup translates va. The TLB is consulted first; a miss charges the
+// software-walk cost. The boolean reports whether a mapping exists.
+func (t *Table) Lookup(va uint64) (PTE, bool) {
+	checkVA(va)
+	vpn := va >> mem.PageShift
+	if s := t.tlbSlot(vpn); s.valid && s.vpn == vpn {
+		return s.pte, true
+	}
+	t.meter.Charge(t.meter.Model.PTWalk)
+	slot, _ := t.lookupSlot(va)
+	if slot == nil {
+		return 0, false
+	}
+	*t.tlbSlot(vpn) = tlbEntry{vpn: vpn, pte: *slot, valid: true}
+	return *slot, true
+}
+
+// Update rewrites the existing entry covering va (COW break, dirty and
+// accessed bits). It panics if va is unmapped.
+func (t *Table) Update(va uint64, e PTE) {
+	checkVA(va)
+	slot, huge := t.lookupSlot(va)
+	if slot == nil {
+		panic(fmt.Sprintf("pagetable: update of unmapped va %#x", va))
+	}
+	if huge {
+		e |= FlagHuge
+	}
+	*slot = e | FlagPresent
+	t.meter.Charge(t.meter.Model.PTEWrite)
+	if huge {
+		t.FlushTLB()
+	} else {
+		t.InvalidateTLB(va)
+	}
+}
+
+// Unmap removes the translation covering va and returns the old entry.
+// For a huge mapping, va must be the mapping's base. The caller owns
+// the frame reference.
+func (t *Table) Unmap(va uint64) (PTE, bool) {
+	checkVA(va)
+	slot, huge := t.lookupSlot(va)
+	if slot == nil {
+		return 0, false
+	}
+	old := *slot
+	if huge && va&(mem.HugeSize-1) != 0 {
+		panic(fmt.Sprintf("pagetable: unmap %#x inside huge mapping", va))
+	}
+	*slot = 0
+	t.entries--
+	if huge {
+		t.hugeEntries--
+	}
+	t.meter.Charge(t.meter.Model.PTEWrite)
+	if huge {
+		t.FlushTLB()
+	} else {
+		t.InvalidateTLB(va)
+	}
+	return old, true
+}
+
+// Visit calls fn for every present leaf entry in ascending va order.
+// fn receives the mapping's base va and may rewrite the entry by
+// returning a new value (return the input to leave it unchanged).
+// Rewrites charge a PTE write; the TLB is flushed afterwards if any
+// entry changed.
+func (t *Table) Visit(fn func(va uint64, e PTE) PTE) {
+	changed := t.visit(t.root, 0, Levels-1, fn)
+	if changed {
+		t.FlushTLB()
+	}
+}
+
+func (t *Table) visit(n *node, base uint64, level int, fn func(uint64, PTE) PTE) bool {
+	changed := false
+	span := uint64(1) << (mem.PageShift + uint(level)*LevelBits)
+	for i := 0; i < entriesPerNode; i++ {
+		va := base + uint64(i)*span
+		if level == 0 || (level == 1 && n.ptes[i].Present() && n.ptes[i].Huge()) {
+			e := n.ptes[i]
+			if !e.Present() {
+				continue
+			}
+			ne := fn(va, e)
+			if ne != e {
+				n.ptes[i] = ne | FlagPresent
+				t.meter.Charge(t.meter.Model.PTEWrite)
+				changed = true
+			}
+			continue
+		}
+		if n.kids[i] != nil {
+			if t.visit(n.kids[i], va, level-1, fn) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// CloneCOW builds a copy of t for a forked child: every private
+// mapping is downgraded to read-only + COW in *both* tables and its
+// frame reference count incremented; shared mappings are copied
+// verbatim with an extra reference. The walk allocates a mirror node
+// for every page-table page and writes one entry per mapping — the
+// Θ(address-space size) loop at the heart of fork's cost.
+//
+// Both TLBs are flushed (the parent's mappings just lost their write
+// permission).
+func (t *Table) CloneCOW() *Table {
+	child := New(t.phys, t.meter)
+	child.cloneNode(t, t.root, child.root, Levels-1)
+	child.entries = t.entries
+	child.hugeEntries = t.hugeEntries
+	t.FlushTLB()
+	child.FlushTLB()
+	return child
+}
+
+func (c *Table) cloneNode(parent *Table, pn, cn *node, level int) {
+	for i := 0; i < entriesPerNode; i++ {
+		if level == 0 || (level == 1 && pn.ptes[i].Present() && pn.ptes[i].Huge()) {
+			e := pn.ptes[i]
+			if !e.Present() {
+				continue
+			}
+			if e.Shared() {
+				// Shared mapping: same frame, full perms.
+				c.phys.IncRef(e.Frame())
+				cn.ptes[i] = e
+				c.meter.Charge(c.meter.Model.PTEWrite)
+				c.meter.PTECopies++
+				continue
+			}
+			// Private mapping: drop write permission on both
+			// sides and tag COW (even already-read-only pages
+			// get the frame shared; keeping COW only on pages
+			// that were writable preserves their eventual
+			// write-back permission).
+			c.phys.IncRef(e.Frame())
+			shared := e.Without(FlagWritable)
+			if e.Writable() || e.COW() {
+				shared = shared.With(FlagCOW)
+			}
+			if shared != e {
+				pn.ptes[i] = shared
+				c.meter.Charge(c.meter.Model.PTEWrite)
+			}
+			cn.ptes[i] = shared
+			c.meter.Charge(c.meter.Model.PTEWrite)
+			c.meter.PTECopies++
+			continue
+		}
+		if pn.kids[i] == nil {
+			continue
+		}
+		cn.kids[i] = &node{}
+		c.nodes++
+		c.meter.Charge(c.meter.Model.PTNodeAlloc)
+		c.meter.PTNodes++
+		c.cloneNode(parent, pn.kids[i], cn.kids[i], level-1)
+	}
+}
+
+// CloneEager builds a fully copied table for a child, 1970s-style: a
+// fresh frame is allocated and the contents copied for every private
+// mapping. Used by the kernel's EagerFork ablation. It can fail with
+// ENOMEM mid-way; the partially built table is returned along with the
+// error so the caller can destroy it.
+func (t *Table) CloneEager() (*Table, error) {
+	child := New(t.phys, t.meter)
+	err := child.cloneEagerNode(t.root, child.root, Levels-1)
+	return child, err
+}
+
+func (c *Table) cloneEagerNode(pn, cn *node, level int) error {
+	for i := 0; i < entriesPerNode; i++ {
+		if level == 0 || (level == 1 && pn.ptes[i].Present() && pn.ptes[i].Huge()) {
+			e := pn.ptes[i]
+			if !e.Present() {
+				continue
+			}
+			if e.Shared() {
+				c.phys.IncRef(e.Frame())
+				cn.ptes[i] = e
+			} else {
+				nf, err := c.phys.CopyFrame(e.Frame())
+				if err != nil {
+					return err
+				}
+				cn.ptes[i] = Make(nf, e.Flags())
+			}
+			c.meter.Charge(c.meter.Model.PTEWrite)
+			c.meter.PTECopies++
+			c.entries++
+			if e.Huge() {
+				c.hugeEntries++
+			}
+			continue
+		}
+		if pn.kids[i] == nil {
+			continue
+		}
+		cn.kids[i] = &node{}
+		c.nodes++
+		c.meter.Charge(c.meter.Model.PTNodeAlloc)
+		c.meter.PTNodes++
+		if err := c.cloneEagerNode(pn.kids[i], cn.kids[i], level-1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Destroy tears the tree down, invoking release for every present leaf
+// entry (the caller drops frame references there) and charging the
+// node-free cost for every page-table page including the root.
+func (t *Table) Destroy(release func(va uint64, e PTE)) {
+	t.destroyNode(t.root, 0, Levels-1, release)
+	t.root = nil
+	t.meter.Charge(t.meter.Model.PTNodeFree) // the root
+	t.entries, t.nodes, t.hugeEntries = 0, 0, 0
+	for i := range t.tlb {
+		t.tlb[i].valid = false
+	}
+}
+
+func (t *Table) destroyNode(n *node, base uint64, level int, release func(uint64, PTE)) {
+	span := uint64(1) << (mem.PageShift + uint(level)*LevelBits)
+	for i := 0; i < entriesPerNode; i++ {
+		va := base + uint64(i)*span
+		if level == 0 || (level == 1 && n.ptes[i].Present() && n.ptes[i].Huge()) {
+			if n.ptes[i].Present() && release != nil {
+				release(va, n.ptes[i])
+			}
+			n.ptes[i] = 0
+			continue
+		}
+		if n.kids[i] != nil {
+			t.destroyNode(n.kids[i], va, level-1, release)
+			n.kids[i] = nil
+			t.meter.Charge(t.meter.Model.PTNodeFree)
+		}
+	}
+}

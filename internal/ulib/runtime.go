@@ -1,0 +1,158 @@
+// Package ulib is the simulator's userland: a small runtime library
+// written in the assembly dialect of internal/asm plus a collection of
+// standard programs (init, echo, cat, true, spawn/fork benchmarks, and
+// the fork-pitfall demonstrations from §4 of "A fork() in the road").
+//
+// Programs are assembled at first use and installed into a kernel's
+// /bin by InstallAll.
+package ulib
+
+// Runtime is the shared library text appended to every program:
+//
+//	strlen      r0=cstr            -> r0=len
+//	puts        r0=cstr            -> stdout        (clobbers r0-r5)
+//	fputs       r0=fd, r1=cstr                      (clobbers r0-r5)
+//	print_u64   r0=value           -> stdout decimal
+//	atoi        r0=cstr            -> r0=value (decimal)
+//	mutex_lock  r0=&word                            (clobbers r0-r4)
+//	mutex_unlock r0=&word                           (clobbers r0-r2)
+//	bputs       r0=cstr  — append to the user-space stdio buffer
+//	bflush      flush the buffer to stdout
+//
+// The buffered-stdio pair exists to reproduce the classic fork bug:
+// buffered bytes are duplicated into the child and flushed twice.
+const Runtime = `
+; ---------------------------------------------------------------
+; runtime library (see ulib.Runtime)
+; ---------------------------------------------------------------
+.text
+strlen:
+    mov r1, r0
+strlen_loop:
+    ld1 r2, [r1+0]
+    bz r2, strlen_done
+    addi r1, r1, 1
+    b strlen_loop
+strlen_done:
+    sub r0, r1, r0
+    ret
+
+puts:                       ; r0 = cstr
+    mov r5, r0
+    call strlen
+    mov r2, r0              ; len
+    mov r1, r5              ; buf
+    movi r0, STDOUT
+    sys SYS_WRITE
+    ret
+
+fputs:                      ; r0 = fd, r1 = cstr
+    mov r6, r0              ; save fd
+    mov r5, r1              ; save ptr
+    mov r0, r1
+    call strlen
+    mov r2, r0
+    mov r1, r5
+    mov r0, r6
+    sys SYS_WRITE
+    ret
+
+print_u64:                  ; r0 = value, prints decimal to stdout
+    addi sp, sp, -32
+    mov r1, sp
+    addi r1, r1, 32         ; one past end of buffer
+    movi r2, 10
+pu_loop:
+    mod r3, r0, r2
+    addi r3, r3, '0'
+    addi r1, r1, -1
+    st1 [r1+0], r3
+    div r0, r0, r2
+    bnz r0, pu_loop
+    mov r3, sp
+    addi r3, r3, 32
+    sub r2, r3, r1          ; len
+    movi r0, STDOUT
+    sys SYS_WRITE
+    addi sp, sp, 32
+    ret
+
+atoi:                       ; r0 = cstr -> r0 = value
+    mov r1, r0
+    movi r0, 0
+    movi r3, 10
+atoi_loop:
+    ld1 r2, [r1+0]
+    bz r2, atoi_done
+    addi r2, r2, -48        ; '0'
+    movi r4, 9
+    bltu r4, r2, atoi_done  ; non-digit
+    mul r0, r0, r3
+    add r0, r0, r2
+    addi r1, r1, 1
+    b atoi_loop
+atoi_done:
+    ret
+
+mutex_lock:                 ; r0 = &word (0 free, 1 locked)
+    mov r4, r0
+ml_try:
+    movi r1, 1
+    xchg r2, [r4+0], r1
+    bz r2, ml_acquired
+    mov r0, r4
+    movi r1, 1
+    sys SYS_FUTEX_WAIT      ; returns 0 (woken) or -EAGAIN (changed)
+    b ml_try
+ml_acquired:
+    ret
+
+mutex_unlock:               ; r0 = &word
+    movi r1, 0
+    st8 [r0+0], r1
+    movi r1, 1
+    sys SYS_FUTEX_WAKE
+    ret
+
+; --- user-space buffered stdio (the fork trap) -------------------
+bputs:                      ; r0 = cstr: append to buffer
+    mov r5, r0
+    call strlen
+    mov r2, r0              ; len
+    li r3, stdio_len
+    ld8 r4, [r3+0]          ; current fill
+    li r1, stdio_buf
+    add r1, r1, r4          ; dest
+    add r4, r4, r2
+    st8 [r3+0], r4          ; new fill
+    ; copy r2 bytes from r5 to r1
+bp_copy:
+    bz r2, bp_done
+    ld1 r4, [r5+0]
+    st1 [r1+0], r4
+    addi r5, r5, 1
+    addi r1, r1, 1
+    addi r2, r2, -1
+    b bp_copy
+bp_done:
+    ret
+
+bflush:
+    li r3, stdio_len
+    ld8 r2, [r3+0]          ; len
+    bz r2, bf_done
+    li r1, stdio_buf
+    movi r0, STDOUT
+    sys SYS_WRITE
+    li r3, stdio_len
+    movi r2, 0
+    st8 [r3+0], r2
+bf_done:
+    ret
+
+.bss
+.align 8
+stdio_len: .space 8
+stdio_buf: .space 1024
+.text
+`

@@ -1,0 +1,121 @@
+package ulib
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+)
+
+// TestAllProgramsAssemble catches syntax rot in any userland program.
+func TestAllProgramsAssemble(t *testing.T) {
+	for name := range Sources {
+		if _, err := Build(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("no-such-program"); err == nil {
+		t.Error("unknown program built")
+	}
+}
+
+func TestBuildCaches(t *testing.T) {
+	a, err := Build("true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Build("true")
+	if a != b {
+		t.Error("cache miss on identical build")
+	}
+}
+
+// TestRuntimeAlone: the runtime library must assemble standalone (it
+// is what kxasm -runtime appends to user source).
+func TestRuntimeAlone(t *testing.T) {
+	im, err := asm.Assemble("_start:\n    movi r0, 0\n    sys SYS_EXIT\n" + Runtime)
+	if err != nil {
+		t.Fatalf("runtime does not assemble: %v", err)
+	}
+	if len(im.Text) < 40*isa.InstrSize {
+		t.Errorf("runtime suspiciously small: %d bytes", len(im.Text))
+	}
+}
+
+// TestRuntimeHasNoProgramLabels guards the namespace convention:
+// runtime labels must not collide with the prefixes programs use.
+func TestRuntimeNamespace(t *testing.T) {
+	for _, reserved := range []string{"\n_start:", "\nmain:"} {
+		if strings.Contains(Runtime, reserved) {
+			t.Errorf("runtime defines %q", strings.TrimSpace(reserved))
+		}
+	}
+}
+
+// TestEntryPoints: every program defines _start and links it as entry.
+func TestEntryPoints(t *testing.T) {
+	for name := range Sources {
+		im := MustBuild(name)
+		if im.Entry < im.TextBase || im.Entry >= im.TextBase+uint64(len(im.Text)) {
+			t.Errorf("%s: entry %#x outside text", name, im.Entry)
+		}
+	}
+}
+
+// TestProgramsEndWithTrap: text must not fall off the end into
+// zeroes silently — the last instruction of every program path should
+// be a syscall or branch. We check the weaker structural property
+// that images are non-empty and 8-byte multiple.
+func TestProgramShape(t *testing.T) {
+	for name := range Sources {
+		im := MustBuild(name)
+		if len(im.Text)%isa.InstrSize != 0 {
+			t.Errorf("%s: text size %d not a multiple of %d", name, len(im.Text), isa.InstrSize)
+		}
+		if len(im.Text) == 0 {
+			t.Errorf("%s: empty text", name)
+		}
+	}
+}
+
+// TestInstallAllIntoKernel exercises the Installer integration: every
+// program lands in /bin and decodes as a valid image.
+func TestInstallAllIntoKernel(t *testing.T) {
+	k := kernel.New(kernel.Options{})
+	if err := InstallAll(k); err != nil {
+		t.Fatal(err)
+	}
+	names, err := k.FS().ReadDir(nil, "/bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(Sources) {
+		t.Errorf("/bin has %d entries, want %d", len(names), len(Sources))
+	}
+	for _, n := range names {
+		ino, err := k.FS().Resolve(nil, "/bin/"+n)
+		if err != nil {
+			t.Errorf("%s: %v", n, err)
+			continue
+		}
+		if _, err := image.DecodeHeader(ino.Data()); err != nil {
+			t.Errorf("%s: invalid image: %v", n, err)
+		}
+	}
+	// Install to a custom path too.
+	if err := Install(k, "true", "/sbin-true"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.FS().Resolve(nil, "/sbin-true"); err != nil {
+		t.Errorf("custom install path: %v", err)
+	}
+	if err := Install(k, "no-such", "/x"); err == nil {
+		t.Error("installing unknown program succeeded")
+	}
+}

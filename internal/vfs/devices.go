@@ -1,0 +1,40 @@
+package vfs
+
+import "io"
+
+// NullDevice is /dev/null: reads return EOF, writes vanish.
+type NullDevice struct{}
+
+// ReadDev implements Device.
+func (NullDevice) ReadDev(buf []byte) (int, error) { return 0, nil }
+
+// WriteDev implements Device.
+func (NullDevice) WriteDev(data []byte) (int, error) { return len(data), nil }
+
+// ConsoleDevice is /dev/console: writes go to Out (typically the host
+// process's stdout or a capture buffer), reads drain In. A nil In
+// reads as EOF; a nil Out discards.
+type ConsoleDevice struct {
+	In  io.Reader
+	Out io.Writer
+}
+
+// ReadDev implements Device.
+func (c *ConsoleDevice) ReadDev(buf []byte) (int, error) {
+	if c.In == nil {
+		return 0, nil
+	}
+	n, err := c.In.Read(buf)
+	if err == io.EOF {
+		err = nil
+	}
+	return n, err
+}
+
+// WriteDev implements Device.
+func (c *ConsoleDevice) WriteDev(data []byte) (int, error) {
+	if c.Out == nil {
+		return len(data), nil
+	}
+	return c.Out.Write(data)
+}
