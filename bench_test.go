@@ -1,11 +1,12 @@
 package repro
 
 // One benchmark per figure/table of the paper's evaluation, plus
-// ablation and substrate microbenchmarks. Process-creation benchmarks
-// report both host ns/op (how fast the simulator runs) and the
-// virtual-time metric "virt-µs/op" (what the paper's axes show); the
-// virtual numbers are the reproduction, the host numbers are just the
-// simulator's own speed.
+// ablation and substrate microbenchmarks, all driven through the
+// public sim API. Process-creation benchmarks report both host ns/op
+// (how fast the simulator runs) and the virtual-time metric
+// "virt-µs/op" (what the paper's axes show); the virtual numbers are
+// the reproduction, the host numbers are just the simulator's own
+// speed.
 //
 //	go test -bench=. -benchmem
 //
@@ -13,15 +14,13 @@ package repro
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/addrspace"
-	"repro/internal/asm"
-	"repro/internal/core"
-	"repro/internal/cost"
 	"repro/internal/experiments"
 	"repro/internal/kernel"
 	"repro/internal/ulib"
-	"repro/internal/vfs"
+	"repro/sim"
 )
 
 const (
@@ -29,36 +28,41 @@ const (
 	mib = uint64(1) << 20
 )
 
-// benchParent builds a kernel plus a dirty parent of the given size.
-func benchParent(b *testing.B, size uint64, huge bool) (*kernel.Kernel, *kernel.Process) {
+// benchSystem boots a machine whose host process is a dirty parent of
+// the given size — the x-axis of Figure 1.
+func benchSystem(b *testing.B, size uint64, huge bool) *sim.System {
 	b.Helper()
-	k := kernel.New(kernel.Options{RAMBytes: 4 << 30})
-	if err := ulib.Install(k, "true", "/bin/true"); err != nil {
-		b.Fatal(err)
-	}
-	p, err := experiments.BuildParent(k, "parent", size, huge)
+	sys, err := sim.NewSystem(sim.WithRAM(4<<30), sim.WithUserland("true"))
 	if err != nil {
 		b.Fatal(err)
 	}
-	return k, p
-}
-
-// benchCreation is the shared body for Figure 1's lines.
-func benchCreation(b *testing.B, method core.Method, size uint64, huge bool) {
-	k, parent := benchParent(b, size, huge)
-	// Warm-up fork: the first one additionally downgrades the
-	// parent's PTEs.
-	if _, err := core.MeasureCreation(k, parent, method, "/bin/true"); err != nil {
+	if err := sys.DirtyHost(size, huge); err != nil {
 		b.Fatal(err)
 	}
-	var virt cost.Ticks
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		el, err := core.MeasureCreation(k, parent, method, "/bin/true")
+	return sys
+}
+
+// benchCreation is the shared body for Figure 1's lines: create a
+// parked child through one strategy, record the virtual latency,
+// destroy it.
+func benchCreation(b *testing.B, st sim.Strategy, size uint64, huge bool) {
+	sys := benchSystem(b, size, huge)
+	measure := func() time.Duration {
+		p, err := sys.Command("true").Via(st).Create()
 		if err != nil {
 			b.Fatal(err)
 		}
-		virt += el
+		virt := p.CreationCost()
+		p.Destroy()
+		return virt
+	}
+	// Warm-up: the first fork additionally downgrades the parent's
+	// PTEs to read-only.
+	measure()
+	var virt time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		virt += measure()
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(virt)/float64(b.N)/1e3, "virt-µs/op")
@@ -71,16 +75,16 @@ func BenchmarkFigure1(b *testing.B) {
 	for _, size := range sizes {
 		name := experiments.HumanBytes(size)
 		b.Run("fork+exec/"+name, func(b *testing.B) {
-			benchCreation(b, core.MethodForkExec, size, false)
+			benchCreation(b, sim.ForkExec, size, false)
 		})
 		b.Run("vfork+exec/"+name, func(b *testing.B) {
-			benchCreation(b, core.MethodVforkExec, size, false)
+			benchCreation(b, sim.VforkExec, size, false)
 		})
 		b.Run("posix_spawn/"+name, func(b *testing.B) {
-			benchCreation(b, core.MethodSpawn, size, false)
+			benchCreation(b, sim.Spawn, size, false)
 		})
 		b.Run("fork+exec-huge/"+name, func(b *testing.B) {
-			benchCreation(b, core.MethodForkExec, size, true)
+			benchCreation(b, sim.ForkExec, size, true)
 		})
 	}
 }
@@ -99,35 +103,35 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkCOWTax regenerates E3: per-page write cost before and
 // after a fork.
 func BenchmarkCOWTax(b *testing.B) {
-	var parentPerPage cost.Ticks
+	var parentPerPage float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.CowTax(16 * mib)
 		if err != nil {
 			b.Fatal(err)
 		}
-		parentPerPage = res.ParentPerPage
+		parentPerPage = float64(res.ParentPerPage)
 	}
-	b.ReportMetric(float64(parentPerPage), "virt-ns/page")
+	b.ReportMetric(parentPerPage, "virt-ns/page")
 }
 
 // BenchmarkForkHuge regenerates E4's headline pair: fork+exec of a
 // 256 MiB parent with 4 KiB vs 2 MiB pages.
 func BenchmarkForkHuge(b *testing.B) {
-	b.Run("4KiB", func(b *testing.B) { benchCreation(b, core.MethodForkExec, 256*mib, false) })
-	b.Run("2MiB", func(b *testing.B) { benchCreation(b, core.MethodForkExec, 256*mib, true) })
+	b.Run("4KiB", func(b *testing.B) { benchCreation(b, sim.ForkExec, 256*mib, false) })
+	b.Run("2MiB", func(b *testing.B) { benchCreation(b, sim.ForkExec, 256*mib, true) })
 }
 
 // BenchmarkEagerFork regenerates ablation 1: 1970s fork that copies
 // every resident page at fork time.
 func BenchmarkEagerFork(b *testing.B) {
-	b.Run("cow", func(b *testing.B) { benchCreation(b, core.MethodForkExec, 64*mib, false) })
-	b.Run("eager", func(b *testing.B) { benchCreation(b, core.MethodForkEagerExec, 64*mib, false) })
+	b.Run("cow", func(b *testing.B) { benchCreation(b, sim.ForkExec, 64*mib, false) })
+	b.Run("eager", func(b *testing.B) { benchCreation(b, sim.EagerForkExec, 64*mib, false) })
 }
 
 // BenchmarkEmulatedFork regenerates E7's worst line: user-space fork
 // over cross-process operations.
 func BenchmarkEmulatedFork(b *testing.B) {
-	benchCreation(b, core.MethodEmulatedForkExec, 16*mib, false)
+	benchCreation(b, sim.EmulatedFork, 16*mib, false)
 }
 
 // BenchmarkOvercommit regenerates E5 (the full policy × size matrix).
@@ -164,11 +168,14 @@ func BenchmarkSpawnScale(b *testing.B) {
 // faulted region is bounded and recycled (off the timer) so b.N can
 // grow past physical memory.
 func BenchmarkDemandFault(b *testing.B) {
-	k := kernel.New(kernel.Options{RAMBytes: 8 << 30})
-	p := k.NewSynthetic("p", nil)
+	sys, err := sim.NewSystem(sim.WithRAM(8<<30), sim.WithUserland("true"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := sys.Host().Space()
 	const pages = 1 << 18 // 1 GiB region
 	remap := func() uint64 {
-		vma, err := p.Space().Map(0x10000000, pages*4096, addrspace.Read|addrspace.Write, addrspace.MapOpts{})
+		vma, err := space.Map(0x10000000, pages*4096, addrspace.Read|addrspace.Write, addrspace.MapOpts{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -179,13 +186,13 @@ func BenchmarkDemandFault(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if i > 0 && i%pages == 0 {
 			b.StopTimer()
-			if err := p.Space().Unmap(start, pages*4096); err != nil {
+			if err := space.Unmap(start, pages*4096); err != nil {
 				b.Fatal(err)
 			}
 			start = remap()
 			b.StartTimer()
 		}
-		if err := p.Space().Fault(start+uint64(i%pages)*4096, addrspace.AccessWrite); err != nil {
+		if err := space.Fault(start+uint64(i%pages)*4096, addrspace.AccessWrite); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -194,10 +201,11 @@ func BenchmarkDemandFault(b *testing.B) {
 // BenchmarkCloneCOW measures the raw page-table COW clone (the fork
 // inner loop) for a 64 MiB parent.
 func BenchmarkCloneCOW(b *testing.B) {
-	k, parent := benchParent(b, 64*mib, false)
+	sys := benchSystem(b, 64*mib, false)
+	space := sys.Host().Space()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, err := parent.Space().CloneCOW()
+		c, err := space.CloneCOW()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -205,29 +213,28 @@ func BenchmarkCloneCOW(b *testing.B) {
 		c.Destroy()
 		b.StartTimer()
 	}
-	_ = k
 }
 
 // BenchmarkVMExecution measures host-side interpreter speed
 // (instructions per host second) on a tight arithmetic loop.
 func BenchmarkVMExecution(b *testing.B) {
-	k := kernel.New(kernel.Options{})
-	im := asm.MustAssemble(`
+	const spin = `
 _start:
     li r1, 1000000000
 loop:
     addi r0, r0, 1
     bne r0, r1, loop
     sys SYS_EXIT
-` + ulib.Runtime)
-	if err := k.InstallImage("/bin/spin", im); err != nil {
+`
+	sys, err := sim.NewSystem(sim.WithUserland("true"), sim.WithProgram("/bin/spin", spin))
+	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := k.BootInit("/bin/spin", []string{"spin"}); err != nil {
+	if err := sys.Command("/bin/spin").Start(); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
-	if err := k.Run(kernel.RunLimits{MaxInstructions: uint64(b.N)}); err != nil {
+	if err := sys.Kernel().Run(kernel.RunLimits{MaxInstructions: uint64(b.N)}); err != nil {
 		b.Fatal(err)
 	}
 }
@@ -235,30 +242,32 @@ loop:
 // BenchmarkPipeTransfer measures the syscall+pipe path end to end: a
 // VM pingpong round trip per iteration (amortised).
 func BenchmarkPipeTransfer(b *testing.B) {
-	k := kernel.New(kernel.Options{})
-	if err := ulib.InstallAll(k); err != nil {
+	sys, err := sim.NewSystem()
+	if err != nil {
 		b.Fatal(err)
 	}
 	rounds := b.N
 	if rounds > 100000 {
 		rounds = 100000
 	}
-	if _, err := k.BootInit("/bin/pingpong", []string{"pingpong", itoa(rounds)}); err != nil {
-		b.Fatal(err)
-	}
 	b.ResetTimer()
-	if err := k.Run(kernel.RunLimits{}); err != nil {
+	if err := sys.Command("pingpong", itoa(rounds)).Run(); err != nil {
 		b.Fatal(err)
 	}
 	b.StopTimer()
 }
 
 // BenchmarkAssemble measures the toolchain: assembling the whole ulib
-// runtime plus a representative program.
+// runtime plus a representative program via System.InstallProgram.
 func BenchmarkAssemble(b *testing.B) {
-	src := ulib.Sources["pingpong"] + ulib.Runtime
+	sys, err := sim.NewSystem(sim.WithUserland("true"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := ulib.Sources["pingpong"]
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := asm.Assemble(src); err != nil {
+		if err := sys.InstallProgram("/bin/pingpong", src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -268,19 +277,16 @@ func BenchmarkAssemble(b *testing.B) {
 // spawn+wait of /bin/true per iteration, driven by the spawnloop
 // program.
 func BenchmarkSpawnVM(b *testing.B) {
-	k := kernel.New(kernel.Options{RAMBytes: 1 << 30})
-	if err := ulib.InstallAll(k); err != nil {
+	sys, err := sim.NewSystem(sim.WithRAM(1 << 30))
+	if err != nil {
 		b.Fatal(err)
 	}
 	n := b.N
 	if n > 20000 {
 		n = 20000
 	}
-	if _, err := k.BootInit("/bin/spawnloop", []string{"spawnloop", itoa(n), "/bin/true"}); err != nil {
-		b.Fatal(err)
-	}
 	b.ResetTimer()
-	if err := k.Run(kernel.RunLimits{}); err != nil {
+	if err := sys.Command("spawnloop", itoa(n), "/bin/true").Run(); err != nil {
 		b.Fatal(err)
 	}
 }
@@ -299,12 +305,17 @@ func itoa(n int) string {
 	return string(buf[i:])
 }
 
-// A pipe write through the VFS layer alone (no VM), for the substrate
-// table in EXPERIMENTS.md.
+// BenchmarkPipeVFS measures a pipe write/read through the sim File
+// layer alone (no VM), for the substrate table in EXPERIMENTS.md.
 func BenchmarkPipeVFS(b *testing.B) {
-	r, w := vfs.NewPipe()
+	sys, err := sim.NewSystem(sim.WithUserland("true"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, w := sys.Pipe()
 	buf := make([]byte, 512)
 	b.SetBytes(512)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := w.Write(buf); err != nil {
 			b.Fatal(err)

@@ -7,14 +7,21 @@
 //
 //	forkbench [flags] <experiment>
 //
-//	experiments: fig1 table1 cowtax hugepages overcommit compose scale all
+//	experiments: fig1 table1 cowtax hugepages overcommit compose scale
+//	             strategies all
 //
 //	-max SIZE     largest parent for sweeps (default 1GiB for fig1)
 //	-reps N       repetitions per fig1 point (default 5)
 //	-eager        include the 1970s eager-copy fork line in fig1
+//
+// "strategies" demonstrates the public sim API: one workload launched
+// through every process-creation strategy the paper compares
+// (Cmd.Via), verifying identical output and reporting each strategy's
+// creation latency from a dirty parent.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/sim"
 )
 
 func parseSize(s string) (uint64, error) {
@@ -50,7 +58,7 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per fig1 point")
 	eager := flag.Bool("eager", false, "include eager-copy fork line in fig1")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|all\n")
+		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|strategies|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -148,10 +156,60 @@ func main() {
 		}
 		fmt.Println(res.Render())
 	}
+	if runAll || what == "strategies" {
+		ran = true
+		if err := strategies(maxBytes); err != nil {
+			fatal(err)
+		}
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// strategies runs one workload through all five creation APIs via the
+// public sim package and reports creation latency from a dirty parent
+// — Figure 1's point made interactively.
+func strategies(parentBytes uint64) error {
+	if parentBytes > 64*experiments.MiB {
+		parentBytes = 64 * experiments.MiB
+	}
+	sys, err := sim.NewSystem(sim.WithRAM(4 << 30))
+	if err != nil {
+		return err
+	}
+	if err := sys.DirtyHost(parentBytes, false); err != nil {
+		return err
+	}
+	fmt.Printf("one workload, five creation APIs (parent dirties %s):\n\n",
+		experiments.HumanBytes(parentBytes))
+	fmt.Printf("%-22s %-14s %s\n", "strategy", "creation", "output")
+	var reference string
+	for _, st := range sim.Strategies() {
+		var buf bytes.Buffer
+		cmd := sys.Command("echo", "hello", "road").Via(st)
+		cmd.Stdout = &buf
+		p, err := cmd.Create()
+		if err != nil {
+			return fmt.Errorf("%v: %w", st, err)
+		}
+		if err := p.Start(); err != nil {
+			return fmt.Errorf("%v: %w", st, err)
+		}
+		if err := cmd.Wait(); err != nil {
+			return fmt.Errorf("%v: %w", st, err)
+		}
+		out := strings.TrimSuffix(buf.String(), "\n")
+		fmt.Printf("%-22v %-14v %q\n", st, p.CreationCost(), out)
+		if reference == "" {
+			reference = out
+		} else if out != reference {
+			return fmt.Errorf("%v produced %q, others %q", st, out, reference)
+		}
+	}
+	fmt.Printf("\nidentical output under every strategy; only the creation cost differs.\n\n")
+	return nil
 }
 
 func fatal(err error) {

@@ -1,4 +1,4 @@
-// Command forkrun boots a simulated kernel and runs a program on it,
+// Command forkrun boots a simulated machine and runs a program on it,
 // wiring the simulated console to the real terminal.
 //
 // Usage:
@@ -11,6 +11,7 @@
 //	-ram SIZE      physical memory (default 4GiB)
 //	-strict        strict commit accounting (overcommit_memory=2)
 //	-eager         eager-copy fork
+//	-via STRATEGY  creation strategy: spawn|fork|vfork|builder|emufork|eager
 //	-trace         print exit diagnostics (virtual time, faults, ...)
 //	-list          list built-in programs
 package main
@@ -19,50 +20,44 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"slices"
 	"strings"
 
-	"repro/internal/abi"
-	"repro/internal/image"
-	"repro/internal/kernel"
-	"repro/internal/mem"
-	"repro/internal/ulib"
+	"repro/sim"
 )
 
 func main() {
 	ram := flag.Uint64("ram", 4096, "physical memory in MiB")
 	strict := flag.Bool("strict", false, "strict commit accounting")
 	eager := flag.Bool("eager", false, "eager-copy fork")
+	via := flag.String("via", "spawn", "creation strategy: spawn|fork|vfork|builder|emufork|eager")
 	trace := flag.Bool("trace", false, "print diagnostics on exit")
 	list := flag.Bool("list", false, "list built-in programs")
 	flag.Parse()
 
 	if *list {
-		var names []string
-		for n := range ulib.Sources {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		fmt.Println(strings.Join(names, "\n"))
+		fmt.Println(strings.Join(sim.Programs(), "\n"))
 		return
 	}
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: forkrun [flags] <program> [args...]")
 		os.Exit(2)
 	}
+	strategy, err := sim.ParseStrategy(*via)
+	if err != nil {
+		fatal(err)
+	}
 
-	opts := kernel.Options{
-		RAMBytes:   *ram << 20,
-		ConsoleOut: os.Stdout,
-		ConsoleIn:  os.Stdin,
-		EagerFork:  *eager,
+	opts := []sim.Option{
+		sim.WithRAM(*ram << 20),
+		sim.WithConsole(os.Stdout),
+		sim.WithConsoleInput(os.Stdin),
 	}
 	if *strict {
-		opts.Commit = mem.CommitStrict
+		opts = append(opts, sim.WithCommitPolicy(sim.CommitStrict))
 	}
-	k := kernel.New(opts)
-	if err := ulib.InstallAll(k); err != nil {
-		fatal(err)
+	if *eager {
+		opts = append(opts, sim.WithForkMode(sim.ForkEager))
 	}
 
 	prog := flag.Arg(0)
@@ -73,38 +68,33 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if _, err := image.DecodeHeader(raw); err != nil {
-			fatal(fmt.Errorf("%s: not a KXI image: %w", prog, err))
-		}
 		path = "/bin/a.out"
-		if _, err := k.FS().WriteFile(path, raw); err != nil {
-			fatal(err)
-		}
-	} else if _, ok := ulib.Sources[prog]; !ok {
+		opts = append(opts, sim.WithImage(path, raw))
+	} else if !slices.Contains(sim.Programs(), prog) {
 		fatal(fmt.Errorf("unknown program %q (try -list)", prog))
 	}
 
-	argv := append([]string{path}, flag.Args()[1:]...)
-	p, err := k.BootInit(path, argv)
+	sys, err := sim.NewSystem(opts...)
 	if err != nil {
 		fatal(err)
 	}
-	runErr := k.Run(kernel.RunLimits{})
+	runErr := sys.Command(path, flag.Args()[1:]...).Via(strategy).Run()
 	if *trace {
-		m := k.Meter()
+		st := sys.Stats()
 		fmt.Fprintf(os.Stderr, "---\nvirtual time: %v\ninstructions: %d\nsyscalls: %d\npage faults: %d\npage copies: %d\ncontext switches: %d\noom kills: %d\nsegv kills: %d\n",
-			k.Now(), m.Instructions, m.Syscalls, m.PageFaults, m.PageCopies, k.ContextSwitches(), k.OOMKills, k.SegvKills)
+			st.VirtualTime, st.Instructions, st.Syscalls, st.PageFaults, st.PageCopies, st.ContextSwitches, st.OOMKills, st.SegvKills)
 	}
 	if runErr != nil {
+		if exit := sim.AsExitError(runErr); exit != nil {
+			if exit.Signaled() {
+				fmt.Fprintf(os.Stderr, "forkrun: killed by %v\n", exit.Signal())
+				os.Exit(128 + int(exit.Signal()))
+			}
+			os.Exit(exit.ExitCode())
+		}
 		fmt.Fprintln(os.Stderr, "forkrun:", runErr)
 		os.Exit(3)
 	}
-	status := p.ExitStatus()
-	if s := abi.StatusSignal(status); s != 0 {
-		fmt.Fprintf(os.Stderr, "forkrun: killed by signal %d\n", s)
-		os.Exit(128 + s)
-	}
-	os.Exit(abi.StatusExitCode(status))
 }
 
 func fatal(err error) {

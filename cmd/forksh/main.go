@@ -1,11 +1,12 @@
 // Command forksh is an interactive shell on the simulated OS. It is
 // the paper's §6 in miniature: a shell that never forks — every
-// command, including pipelines and redirections, is launched with the
-// spawn API (core.Spawn) using file actions to wire descriptors.
+// command, including pipelines and redirections, is launched through
+// the sim package's spawn-based process API with descriptors wired
+// explicitly.
 //
-// Built-ins: cd, pwd, ls, cat, ps, vmmap PID, time CMD, help, exit.
-// External commands come from /bin (the ulib programs); "a | b | c"
-// builds pipelines, "> file" redirects stdout.
+// Built-ins: cd, pwd, ls, cat, ps, vmmap PID, time CMD, via STRATEGY,
+// help, exit. External commands come from /bin (the ulib programs);
+// "a | b | c" builds pipelines, "> file" redirects stdout.
 //
 // Usage:
 //
@@ -18,21 +19,17 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"strings"
 
-	"repro/internal/abi"
-	"repro/internal/core"
 	"repro/internal/kernel"
-	"repro/internal/ulib"
-	"repro/internal/vfs"
+	"repro/sim"
 )
 
 type shell struct {
-	k    *kernel.Kernel
-	self *kernel.Process // the shell's own (synthetic) process
-	cwd  string
-	out  *bufio.Writer
+	sys *sim.System
+	cwd string
+	via sim.Strategy // strategy for external commands (default spawn)
+	out *bufio.Writer
 }
 
 func main() {
@@ -46,32 +43,19 @@ func main() {
 	sh.repl(os.Stdin, isTerminalHint())
 }
 
-// newShell boots a kernel and builds the (forkless) shell on it.
+// newShell boots a machine and builds the (forkless) shell on it. The
+// sim host process, whose stdio is already the console, is the shell.
 func newShell(out *bufio.Writer) (*shell, error) {
-	k := kernel.New(kernel.Options{
-		RAMBytes:   4 << 30,
-		ConsoleOut: out,
-	})
-	if err := ulib.InstallAll(k); err != nil {
-		return nil, err
-	}
-	sh := &shell{k: k, cwd: "/", out: out}
-	sh.self = k.NewSynthetic("forksh", nil)
-	// The shell's stdin/stdout/stderr point at the console.
-	con, err := k.FS().Resolve(nil, "/dev/console")
+	sys, err := sim.NewSystem(
+		sim.WithRAM(4<<30),
+		sim.WithConsole(out),
+		sim.WithRunBudget(500_000_000),
+	)
 	if err != nil {
 		return nil, err
 	}
-	for fd := 0; fd < 3; fd++ {
-		flags := vfs.ORdOnly
-		if fd > 0 {
-			flags = vfs.OWrOnly
-		}
-		if err := sh.self.FDs().InstallAt(vfs.NewOpenFile(con, flags), false, fd); err != nil {
-			return nil, err
-		}
-	}
-	return sh, nil
+	sys.Host().Name = "forksh"
+	return &shell{sys: sys, cwd: "/", out: out}, nil
 }
 
 // repl reads command lines until EOF or "exit".
@@ -130,18 +114,15 @@ func (s *shell) builtin(argv []string) (bool, error) {
 	if len(argv) == 0 {
 		return true, nil
 	}
+	k := s.sys.Kernel()
 	switch argv[0] {
 	case "cd":
 		dst := "/"
 		if len(argv) > 1 {
 			dst = s.resolvePath(argv[1])
 		}
-		ino, err := s.k.FS().Resolve(nil, dst)
-		if err != nil {
+		if _, err := s.sys.ReadDir(dst); err != nil {
 			return true, fmt.Errorf("cd: %s: %v", dst, err)
-		}
-		if ino.Type != vfs.TypeDir {
-			return true, fmt.Errorf("cd: %s: not a directory", dst)
 		}
 		s.cwd = dst
 		return true, nil
@@ -153,7 +134,7 @@ func (s *shell) builtin(argv []string) (bool, error) {
 		if len(argv) > 1 {
 			dir = s.resolvePath(argv[1])
 		}
-		names, err := s.k.FS().ReadDir(nil, dir)
+		names, err := s.sys.ReadDir(dir)
 		if err != nil {
 			return true, fmt.Errorf("ls: %v", err)
 		}
@@ -164,11 +145,11 @@ func (s *shell) builtin(argv []string) (bool, error) {
 			return false, nil // external cat copies console stdin
 		}
 		for _, a := range argv[1:] {
-			ino, err := s.k.FS().Resolve(nil, s.resolvePath(a))
+			data, err := s.sys.ReadFile(s.resolvePath(a))
 			if err != nil {
 				return true, fmt.Errorf("cat: %s: %v", a, err)
 			}
-			s.out.Write(ino.Data())
+			s.out.Write(data)
 		}
 		return true, nil
 	case "ps":
@@ -180,7 +161,7 @@ func (s *shell) builtin(argv []string) (bool, error) {
 		}
 		var pid int
 		fmt.Sscanf(argv[1], "%d", &pid)
-		p := s.k.Lookup(kernel.PID(pid))
+		p := k.Lookup(kernel.PID(pid))
 		if p == nil || p.Space() == nil {
 			return true, fmt.Errorf("vmmap: no such process")
 		}
@@ -190,18 +171,24 @@ func (s *shell) builtin(argv []string) (bool, error) {
 		if len(argv) < 2 {
 			return true, fmt.Errorf("usage: time CMD...")
 		}
-		t0 := s.k.Now()
+		t0 := s.sys.VirtualTime()
 		err := s.pipeline([]string{strings.Join(argv[1:], " ")}, "")
-		fmt.Fprintf(s.out, "virtual %v\n", s.k.Now()-t0)
+		fmt.Fprintf(s.out, "virtual %v\n", s.sys.VirtualTime()-t0)
 		return true, err
-	case "help":
-		fmt.Fprintln(s.out, "built-ins: cd pwd ls cat ps vmmap time help exit")
-		var names []string
-		for n := range ulib.Sources {
-			names = append(names, n)
+	case "via":
+		if len(argv) != 2 {
+			fmt.Fprintf(s.out, "via %v (spawn|fork|vfork|builder|emufork|eager)\n", s.via)
+			return true, nil
 		}
-		sort.Strings(names)
-		fmt.Fprintln(s.out, "programs:  "+strings.Join(names, " "))
+		st, err := sim.ParseStrategy(argv[1])
+		if err != nil {
+			return true, err
+		}
+		s.via = st
+		return true, nil
+	case "help":
+		fmt.Fprintln(s.out, "built-ins: cd pwd ls cat ps vmmap time via help exit")
+		fmt.Fprintln(s.out, "programs:  "+strings.Join(sim.Programs(), " "))
 		return true, nil
 	}
 	return false, nil
@@ -218,9 +205,10 @@ func (s *shell) resolvePath(p string) string {
 }
 
 func (s *shell) ps() {
+	k := s.sys.Kernel()
 	fmt.Fprintf(s.out, "%5s %-8s %-10s %s\n", "PID", "STATE", "RSS", "NAME")
 	for pid := kernel.PID(1); pid < 4096; pid++ {
-		p := s.k.Lookup(pid)
+		p := k.Lookup(pid)
 		if p == nil {
 			continue
 		}
@@ -232,14 +220,10 @@ func (s *shell) ps() {
 	}
 }
 
-// pipeline spawns each stage with its descriptors wired via file
-// actions — no fork anywhere.
+// pipeline launches each stage as a sim.Cmd with its descriptors wired
+// through simulated pipes — no fork anywhere.
 func (s *shell) pipeline(stages []string, redirect string) error {
-	type stage struct {
-		path string
-		argv []string
-	}
-	var prepared []stage
+	var cmds []*sim.Cmd
 	for _, raw := range stages {
 		argv := strings.Fields(raw)
 		if len(argv) == 0 {
@@ -249,84 +233,71 @@ func (s *shell) pipeline(stages []string, redirect string) error {
 		if !strings.HasPrefix(path, "/") {
 			path = "/bin/" + path
 		}
-		if _, err := s.k.FS().Resolve(nil, path); err != nil {
+		if _, err := s.sys.Kernel().FS().Resolve(nil, path); err != nil {
 			return fmt.Errorf("%s: command not found", argv[0])
 		}
-		prepared = append(prepared, stage{path: path, argv: argv})
+		cmd := s.sys.Command(path, argv[1:]...).Via(s.via)
+		if s.cwd != "/" {
+			cmd.Dir = s.cwd
+		}
+		cmds = append(cmds, cmd)
 	}
 
-	// Build N-1 pipes up front, installed temporarily in the
-	// shell's own descriptor table so the children can inherit
-	// them via dup2 file actions.
-	selfFDs := s.self.FDs()
-	var tempFDs []int
-	defer func() {
-		for _, fd := range tempFDs {
-			selfFDs.Close(fd)
-		}
-	}()
-	pipeFDs := make([][2]int, 0, len(prepared)-1)
-	for i := 0; i < len(prepared)-1; i++ {
-		r, w := vfs.NewPipe()
-		rfd, err := selfFDs.Install(r, false, 3)
+	// Wire stage i's stdout to stage i+1's stdin; remember the
+	// host-side pipe ends so they can be dropped once the children
+	// hold their own references (otherwise EOF never propagates).
+	var hostEnds []*sim.File
+	for i := 0; i < len(cmds)-1; i++ {
+		r, w := s.sys.Pipe()
+		cmds[i].Stdout = w
+		cmds[i+1].Stdin = r
+		hostEnds = append(hostEnds, r, w)
+	}
+	if redirect != "" {
+		f, err := s.sys.Create(s.resolvePath(redirect))
 		if err != nil {
-			return err
+			return fmt.Errorf("> %s: %v", redirect, err)
 		}
-		wfd, err := selfFDs.Install(w, false, 3)
-		if err != nil {
-			return err
-		}
-		tempFDs = append(tempFDs, rfd, wfd)
-		pipeFDs = append(pipeFDs, [2]int{rfd, wfd})
+		cmds[len(cmds)-1].Stdout = f
+		hostEnds = append(hostEnds, f)
 	}
 
-	var procs []*kernel.Process
-	for i, st := range prepared {
-		fa := new(core.FileActions)
-		if i > 0 {
-			fa.AddDup2(pipeFDs[i-1][0], 0)
+	started := 0
+	var startErr error
+	for _, cmd := range cmds {
+		if err := cmd.Start(); err != nil {
+			startErr = fmt.Errorf("start %s: %v", cmd.Args[0], err)
+			break
 		}
-		if i < len(prepared)-1 {
-			fa.AddDup2(pipeFDs[i][1], 1)
-		} else if redirect != "" {
-			if _, err := s.k.FS().Create(nil, s.resolvePath(redirect)); err != nil {
-				return fmt.Errorf("> %s: %v", redirect, err)
+		started++
+	}
+	for _, f := range hostEnds {
+		f.Close()
+	}
+	if startErr != nil {
+		for _, cmd := range cmds[:started] {
+			cmd.Process.Destroy()
+		}
+		return startErr
+	}
+
+	// Wait and report non-zero exits and signal deaths.
+	var firstErr error
+	for _, cmd := range cmds {
+		err := cmd.Wait()
+		switch {
+		case err == nil:
+		case sim.AsExitError(err) != nil:
+			exit := sim.AsExitError(err)
+			name := strings.TrimPrefix(cmd.Process.Raw().Name, "/bin/")
+			if exit.Signaled() {
+				fmt.Fprintf(s.out, "[%s killed by signal %d]\n", name, int(exit.Signal()))
+			} else {
+				fmt.Fprintf(s.out, "[%s exited %d]\n", name, exit.ExitCode())
 			}
-			fa.AddOpen(1, s.resolvePath(redirect), vfs.OWrOnly|vfs.OTrunc)
-		}
-		// The children must not keep the pipe descriptors beyond
-		// the dup2'd standard ones, or EOF never propagates.
-		for _, pf := range pipeFDs {
-			fa.AddClose(pf[0])
-			fa.AddClose(pf[1])
-		}
-		p, err := core.Spawn(s.k, s.self, st.path, st.argv, fa, nil)
-		if err != nil {
-			return fmt.Errorf("spawn %s: %v", st.argv[0], err)
-		}
-		procs = append(procs, p)
-	}
-	// Close the shell's copies so pipes see EOF, then run.
-	for _, fd := range tempFDs {
-		selfFDs.Close(fd)
-	}
-	tempFDs = nil
-
-	if err := s.k.Run(kernel.RunLimits{MaxInstructions: 500_000_000}); err != nil {
-		return err
-	}
-	// Reap and report.
-	for _, p := range procs {
-		if p.State() == kernel.ProcZombie {
-			_, status, err := s.k.WaitReap(s.self, p.Pid)
-			if err == nil {
-				if sg := abi.StatusSignal(status); sg != 0 {
-					fmt.Fprintf(s.out, "[%s killed by signal %d]\n", p.Name, sg)
-				} else if code := abi.StatusExitCode(status); code != 0 {
-					fmt.Fprintf(s.out, "[%s exited %d]\n", p.Name, code)
-				}
-			}
+		case firstErr == nil:
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }

@@ -6,8 +6,13 @@
 // and cross-process construction — and a harness that regenerates the
 // paper's figure and comparison table in virtual time.
 //
-// Layout:
+// The entry point is the sim package: an os/exec-style process API
+// over the simulator (sim.System, sim.Cmd, sim.Process) whose per-
+// command strategy selector Via runs any workload through every
+// creation API the paper compares. The internal packages are the
+// substrate beneath it:
 //
+//	sim                  the public API — start here
 //	internal/core        the paper's contribution: spawn + cross-process APIs
 //	internal/kernel      the simulated OS
 //	internal/mem, pagetable, addrspace, vfs, sig — substrates
@@ -16,6 +21,6 @@
 //	cmd/forkbench, forkrun, forksh, kxasm — executables
 //	examples/            — runnable API walkthroughs
 //
-// See README.md, DESIGN.md and EXPERIMENTS.md. The benchmarks in
-// bench_test.go regenerate every experiment under `go test -bench`.
+// See README.md. The benchmarks in bench_test.go regenerate every
+// experiment under `go test -bench`.
 package repro

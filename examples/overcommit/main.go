@@ -12,47 +12,42 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/abi"
-	"repro/internal/kernel"
-	"repro/internal/mem"
-	"repro/internal/ulib"
+	"repro/sim"
 )
 
-func run(policy mem.CommitPolicy) {
+func run(policy sim.CommitPolicy) {
 	fmt.Printf("--- overcommit policy: %v ---\n", policy)
-	k := kernel.New(kernel.Options{
-		RAMBytes:   256 << 20,
-		Commit:     policy,
-		ConsoleOut: os.Stdout,
-	})
-	if err := ulib.InstallAll(k); err != nil {
+	sys, err := sim.NewSystem(
+		sim.WithRAM(256<<20),
+		sim.WithCommitPolicy(policy),
+		sim.WithConsole(os.Stdout),
+	)
+	if err != nil {
 		log.Fatal(err)
 	}
 	// hog maps and write-touches 160 MiB (~62% of RAM), forks, and
 	// the child re-touches every page.
-	p, err := k.BootInit("/bin/hog", []string{"hog", "160", "fork"})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := k.Run(kernel.RunLimits{}); err != nil {
-		log.Fatal(err)
-	}
+	runErr := sys.Command("hog", "160", "fork").Run()
+	exit := sim.AsExitError(runErr)
 	switch {
-	case abi.StatusExitCode(p.ExitStatus()) == 2:
+	case exit != nil && exit.ExitCode() == 2:
 		fmt.Printf("fork failed up front with ENOMEM — no work was lost, the program could fall back to spawn\n")
-	case k.OOMKills > 0:
-		fmt.Printf("fork succeeded… then the OOM killer fired %d time(s) when the copy-on-write bill came due\n", k.OOMKills)
+	case sys.Stats().OOMKills > 0:
+		fmt.Printf("fork succeeded… then the OOM killer fired %d time(s) when the copy-on-write bill came due\n",
+			sys.Stats().OOMKills)
+	case runErr != nil:
+		log.Fatal(runErr)
 	default:
 		fmt.Printf("completed without incident (plenty of memory)\n")
 	}
-	fmt.Printf("virtual time: %v, page copies: %d\n\n", k.Now(), k.Meter().PageCopies)
+	fmt.Printf("virtual time: %v, page copies: %d\n\n", sys.VirtualTime(), sys.Stats().PageCopies)
 }
 
 func main() {
 	fmt.Println("a 160 MiB process forks on a 256 MiB machine; the child then writes every page")
 	fmt.Println()
-	run(mem.CommitStrict)
-	run(mem.CommitHeuristic)
+	run(sim.CommitStrict)
+	run(sim.CommitHeuristic)
 	fmt.Println("the paper's point: fork forces this choice — refuse work that would usually")
 	fmt.Println("succeed (strict), or promise memory you may not have (overcommit + OOM killer).")
 	fmt.Println("spawn never doubles the parent's commit, so it needs neither.")

@@ -1,92 +1,97 @@
-// Pipeline: build `echo one two three | cat | cat > /tmp/out` entirely
-// with posix_spawn file actions — the shell pattern of §6.1, no fork.
+// Pipeline: build `echo one two three | cat | cat > /tmp/out` with the
+// sim API — the shell pattern of §6.1, no fork anywhere.
 //
-// Also demonstrates the cross-process Builder (§6.2) by assembling the
-// final stage by hand: image, inherited descriptors, and a pre-seeded
-// memory region the parent wrote directly into the child.
+// The final stage is launched through the cross-process Builder
+// strategy (§6.2) and, to show cross-process construction, the parent
+// seeds a memory region in the child before its first instruction via
+// the substrate escape hatch.
 package main
 
 import (
 	"fmt"
 	"log"
-	"os"
 
 	"repro/internal/addrspace"
-	"repro/internal/core"
-	"repro/internal/kernel"
-	"repro/internal/ulib"
-	"repro/internal/vfs"
+	"repro/sim"
 )
 
 func main() {
-	k := kernel.New(kernel.Options{ConsoleOut: os.Stdout})
-	if err := ulib.InstallAll(k); err != nil {
-		log.Fatal(err)
-	}
-	sh := k.NewSynthetic("sh", nil)
-	console, _ := k.FS().Resolve(nil, "/dev/console")
-	sh.FDs().InstallAt(vfs.NewOpenFile(console, vfs.OWrOnly), false, 1)
-
-	// Two pipes for a three-stage pipeline, parked in the shell's
-	// descriptor table so children can dup them.
-	r1, w1 := vfs.NewPipe()
-	r2, w2 := vfs.NewPipe()
-	fdR1, _ := sh.FDs().Install(r1, false, 3)
-	fdW1, _ := sh.FDs().Install(w1, false, 3)
-	fdR2, _ := sh.FDs().Install(r2, false, 3)
-	fdW2, _ := sh.FDs().Install(w2, false, 3)
-	closeAllPipes := func(fa *core.FileActions) *core.FileActions {
-		return fa.AddClose(fdR1).AddClose(fdW1).AddClose(fdR2).AddClose(fdW2)
-	}
-
-	// Stage 1: echo → pipe1.
-	fa1 := closeAllPipes(new(core.FileActions).AddDup2(fdW1, 1))
-	if _, err := core.Spawn(k, sh, "/bin/echo", []string{"echo", "one", "two", "three"}, fa1, nil); err != nil {
-		log.Fatal(err)
-	}
-
-	// Stage 2: cat pipe1 → pipe2.
-	fa2 := closeAllPipes(new(core.FileActions).AddDup2(fdR1, 0).AddDup2(fdW2, 1))
-	if _, err := core.Spawn(k, sh, "/bin/cat", []string{"cat"}, fa2, nil); err != nil {
-		log.Fatal(err)
-	}
-
-	// Stage 3, built by hand with the cross-process Builder: a cat
-	// whose stdin is pipe2 and whose stdout is a file the parent
-	// opened — and, to show cross-process memory operations, a
-	// scratch region the parent seeds before the child ever runs.
-	if _, err := k.FS().WriteFile("/tmp/out", nil); err != nil {
-		log.Fatal(err)
-	}
-	b := core.NewBuilder(k, sh, "cat-final")
-	b.LoadImage("/bin/cat", []string{"cat"})
-	b.InheritFD(fdR2, 0)
-	b.OpenFD(1, "/tmp/out", vfs.OWrOnly)
-	var scratch uint64
-	b.MapAnon(0, 1<<20, addrspace.Read|addrspace.Write, &scratch)
-	b.WriteMemory(scratch, []byte("seeded before first instruction"))
-	final, err := b.Start()
+	sys, err := sim.NewSystem()
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Prove the cross-process write landed, before the child runs
-	// (its address space is torn down once it exits).
-	buf := make([]byte, 31)
-	if err := final.Space().ReadBytes(scratch, buf); err != nil {
+
+	// Two pipes for a three-stage pipeline.
+	r1, w1 := sys.Pipe()
+	r2, w2 := sys.Pipe()
+
+	// Stage 1: echo → pipe1.
+	echo := sys.Command("echo", "one", "two", "three")
+	echo.Stdout = w1
+
+	// Stage 2: cat pipe1 → pipe2.
+	cat1 := sys.Command("cat")
+	cat1.Stdin = r1
+	cat1.Stdout = w2
+
+	// Stage 3, created through the cross-process Builder API: a cat
+	// whose stdin is pipe2 and whose stdout is a simulated file.
+	outFile, err := sys.Create("/tmp/out")
+	if err != nil {
 		log.Fatal(err)
 	}
-	seeded := string(buf)
+	final := sys.Command("cat").Via(sim.Builder)
+	final.Stdin = r2
+	final.Stdout = outFile
 
-	// Drop the shell's pipe ends so EOF propagates, then run.
-	for _, fd := range []int{fdR1, fdW1, fdR2, fdW2} {
-		sh.FDs().Close(fd)
+	for _, cmd := range []*sim.Cmd{echo, cat1} {
+		if err := cmd.Start(); err != nil {
+			log.Fatal(err)
+		}
 	}
-	if err := k.Run(kernel.RunLimits{}); err != nil {
+	// Create (don't start) the final stage, so the parent can reach
+	// into the not-yet-running child — the cross-process operation
+	// fork-style APIs lack.
+	fp, err := final.Create()
+	if err != nil {
+		log.Fatal(err)
+	}
+	space := fp.Raw().Space()
+	vma, err := space.Map(0, 1<<20, addrspace.Read|addrspace.Write, addrspace.MapOpts{Name: "seed"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seed := []byte("seeded before first instruction")
+	if err := space.WriteBytes(vma.Start, seed); err != nil {
+		log.Fatal(err)
+	}
+	// Prove the cross-process write landed by reading it back out of
+	// the child, before the child ever runs (its address space is
+	// torn down once it exits).
+	seeded := make([]byte, len(seed))
+	if err := space.ReadBytes(vma.Start, seeded); err != nil {
+		log.Fatal(err)
+	}
+	if err := fp.Start(); err != nil {
 		log.Fatal(err)
 	}
 
-	ino, _ := k.FS().Resolve(nil, "/tmp/out")
-	fmt.Printf("pipeline wrote %q to /tmp/out\n", string(ino.Data()))
+	// Drop the host's pipe ends so EOF propagates, then drain the
+	// pipeline by waiting on each stage.
+	for _, f := range []*sim.File{r1, w1, r2, w2, outFile} {
+		f.Close()
+	}
+	for _, cmd := range []*sim.Cmd{echo, cat1, final} {
+		if err := cmd.Wait(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	data, err := sys.ReadFile("/tmp/out")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline wrote %q to /tmp/out\n", data)
 	fmt.Printf("final stage carried a parent-seeded region: %q\n", seeded)
-	fmt.Printf("three stages, zero forks, %v of virtual time\n", k.Now())
+	fmt.Printf("three stages, zero forks, %v of virtual time\n", sys.VirtualTime())
 }

@@ -7,6 +7,11 @@
 // the simulator and compares: creation latency, physical memory
 // actually consumed after the workers dirty their scratch space, and
 // what happens to fork's COW sharing as workers write.
+//
+// The machine boots through sim; the fork pool reaches for the
+// substrate (sim.System.Kernel/Host) because cloning the master is
+// exactly what the high-level API refuses to express — the point of
+// the paper.
 package main
 
 import (
@@ -14,9 +19,8 @@ import (
 	"log"
 
 	"repro/internal/addrspace"
-	"repro/internal/core"
 	"repro/internal/kernel"
-	"repro/internal/ulib"
+	"repro/sim"
 )
 
 const (
@@ -32,28 +36,27 @@ func main() {
 	spawnPool()
 }
 
-// buildMaster creates the pool master with its big resident state.
-func buildMaster(k *kernel.Kernel) (*kernel.Process, uint64) {
-	master := k.NewSynthetic("master", nil)
-	vma, err := master.Space().Map(0, masterStateMiB<<20, addrspace.Read|addrspace.Write,
-		addrspace.MapOpts{Name: "state"})
+// newMachine boots a system whose host process carries the pool
+// master's big resident state.
+func newMachine() (*sim.System, uint64) {
+	sys, err := sim.NewSystem(sim.WithRAM(8 << 30))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := master.Space().Touch(vma.Start, vma.Len(), addrspace.AccessWrite); err != nil {
+	sys.Host().Name = "master"
+	if err := sys.DirtyHost(masterStateMiB<<20, false); err != nil {
 		log.Fatal(err)
 	}
-	return master, vma.Start
+	// DirtyHost put the working set in the host's first mapping.
+	state := sys.Host().Space().VMAs()[0].Start
+	return sys, state
 }
 
 func forkPool() {
-	k := kernel.New(kernel.Options{RAMBytes: 8 << 30})
-	if err := ulib.InstallAll(k); err != nil {
-		log.Fatal(err)
-	}
-	master, state := buildMaster(k)
+	sys, state := newMachine()
+	k, master := sys.Kernel(), sys.Host()
 
-	t0 := k.Now()
+	t0 := sys.VirtualTime()
 	var pool []*kernel.Process
 	for i := 0; i < workers; i++ {
 		w, err := k.Fork(master)
@@ -62,19 +65,19 @@ func forkPool() {
 		}
 		pool = append(pool, w)
 	}
-	created := k.Now() - t0
+	created := sys.VirtualTime() - t0
 	shared := k.Phys().AllocatedPages() << 12
 
 	// Workers write into a slice of the master state (in-place
 	// updates), breaking COW page by page.
-	t1 := k.Now()
+	t1 := sys.VirtualTime()
 	for i, w := range pool {
 		off := uint64(i) * (scratchMiB << 20)
 		if err := w.Space().Touch(state+off, scratchMiB<<20, addrspace.AccessWrite); err != nil {
 			log.Fatalf("worker %d write: %v", i, err)
 		}
 	}
-	wrote := k.Now() - t1
+	wrote := sys.VirtualTime() - t1
 	after := k.Phys().AllocatedPages() << 12
 
 	fmt.Printf("fork pool:  created %d workers in %v (%v each)\n", workers, created, created/workers)
@@ -85,42 +88,40 @@ func forkPool() {
 	for _, w := range pool {
 		k.DestroyProcess(w)
 	}
-	k.DestroyProcess(master)
 }
 
 func spawnPool() {
-	k := kernel.New(kernel.Options{RAMBytes: 8 << 30})
-	if err := ulib.InstallAll(k); err != nil {
-		log.Fatal(err)
-	}
-	master, _ := buildMaster(k)
+	sys, _ := newMachine()
+	k := sys.Kernel()
 
-	t0 := k.Now()
-	var pool []*kernel.Process
+	t0 := sys.VirtualTime()
+	var pool []*sim.Process
 	for i := 0; i < workers; i++ {
 		// Fresh image: the worker binary, not a clone of the
-		// master. Parked so the comparison is creation cost only.
-		w, err := core.SpawnParked(k, master, "/bin/true", []string{"worker"}, nil, nil)
+		// master. Created parked so the comparison is creation
+		// cost only.
+		w, err := sys.Command("true").Via(sim.Spawn).Create()
 		if err != nil {
 			log.Fatalf("spawn worker %d: %v", i, err)
 		}
 		pool = append(pool, w)
 	}
-	created := k.Now() - t0
+	created := sys.VirtualTime() - t0
 	base := k.Phys().AllocatedPages() << 12
 
 	// Spawned workers get their own scratch; nothing is COW.
-	t1 := k.Now()
+	t1 := sys.VirtualTime()
 	for i, w := range pool {
-		vma, err := w.Space().Map(0, scratchMiB<<20, addrspace.Read|addrspace.Write, addrspace.MapOpts{Name: "scratch"})
+		space := w.Raw().Space()
+		vma, err := space.Map(0, scratchMiB<<20, addrspace.Read|addrspace.Write, addrspace.MapOpts{Name: "scratch"})
 		if err != nil {
 			log.Fatalf("worker %d map: %v", i, err)
 		}
-		if err := w.Space().Touch(vma.Start, vma.Len(), addrspace.AccessWrite); err != nil {
+		if err := space.Touch(vma.Start, vma.Len(), addrspace.AccessWrite); err != nil {
 			log.Fatalf("worker %d write: %v", i, err)
 		}
 	}
-	wrote := k.Now() - t1
+	wrote := sys.VirtualTime() - t1
 	after := k.Phys().AllocatedPages() << 12
 
 	fmt.Printf("spawn pool: created %d workers in %v (%v each, independent of master size)\n",
@@ -131,7 +132,6 @@ func spawnPool() {
 	fmt.Printf("             via cross-process WriteMemory or shared mappings — see examples/pipeline)\n")
 
 	for _, w := range pool {
-		k.DestroyProcess(w)
+		w.Destroy()
 	}
-	k.DestroyProcess(master)
 }

@@ -1,54 +1,48 @@
-// Quickstart: boot a simulated kernel, spawn a process with
-// posix_spawn-style file actions, and wait for it — the core API of
-// the reproduction in ~40 lines.
+// Quickstart: boot a simulated machine and run a process on it with
+// the public sim API — the whole reproduction in a dozen lines.
+//
+// sim is deliberately shaped like os/exec: a System boots the machine,
+// Command describes a process, Run/Output execute it, and exit status
+// comes back decoded. No fork is involved anywhere — the default
+// strategy is the paper's posix_spawn.
 package main
 
 import (
 	"fmt"
 	"log"
-	"os"
 
-	"repro/internal/abi"
-	"repro/internal/core"
-	"repro/internal/kernel"
-	"repro/internal/ulib"
-	"repro/internal/vfs"
+	"repro/sim"
 )
 
 func main() {
-	// A 4 GiB machine whose console is our stdout.
-	k := kernel.New(kernel.Options{ConsoleOut: os.Stdout})
-	if err := ulib.InstallAll(k); err != nil {
-		log.Fatal(err)
-	}
-
-	// The launching process. Synthetic = driven from Go, no VM code.
-	parent := k.NewSynthetic("launcher", nil)
-	console, err := k.FS().Resolve(nil, "/dev/console")
+	// A 4 GiB machine with the built-in userland installed in /bin.
+	sys, err := sim.NewSystem()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := parent.FDs().InstallAt(vfs.NewOpenFile(console, vfs.OWrOnly), false, 1); err != nil {
-		log.Fatal(err)
-	}
 
-	// Spawn /bin/echo with an extra file action: stderr (fd 2)
-	// duplicated from stdout (fd 1). No fork happened anywhere.
-	fa := new(core.FileActions).AddDup2(1, 2)
-	child, err := core.Spawn(k, parent, "/bin/echo", []string{"echo", "hello", "from", "the", "simulator"}, fa, nil)
+	// Run /bin/echo and capture its stdout, exactly like exec.Command.
+	out, err := sys.Command("echo", "hello", "from", "the", "simulator").Output()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("spawned pid %d at virtual time %v\n", child.Pid, k.Now())
+	fmt.Printf("echo wrote %q in %v of virtual time\n", out, sys.VirtualTime())
 
-	// Run the machine until everything is idle, then reap.
-	if err := k.Run(kernel.RunLimits{}); err != nil {
+	// Exit status is decoded, never a raw status word.
+	err = sys.Command("false").Run()
+	if exit := sim.AsExitError(err); exit != nil {
+		fmt.Printf("false reported: %v (code %d, signaled=%v)\n",
+			exit.ProcessState, exit.ExitCode(), exit.Signaled())
+	}
+
+	// Any command can be launched through any of the paper's
+	// process-creation APIs — same workload, different strategy.
+	cmd := sys.Command("echo", "again,", "via", "fork+exec").Via(sim.ForkExec)
+	var echoed []byte
+	if echoed, err = cmd.Output(); err != nil {
 		log.Fatal(err)
 	}
-	pid, status, err := k.WaitReap(parent, child.Pid)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("pid %d exited with code %d after %v of virtual time\n",
-		pid, abi.StatusExitCode(status), k.Now())
+	fmt.Printf("fork+exec produced the same kind of child: %q\n", echoed)
+	fmt.Printf("creation cost via fork+exec: %v (spawn is cheaper — see forkbench strategies)\n",
+		cmd.Process.CreationCost())
 }

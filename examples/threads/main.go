@@ -4,7 +4,8 @@
 // image contains a locked mutex and no thread that will ever unlock
 // it; the child deadlocks on its first lock acquisition, and the
 // parent deadlocks waiting for the child. The simulator's detector
-// names every stuck thread.
+// names every stuck thread, and sim.Cmd.Wait surfaces the report as a
+// typed *sim.DeadlockError.
 //
 // The same scenario with posix_spawn completes, because the child gets
 // a fresh image with no smuggled lock state.
@@ -16,31 +17,30 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/kernel"
-	"repro/internal/ulib"
+	"repro/sim"
 )
 
 func run(prog string) {
 	fmt.Printf("--- %s ---\n", prog)
-	k := kernel.New(kernel.Options{ConsoleOut: os.Stdout})
-	if err := ulib.InstallAll(k); err != nil {
+	sys, err := sim.NewSystem(
+		sim.WithConsole(os.Stdout),
+		sim.WithRunBudget(10_000_000),
+	)
+	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := k.BootInit("/bin/"+prog, []string{prog}); err != nil {
-		log.Fatal(err)
-	}
-	err := k.Run(kernel.RunLimits{MaxInstructions: 10_000_000})
-	var dl *kernel.DeadlockError
+	runErr := sys.Command(prog).Run()
+	var dl *sim.DeadlockError
 	switch {
-	case errors.As(err, &dl):
+	case errors.As(runErr, &dl):
 		fmt.Println("DEADLOCK detected:")
 		for _, t := range dl.Threads {
 			fmt.Printf("  %s\n", t)
 		}
-	case err != nil:
-		log.Fatal(err)
+	case runErr != nil:
+		log.Fatal(runErr)
 	default:
-		fmt.Printf("completed normally at virtual time %v\n", k.Now())
+		fmt.Printf("completed normally at virtual time %v\n", sys.VirtualTime())
 	}
 	fmt.Println()
 }

@@ -177,10 +177,13 @@ func (b *Builder) Start() (*kernel.Process, error) {
 		b.Abort()
 		return nil, fmt.Errorf("core: Start before LoadImage")
 	}
-	b.done = true
 	if err := b.k.StartProcess(b.child); err != nil {
+		// Tear the half-built child down rather than leaking it in
+		// the process table (Abort also marks the builder spent).
+		b.Abort()
 		return nil, err
 	}
+	b.done = true
 	return b.child, nil
 }
 

@@ -176,6 +176,33 @@ func TestBuilderErrorsAccumulate(t *testing.T) {
 	k.DestroyProcess(parent)
 }
 
+func TestBuilderStartFailureDoesNotLeak(t *testing.T) {
+	k := newKernel(t, nil)
+	parent := k.NewSynthetic("parent", nil)
+	b := NewBuilder(k, parent, "doomed")
+	b.LoadImage("/bin/true", []string{"true"})
+	// Sabotage: destroy the child out from under the builder, so
+	// StartProcess fails (no live thread). Start must report the
+	// error and leave no residue in the process table.
+	pid := b.Child().Pid
+	k.DestroyProcess(b.Child())
+	if _, err := b.Start(); err == nil {
+		t.Fatal("Start succeeded on a destroyed child")
+	}
+	if p := k.Lookup(pid); p != nil {
+		t.Errorf("child pid %d leaked in process table (state %v)", pid, p.State())
+	}
+	if got := k.LiveProcessCount(); got != 1 {
+		t.Errorf("live processes = %d, want 1 (parent only)", got)
+	}
+	// The builder is spent: a second Start reports that, rather
+	// than re-registering the child.
+	if _, err := b.Start(); err == nil {
+		t.Fatal("second Start succeeded on a spent builder")
+	}
+	k.DestroyProcess(parent)
+}
+
 func TestEmulateForkCopiesState(t *testing.T) {
 	k := newKernel(t, nil)
 	parent := k.NewSynthetic("parent", nil)

@@ -92,6 +92,19 @@ func (p *Process) OOMKilled() bool { return p.oomKilled }
 // Parent returns the parent process (nil for init and synthetic roots).
 func (p *Process) Parent() *Process { return p.parent }
 
+// Cwd returns the working-directory inode.
+func (p *Process) Cwd() *vfs.Inode { return p.cwd }
+
+// SetCwd changes the working directory (dir must be a directory inode;
+// harness-level chdir used by the public sim API).
+func (p *Process) SetCwd(dir *vfs.Inode) error {
+	if dir == nil || dir.Type != vfs.TypeDir {
+		return errno.ENOTDIR
+	}
+	p.cwd = dir
+	return nil
+}
+
 // Children returns the live+zombie children (not a copy).
 func (p *Process) Children() []*Process { return p.children }
 

@@ -1,0 +1,32 @@
+// Package sim is the public face of the reproduction of "A fork() in
+// the road" (HotOS'19): an os/exec-style process API over the
+// deterministic OS simulator in internal/kernel.
+//
+// The paper's §6 argument is an API argument — replace fork with a
+// high-level spawn API plus a low-level cross-process API — and this
+// package makes that argument the repository's actual surface. A
+// System is one booted simulated machine; a Cmd describes a process to
+// run on it, in the style of os/exec.Cmd; and every Cmd can be created
+// through any of the process-creation strategies the paper compares,
+// selected per command with Via:
+//
+//	sys, _ := sim.NewSystem(sim.WithConsole(os.Stdout))
+//	out, _ := sys.Command("/bin/echo", "hello").Output()
+//
+//	cmd := sys.Command("/bin/cat")
+//	cmd.Stdin = strings.NewReader("fed from the host\n")
+//	cmd.Via(sim.ForkExec) // or VforkExec, Spawn, Builder, EmulatedFork
+//	err := cmd.Run()
+//
+// Exit status is decoded: Wait and Run return *ExitError carrying a
+// ProcessState with ExitCode and Signaled/Signal, never a raw status
+// word. Pipes (System.Pipe), simulated files (System.Open/Create), and
+// ExtraFiles wire descriptors between commands exactly as os/exec
+// wires *os.File.
+//
+// The internal packages remain the substrate: internal/kernel is the
+// simulated OS, internal/core holds the paper's spawn/cross-process
+// primitives, and internal/experiments regenerates the figures.
+// Advanced callers can drop down via System.Kernel, System.Host and
+// Process.Raw.
+package sim

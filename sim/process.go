@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/abi"
+	"repro/internal/kernel"
+	"repro/internal/sig"
+)
+
+// Signal is a simulated signal number (POSIX numbering). It aliases
+// the substrate's type so values flow both ways without conversion.
+type Signal = sig.Signal
+
+// Re-exported signal numbers.
+const (
+	SIGHUP  = sig.SIGHUP
+	SIGINT  = sig.SIGINT
+	SIGQUIT = sig.SIGQUIT
+	SIGKILL = sig.SIGKILL
+	SIGUSR1 = sig.SIGUSR1
+	SIGSEGV = sig.SIGSEGV
+	SIGUSR2 = sig.SIGUSR2
+	SIGPIPE = sig.SIGPIPE
+	SIGTERM = sig.SIGTERM
+	SIGCHLD = sig.SIGCHLD
+)
+
+// DeadlockError aliases the kernel's deadlock report: Wait returns one
+// when live threads exist but none can ever run again (the §4.2
+// fork-composition trap, caught in the act).
+type DeadlockError = kernel.DeadlockError
+
+// Process is a typed handle on a running (or parked) simulated
+// process, returned by Cmd.Start and Cmd.Create.
+type Process struct {
+	sys      *System
+	raw      *kernel.Process
+	creation time.Duration
+	state    *ProcessState
+	cleanup  func() // unlinks the Cmd's per-command device nodes
+}
+
+func (p *Process) runCleanup() {
+	if p.cleanup != nil {
+		p.cleanup()
+	}
+}
+
+// Pid returns the simulated process id.
+func (p *Process) Pid() int { return int(p.raw.Pid) }
+
+// Raw exposes the substrate process (advanced: cross-process memory,
+// address-space inspection).
+func (p *Process) Raw() *kernel.Process { return p.raw }
+
+// CreationCost reports the virtual time the creation strategy spent
+// constructing this process — the quantity on Figure 1's y-axis.
+func (p *Process) CreationCost() time.Duration { return p.creation }
+
+// Start makes a parked process (from Cmd.Create) runnable.
+func (p *Process) Start() error {
+	return p.sys.k.StartProcess(p.raw)
+}
+
+// Signal delivers s to the process (kill(2)).
+func (p *Process) Signal(s Signal) error {
+	return p.sys.k.SendSignal(p.raw, s)
+}
+
+// Kill delivers SIGKILL.
+func (p *Process) Kill() error { return p.Signal(sig.SIGKILL) }
+
+// Destroy force-removes the process (harness cleanup for parked or
+// measurement children that will never run).
+func (p *Process) Destroy() {
+	p.sys.k.DestroyProcess(p.raw)
+	p.runCleanup()
+}
+
+// Wait drives the machine until the process exits, reaps it, and
+// returns its decoded state. Virtual time advances inside this call —
+// sibling processes run too, so pipelines drain naturally. Waiting
+// again returns the cached state.
+func (p *Process) Wait() (*ProcessState, error) {
+	if p.state != nil {
+		return p.state, nil
+	}
+	k := p.sys.k
+	if p.raw.State() == kernel.ProcAlive {
+		// One Run drives the machine to completion, deadlock, or the
+		// budget — the budget is per Wait, not re-armed in a loop.
+		err := k.Run(kernel.RunLimits{MaxInstructions: p.sys.runBudget})
+		switch {
+		case p.raw.State() != kernel.ProcAlive:
+			// Exited; a concurrent deadlock elsewhere is not ours.
+		case err != nil:
+			return nil, err // *DeadlockError naming the stuck threads
+		case k.LastStop() == kernel.StopLimit:
+			return nil, fmt.Errorf("sim: %s (pid %d): run budget of %d instructions exhausted",
+				p.raw.Name, p.raw.Pid, p.sys.runBudget)
+		default:
+			return nil, fmt.Errorf("sim: %s (pid %d): machine idle but process never exited (parked?)",
+				p.raw.Name, p.raw.Pid)
+		}
+	}
+	status := p.raw.ExitStatus()
+	oom := p.raw.OOMKilled()
+	if p.raw.State() == kernel.ProcZombie {
+		if _, _, err := k.WaitReap(p.raw.Parent(), p.raw.Pid); err != nil {
+			return nil, fmt.Errorf("sim: reap pid %d: %w", p.raw.Pid, err)
+		}
+	}
+	p.state = &ProcessState{pid: int(p.raw.Pid), status: status, oomKilled: oom}
+	p.runCleanup()
+	return p.state, nil
+}
+
+// ProcessState is the decoded exit state of a finished process — no
+// raw status words, matching os.ProcessState.
+type ProcessState struct {
+	pid       int
+	status    uint64
+	oomKilled bool
+}
+
+// Pid returns the process id.
+func (ps *ProcessState) Pid() int { return ps.pid }
+
+// Exited reports whether the process exited normally (not signaled).
+func (ps *ProcessState) Exited() bool { return abi.StatusSignal(ps.status) == 0 }
+
+// ExitCode returns the exit code, or -1 if the process was signaled.
+func (ps *ProcessState) ExitCode() int {
+	if ps.Signaled() {
+		return -1
+	}
+	return abi.StatusExitCode(ps.status)
+}
+
+// Signaled reports whether a signal terminated the process.
+func (ps *ProcessState) Signaled() bool { return abi.StatusSignal(ps.status) != 0 }
+
+// Signal returns the terminating signal (0 if none).
+func (ps *ProcessState) Signal() Signal { return Signal(abi.StatusSignal(ps.status)) }
+
+// OOMKilled reports death by the OOM killer.
+func (ps *ProcessState) OOMKilled() bool { return ps.oomKilled }
+
+// Success reports a normal exit with code 0.
+func (ps *ProcessState) Success() bool { return ps.Exited() && ps.ExitCode() == 0 }
+
+// Sys returns the raw abi-encoded status word (substrate access).
+func (ps *ProcessState) Sys() uint64 { return ps.status }
+
+func (ps *ProcessState) String() string {
+	switch {
+	case ps.oomKilled:
+		return fmt.Sprintf("oom-killed (%v)", ps.Signal())
+	case ps.Signaled():
+		return fmt.Sprintf("signal: %v", ps.Signal())
+	default:
+		return fmt.Sprintf("exit status %d", ps.ExitCode())
+	}
+}
+
+// ExitError reports an unsuccessful exit from Cmd.Wait/Run/Output,
+// exactly like exec.ExitError.
+type ExitError struct {
+	*ProcessState
+}
+
+func (e *ExitError) Error() string { return e.ProcessState.String() }
+
+// AsExitError unwraps err into an *ExitError, or nil.
+func AsExitError(err error) *ExitError {
+	var ee *ExitError
+	if errors.As(err, &ee) {
+		return ee
+	}
+	return nil
+}

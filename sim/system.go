@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/addrspace"
+	"repro/internal/asm"
+	"repro/internal/image"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/ulib"
+	"repro/internal/vfs"
+)
+
+// CommitPolicy selects the machine's overcommit accounting
+// (overcommit_memory in Linux terms); see §4.6 of the paper.
+type CommitPolicy int
+
+// Commit policies.
+const (
+	// CommitHeuristic allows reservations freely unless a single
+	// request exceeds the limit (Linux overcommit_memory=0).
+	CommitHeuristic CommitPolicy = iota
+	// CommitStrict refuses any reservation past RAM+swap
+	// (overcommit_memory=2): fork of a big parent fails up front.
+	CommitStrict
+	// CommitAlways never refuses a reservation (overcommit_memory=1).
+	CommitAlways
+)
+
+func (p CommitPolicy) String() string {
+	return [...]string{"heuristic", "strict", "always"}[p]
+}
+
+func (p CommitPolicy) memPolicy() mem.CommitPolicy {
+	switch p {
+	case CommitStrict:
+		return mem.CommitStrict
+	case CommitAlways:
+		return mem.CommitAlways
+	}
+	return mem.CommitHeuristic
+}
+
+// ForkMode selects the kernel's fork duplication strategy.
+type ForkMode int
+
+// Fork modes.
+const (
+	// ForkCOW is modern copy-on-write fork.
+	ForkCOW ForkMode = iota
+	// ForkEager is 1970s fork: every private page copied eagerly
+	// (the paper's §2 history, kept as an ablation).
+	ForkEager
+)
+
+type config struct {
+	opts      kernel.Options
+	userland  []string // nil = install everything
+	programs  []srcProgram
+	images    []rawImage
+	runBudget uint64
+}
+
+type srcProgram struct{ path, src string }
+type rawImage struct {
+	path string
+	raw  []byte
+}
+
+// Option configures NewSystem.
+type Option func(*config)
+
+// WithRAM sizes physical memory in bytes (default 4 GiB).
+func WithRAM(bytes uint64) Option {
+	return func(c *config) { c.opts.RAMBytes = bytes }
+}
+
+// WithSwap adds commit headroom beyond RAM.
+func WithSwap(bytes uint64) Option {
+	return func(c *config) { c.opts.SwapBytes = bytes }
+}
+
+// WithCommitPolicy selects the overcommit policy.
+func WithCommitPolicy(p CommitPolicy) Option {
+	return func(c *config) { c.opts.Commit = p.memPolicy() }
+}
+
+// WithForkMode selects the kernel fork strategy (COW by default).
+func WithForkMode(m ForkMode) Option {
+	return func(c *config) { c.opts.EagerFork = m == ForkEager }
+}
+
+// WithDenyMultithreadedFork makes fork fail with EAGAIN when the
+// caller has more than one live thread — the §8 mitigation on the road
+// to deprecating fork.
+func WithDenyMultithreadedFork() Option {
+	return func(c *config) { c.opts.DenyMultithreadedFork = true }
+}
+
+// WithConsole wires the machine's /dev/console output to w.
+func WithConsole(w io.Writer) Option {
+	return func(c *config) { c.opts.ConsoleOut = w }
+}
+
+// WithConsoleInput wires /dev/console reads to r (default: EOF).
+func WithConsoleInput(r io.Reader) Option {
+	return func(c *config) { c.opts.ConsoleIn = r }
+}
+
+// WithUserland restricts the installed userland to the named built-in
+// programs (default: all of them; see Programs).
+func WithUserland(names ...string) Option {
+	return func(c *config) { c.userland = append(c.userland, names...) }
+}
+
+// WithProgram assembles src (the ulib runtime is appended) and
+// installs the image at path.
+func WithProgram(path, src string) Option {
+	return func(c *config) { c.programs = append(c.programs, srcProgram{path, src}) }
+}
+
+// WithImage installs a pre-assembled KXI image at path.
+func WithImage(path string, raw []byte) Option {
+	return func(c *config) { c.images = append(c.images, rawImage{path, raw}) }
+}
+
+// WithRunBudget caps each Wait at n executed instructions; a command
+// still running when the budget runs out fails rather than hanging the
+// host (default: unlimited).
+func WithRunBudget(n uint64) Option {
+	return func(c *config) { c.runBudget = n }
+}
+
+// System is one booted simulated machine: a kernel with its userland
+// installed and a host process from which commands are launched.
+type System struct {
+	k         *kernel.Kernel
+	host      *kernel.Process
+	runBudget uint64
+}
+
+// NewSystem boots a machine: kernel, userland in /bin, and a host
+// process (pid 1) whose stdin/stdout/stderr are the console. Commands
+// created with Command are children of the host.
+func NewSystem(options ...Option) (*System, error) {
+	var c config
+	for _, o := range options {
+		o(&c)
+	}
+	k := kernel.New(c.opts)
+	if c.userland == nil {
+		if err := ulib.InstallAll(k); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, name := range c.userland {
+			if err := ulib.Install(k, name, "/bin/"+name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	s := &System{k: k, runBudget: c.runBudget}
+	for _, p := range c.programs {
+		if err := s.InstallProgram(p.path, p.src); err != nil {
+			return nil, err
+		}
+	}
+	for _, im := range c.images {
+		if err := s.InstallImageBytes(im.path, im.raw); err != nil {
+			return nil, err
+		}
+	}
+
+	s.host = k.NewSynthetic("host", nil)
+	console, err := k.FS().Resolve(nil, "/dev/console")
+	if err != nil {
+		return nil, err
+	}
+	for fd := 0; fd < 3; fd++ {
+		flags := vfs.ORdOnly
+		if fd > 0 {
+			flags = vfs.OWrOnly
+		}
+		if err := s.host.FDs().InstallAt(vfs.NewOpenFile(console, flags), false, fd); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Programs lists the built-in userland programs, sorted.
+func Programs() []string {
+	names := make([]string, 0, len(ulib.Sources))
+	for n := range ulib.Sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Kernel exposes the underlying simulated kernel — the substrate
+// escape hatch for callers that need raw process-table, memory, or
+// filesystem access.
+func (s *System) Kernel() *kernel.Kernel { return s.k }
+
+// Host returns the host process commands are launched from.
+func (s *System) Host() *kernel.Process { return s.host }
+
+// VirtualTime reports the machine's virtual clock.
+func (s *System) VirtualTime() time.Duration {
+	return time.Duration(s.k.Now())
+}
+
+// Stats is a snapshot of the machine's counters.
+type Stats struct {
+	VirtualTime     time.Duration
+	Instructions    uint64
+	Syscalls        uint64
+	PageFaults      uint64
+	PageCopies      uint64
+	ContextSwitches uint64
+	OOMKills        int
+	SegvKills       int
+}
+
+// Stats snapshots the cost meter and kill counters.
+func (s *System) Stats() Stats {
+	m := s.k.Meter()
+	return Stats{
+		VirtualTime:     time.Duration(s.k.Now()),
+		Instructions:    m.Instructions,
+		Syscalls:        m.Syscalls,
+		PageFaults:      m.PageFaults,
+		PageCopies:      m.PageCopies,
+		ContextSwitches: s.k.ContextSwitches(),
+		OOMKills:        s.k.OOMKills,
+		SegvKills:       s.k.SegvKills,
+	}
+}
+
+// InstallProgram assembles src (runtime appended) and installs it.
+func (s *System) InstallProgram(path, src string) error {
+	im, err := asm.Assemble(src + ulib.Runtime)
+	if err != nil {
+		return fmt.Errorf("sim: assemble %s: %w", path, err)
+	}
+	return s.k.InstallImage(path, im)
+}
+
+// InstallImageBytes validates raw as a KXI image and writes it at path.
+func (s *System) InstallImageBytes(path string, raw []byte) error {
+	if _, err := image.DecodeHeader(raw); err != nil {
+		return fmt.Errorf("sim: %s: not a KXI image: %w", path, err)
+	}
+	_, err := s.k.FS().WriteFile(path, raw)
+	return err
+}
+
+// WriteFile creates (or truncates) a simulated file with data.
+func (s *System) WriteFile(path string, data []byte) error {
+	_, err := s.k.FS().WriteFile(path, data)
+	return err
+}
+
+// ReadFile returns a copy of a simulated file's contents.
+func (s *System) ReadFile(path string) ([]byte, error) {
+	ino, err := s.k.FS().Resolve(nil, path)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), ino.Data()...), nil
+}
+
+// ReadDir lists a simulated directory.
+func (s *System) ReadDir(path string) ([]string, error) {
+	return s.k.FS().ReadDir(nil, path)
+}
+
+// DirtyHost maps and write-touches an anonymous region of the given
+// size in the host process, making it the large resident parent of the
+// paper's Figure 1 sweeps. huge selects 2 MiB pages.
+func (s *System) DirtyHost(bytes uint64, huge bool) error {
+	if bytes == 0 {
+		return nil
+	}
+	ps := uint64(mem.PageSize)
+	if huge {
+		ps = mem.HugeSize
+	}
+	bytes = (bytes + ps - 1) &^ (ps - 1)
+	vma, err := s.host.Space().Map(0, bytes, addrspace.Read|addrspace.Write, addrspace.MapOpts{
+		Kind: addrspace.KindAnon, Name: "workset", Huge: huge,
+	})
+	if err != nil {
+		return fmt.Errorf("sim: dirty host: %w", err)
+	}
+	return s.host.Space().Touch(vma.Start, bytes, addrspace.AccessWrite)
+}
