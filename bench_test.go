@@ -13,6 +13,7 @@ package repro
 // regenerates everything; see EXPERIMENTS.md for the mapping.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/ulib"
 	"repro/sim"
+	"repro/sim/load"
 )
 
 const (
@@ -157,6 +159,57 @@ func BenchmarkCompose(b *testing.B) {
 func BenchmarkSpawnScale(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Scale(1*mib, 64*mib); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadPrefork is the §5 server claim as a benchmark: a
+// prefork server draining synthetic requests, one worker process per
+// request, swept over creation strategy × server heap. The virt-req/s
+// metric is the reproduction's number: flat for spawn and the builder,
+// collapsing with heap size for fork+exec. BENCH_PR2.json pins these
+// values (regenerate with `forkbench load -sweep -json BENCH_PR2.json`).
+func BenchmarkLoadPrefork(b *testing.B) {
+	vias := []struct {
+		name string
+		via  sim.Strategy
+	}{
+		{"fork", sim.ForkExec},
+		{"spawn", sim.Spawn},
+		{"builder", sim.Builder},
+	}
+	for _, heap := range []uint64{64 * mib, 256 * mib} {
+		for _, v := range vias {
+			b.Run(fmt.Sprintf("%s/%s", v.name, experiments.HumanBytes(heap)), func(b *testing.B) {
+				var reqPerVSec float64
+				for i := 0; i < b.N; i++ {
+					m, err := load.Run(load.Config{
+						Scenario:  load.Prefork,
+						Via:       v.via,
+						Requests:  64,
+						HeapBytes: heap,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					reqPerVSec = m.RequestsPerVSec
+				}
+				b.ReportMetric(reqPerVSec, "virt-req/s")
+			})
+		}
+	}
+}
+
+// BenchmarkLoadForkStorm measures burst creation: 256 simultaneously
+// live children per wave — the scenario that hammers the scheduler's
+// run queue and the frame allocator.
+func BenchmarkLoadForkStorm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := load.Run(load.Config{
+			Scenario: load.ForkStorm, Via: sim.Spawn,
+			Requests: 1, Workers: 256, HeapBytes: 16 * mib,
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,7 +8,7 @@
 //	forkbench [flags] <experiment>
 //
 //	experiments: fig1 table1 cowtax hugepages overcommit compose scale
-//	             strategies all
+//	             strategies server all
 //
 //	-max SIZE     largest parent for sweeps (default 1GiB for fig1)
 //	-reps N       repetitions per fig1 point (default 5)
@@ -18,10 +18,21 @@
 // through every process-creation strategy the paper compares
 // (Cmd.Via), verifying identical output and reporting each strategy's
 // creation latency from a dirty parent.
+//
+// The load subcommand drives the sim/load workload scenarios:
+//
+//	forkbench load [-scenario prefork|pipeline|checkpoint|forkstorm|all]
+//	               [-via spawn|fork|vfork|builder|emufork|eager]
+//	               [-n REQUESTS] [-workers N] [-heap SIZE] [-ram SIZE]
+//	               [-huge] [-json FILE]
+//
+// Each run is deterministic; -json appends every run's metrics to a
+// JSON array, the format of the repo's BENCH_*.json trajectory files.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +41,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/sim"
+	"repro/sim/load"
 )
 
 func parseSize(s string) (uint64, error) {
@@ -58,10 +70,17 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per fig1 point")
 	eager := flag.Bool("eager", false, "include eager-copy fork line in fig1")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|strategies|all\n")
+		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|strategies|server|all\n")
+		fmt.Fprintf(os.Stderr, "       forkbench load [load flags]   (see forkbench load -h)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if flag.Arg(0) == "load" {
+		if err := runLoad(flag.Args()[1:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -156,6 +175,18 @@ func main() {
 		}
 		fmt.Println(res.Render())
 	}
+	if runAll || what == "server" {
+		ran = true
+		smax := maxBytes
+		if smax > 256*experiments.MiB {
+			smax = 256 * experiments.MiB
+		}
+		res, err := experiments.ServerClaim(smax, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
 	if runAll || what == "strategies" {
 		ran = true
 		if err := strategies(maxBytes); err != nil {
@@ -210,6 +241,123 @@ func strategies(parentBytes uint64) error {
 	}
 	fmt.Printf("\nidentical output under every strategy; only the creation cost differs.\n\n")
 	return nil
+}
+
+// runLoad is the `forkbench load` subcommand: it parses the load
+// flags, runs the selected scenario(s) through sim/load, prints each
+// run's metrics, and optionally records them all as a JSON array.
+func runLoad(args []string) error {
+	fs := flag.NewFlagSet("forkbench load", flag.ExitOnError)
+	scenario := fs.String("scenario", "prefork", "prefork|pipeline|checkpoint|forkstorm|all")
+	via := fs.String("via", "spawn", "spawn|fork|vfork|builder|emufork|eager")
+	n := fs.Int("n", 0, "requests per scenario (0 = scenario default)")
+	workers := fs.Int("workers", 0, "pipeline depth / storm burst size (0 = default)")
+	heap := fs.String("heap", "64MiB", "server heap size")
+	ram := fs.String("ram", "0", "machine RAM (0 = 4x heap)")
+	huge := fs.Bool("huge", false, "back the server heap with 2MiB pages")
+	jsonPath := fs.String("json", "", "write all runs' metrics to FILE as a JSON array")
+	sweep := fs.Bool("sweep", false, "run the standard baseline matrix (ignores the other load flags)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("load: unexpected argument %q", fs.Arg(0))
+	}
+
+	var configs []load.Config
+	if *sweep {
+		configs = sweepConfigs()
+	} else {
+		st, err := sim.ParseStrategy(*via)
+		if err != nil {
+			return err
+		}
+		heapBytes, err := parseSize(*heap)
+		if err != nil {
+			return err
+		}
+		ramBytes, err := parseSize(*ram)
+		if err != nil {
+			return err
+		}
+		var scenarios []load.Scenario
+		if *scenario == "all" {
+			scenarios = load.Scenarios()
+		} else {
+			s, err := load.ParseScenario(*scenario)
+			if err != nil {
+				return err
+			}
+			scenarios = []load.Scenario{s}
+		}
+		for _, s := range scenarios {
+			configs = append(configs, load.Config{
+				Scenario:  s,
+				Via:       st,
+				Requests:  *n,
+				Workers:   *workers,
+				HeapBytes: heapBytes,
+				RAMBytes:  ramBytes,
+				HugePages: *huge,
+			})
+		}
+	}
+
+	var all []*load.Metrics
+	for _, cfg := range configs {
+		m, err := load.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(m.Render())
+		all = append(all, m)
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(all, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d run(s) to %s\n", len(all), *jsonPath)
+	}
+	return nil
+}
+
+// sweepConfigs is the standard baseline matrix behind
+// `forkbench load -sweep -json BENCH_PRn.json`: the prefork §5 cells
+// (fork vs spawn vs builder as the server heap grows) plus one
+// representative configuration of each other scenario. Deterministic,
+// so the emitted JSON is reproducible bit for bit.
+func sweepConfigs() []load.Config {
+	var out []load.Config
+	for _, heap := range []uint64{64 * experiments.MiB, 256 * experiments.MiB} {
+		for _, via := range []sim.Strategy{sim.ForkExec, sim.Spawn, sim.Builder} {
+			out = append(out, load.Config{
+				Scenario: load.Prefork, Via: via, Requests: 64, HeapBytes: heap,
+			})
+		}
+	}
+	for _, via := range []sim.Strategy{sim.ForkExec, sim.Spawn} {
+		out = append(out, load.Config{
+			Scenario: load.Pipeline, Via: via, Requests: 32, Workers: 3,
+			HeapBytes: 64 * experiments.MiB,
+		})
+	}
+	for _, via := range []sim.Strategy{sim.ForkExec, sim.EagerForkExec} {
+		out = append(out, load.Config{
+			Scenario: load.Checkpoint, Via: via, Requests: 16,
+			HeapBytes: 64 * experiments.MiB,
+		})
+	}
+	for _, via := range []sim.Strategy{sim.ForkExec, sim.Spawn} {
+		out = append(out, load.Config{
+			Scenario: load.ForkStorm, Via: via, Requests: 4, Workers: 256,
+			HeapBytes: 64 * experiments.MiB,
+		})
+	}
+	return out
 }
 
 func fatal(err error) {

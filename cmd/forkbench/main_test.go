@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/sim/load"
+)
 
 func TestParseSize(t *testing.T) {
 	cases := []struct {
@@ -35,5 +42,65 @@ func TestParseSize(t *testing.T) {
 		if got != c.want {
 			t.Errorf("parseSize(%q) = %d, want %d", c.in, got, c.want)
 		}
+	}
+}
+
+// TestRunLoadWritesJSON drives the load subcommand end to end at a
+// tiny scale and checks the emitted JSON parses back into metrics.
+func TestRunLoadWritesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	err := runLoad([]string{
+		"-scenario", "prefork", "-via", "spawn", "-n", "4", "-heap", "1MiB", "-json", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []*load.Metrics
+	if err := json.Unmarshal(data, &ms); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(ms) != 1 || ms[0].Requests != 4 || ms[0].Scenario != "prefork" {
+		t.Errorf("unexpected metrics: %+v", ms)
+	}
+}
+
+// TestRunLoadRejectsJunk pins the error paths.
+func TestRunLoadRejectsJunk(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scenario", "bogus"},
+		{"-via", "bogus"},
+		{"-heap", "xMiB"},
+		{"extra-positional"},
+	} {
+		if err := runLoad(args); err == nil {
+			t.Errorf("runLoad(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestSweepConfigsCoverEveryScenario keeps the baseline matrix honest:
+// all four scenarios present, and the §5 cells sweep fork vs spawn vs
+// builder at more than one heap size.
+func TestSweepConfigsCoverEveryScenario(t *testing.T) {
+	cfgs := sweepConfigs()
+	seen := map[load.Scenario]int{}
+	heaps := map[uint64]bool{}
+	for _, c := range cfgs {
+		seen[c.Scenario]++
+		if c.Scenario == load.Prefork {
+			heaps[c.HeapBytes] = true
+		}
+	}
+	for _, s := range load.Scenarios() {
+		if seen[s] == 0 {
+			t.Errorf("sweep misses scenario %s", s)
+		}
+	}
+	if seen[load.Prefork] < 6 || len(heaps) < 2 {
+		t.Errorf("prefork cells = %d over %d heaps; want the full §5 matrix", seen[load.Prefork], len(heaps))
 	}
 }

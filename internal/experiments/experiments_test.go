@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/sim"
 )
 
 // TestFigure1Shape checks the paper's qualitative claims on a reduced
@@ -259,4 +260,38 @@ func TestAblations(t *testing.T) {
 		t.Errorf("mitigation did not prevent the deadlock")
 	}
 	t.Logf("\n%s", res.Render())
+}
+
+// TestServerClaimShape checks E8's qualitative claim on a reduced
+// sweep: prefork-server throughput under fork+exec falls as the server
+// heap grows, while spawn's and the builder's stay flat and above it.
+func TestServerClaimShape(t *testing.T) {
+	res, err := ServerClaim(64*MiB, 16)
+	if err != nil {
+		t.Fatalf("ServerClaim: %v", err)
+	}
+	get := func(via sim.Strategy, heap uint64) float64 {
+		for _, p := range res.Points {
+			if p.Via == via && p.HeapBytes == heap {
+				return p.Metrics.RequestsPerVSec
+			}
+		}
+		t.Fatalf("missing point %v/%d", via, heap)
+		return 0
+	}
+	small, big := uint64(16*MiB), uint64(64*MiB)
+	if fs, fb := get(sim.ForkExec, small), get(sim.ForkExec, big); fb >= fs/2 {
+		t.Errorf("fork throughput did not collapse with heap: %0.f → %.0f req/vs", fs, fb)
+	}
+	if ss, sb := get(sim.Spawn, small), get(sim.Spawn, big); sb < ss*0.95 {
+		t.Errorf("spawn throughput not flat: %.0f → %.0f req/vs", ss, sb)
+	}
+	for _, via := range []sim.Strategy{sim.Spawn, sim.Builder} {
+		if get(via, big) <= get(sim.ForkExec, big) {
+			t.Errorf("%v does not beat fork+exec at %s", via, HumanBytes(big))
+		}
+	}
+	if r := res.Render(); len(r) == 0 {
+		t.Error("empty render")
+	}
 }

@@ -65,7 +65,7 @@ type Kernel struct {
 	procs   map[PID]*Process
 	nextPID PID
 
-	runq     []*Thread
+	runq     runQueue
 	sleepers []*Thread // blocked in nanosleep, unordered
 
 	futexes map[futexKey]*WaitQueue
@@ -206,7 +206,7 @@ func (k *Kernel) unblock(t *Thread) {
 	// handler clears it when the sleep completes, and a sleeper
 	// woken early (signal) re-blocks for the remaining time.
 	t.state = TRunnable
-	k.runq = append(k.runq, t)
+	k.runq.push(t)
 }
 
 // wakeOne wakes the oldest waiter; it reports whether one was woken.
@@ -265,7 +265,7 @@ func (k *Kernel) Run(limits RunLimits) error {
 			k.lastStop = StopLimit
 			return nil
 		}
-		if len(k.runq) == 0 {
+		if k.runq.Len() == 0 {
 			if k.wakeSleepers() {
 				continue
 			}
@@ -289,8 +289,7 @@ func (k *Kernel) Run(limits RunLimits) error {
 			k.lastStop = StopIdle
 			return nil
 		}
-		t := k.runq[0]
-		k.runq = k.runq[1:]
+		t := k.runq.pop()
 		if t.state != TRunnable {
 			continue // exited or re-blocked while queued
 		}
@@ -317,7 +316,7 @@ func (k *Kernel) dispatch(t *Thread, limits RunLimits, startInstr uint64, deadli
 	}
 	if t.state == TRunning {
 		t.state = TRunnable
-		k.runq = append(k.runq, t)
+		k.runq.push(t)
 	}
 }
 
@@ -353,7 +352,7 @@ func (k *Kernel) wakeSleepers() bool {
 }
 
 // Idle reports whether nothing can run.
-func (k *Kernel) Idle() bool { return len(k.runq) == 0 && len(k.sleepers) == 0 }
+func (k *Kernel) Idle() bool { return k.runq.Len() == 0 && len(k.sleepers) == 0 }
 
 // newSpace creates an empty address space bound to this kernel's
 // physical memory and meter.

@@ -226,7 +226,7 @@ func (k *Kernel) newThread(p *Process, state TState) *Thread {
 	p.threads = append(p.threads, t)
 	k.meter.Charge(k.meter.Model.ThreadAlloc)
 	if state == TRunnable {
-		k.runq = append(k.runq, t)
+		k.runq.push(t)
 	}
 	return t
 }
@@ -283,7 +283,7 @@ func (k *Kernel) StartProcess(p *Process) error {
 	}
 	if t.state == TParked {
 		t.state = TRunnable
-		k.runq = append(k.runq, t)
+		k.runq.push(t)
 	}
 	return nil
 }

@@ -1,0 +1,53 @@
+package kernel
+
+// runQueue is the scheduler's FIFO of runnable threads, backed by a
+// power-of-two ring buffer. The previous representation — a plain slice
+// popped with runq = runq[1:] — kept the backing array's dead prefix
+// alive and forced a fresh allocation every time append outgrew it,
+// which thrashes once load scenarios park thousands of threads. The
+// ring reuses its storage: push and pop are O(1) with no shifting, and
+// the buffer only grows (doubling) when the queue is genuinely full.
+type runQueue struct {
+	buf  []*Thread
+	head int // index of the oldest element
+	n    int // number of queued threads
+}
+
+// Len reports the number of queued threads.
+func (q *runQueue) Len() int { return q.n }
+
+// push enqueues t at the tail.
+func (q *runQueue) push(t *Thread) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = t
+	q.n++
+}
+
+// pop dequeues the oldest thread; it panics on an empty queue (the
+// scheduler checks Len first).
+func (q *runQueue) pop() *Thread {
+	if q.n == 0 {
+		panic("kernel: pop of empty run queue")
+	}
+	t := q.buf[q.head]
+	q.buf[q.head] = nil // no stale *Thread keeping an exited task alive
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return t
+}
+
+// grow doubles the ring (minimum 16 slots), unwrapping the elements
+// into the front of the new buffer.
+func (q *runQueue) grow() {
+	size := len(q.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	nb := make([]*Thread, size)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf, q.head = nb, 0
+}

@@ -1,0 +1,60 @@
+package kernel
+
+import "testing"
+
+// TestRunQueueFIFO drives the ring through interleaved push/pop
+// sequences that force wraparound and growth, checking FIFO order
+// against a reference slice throughout.
+func TestRunQueueFIFO(t *testing.T) {
+	mk := make([]*Thread, 100)
+	for i := range mk {
+		mk[i] = &Thread{TID: i}
+	}
+	var q runQueue
+	var ref []*Thread
+	next := 0
+	// Pattern: push bursts of growing size, drain partially — the
+	// head walks around the buffer many times and the buffer must
+	// grow mid-wrap.
+	for round := 1; round <= 40; round++ {
+		for i := 0; i < round%7+1; i++ {
+			th := mk[next%len(mk)]
+			next++
+			q.push(th)
+			ref = append(ref, th)
+		}
+		for i := 0; i < round%5; i++ {
+			if len(ref) == 0 {
+				break
+			}
+			got := q.pop()
+			if got != ref[0] {
+				t.Fatalf("round %d: pop = tid %d, want tid %d", round, got.TID, ref[0].TID)
+			}
+			ref = ref[1:]
+		}
+		if q.Len() != len(ref) {
+			t.Fatalf("round %d: Len = %d, want %d", round, q.Len(), len(ref))
+		}
+	}
+	for len(ref) > 0 {
+		if got := q.pop(); got != ref[0] {
+			t.Fatalf("drain: pop = tid %d, want tid %d", got.TID, ref[0].TID)
+		}
+		ref = ref[1:]
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after drain: %d", q.Len())
+	}
+}
+
+// TestRunQueuePopEmptyPanics pins the contract the scheduler relies on.
+func TestRunQueuePopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pop of empty queue did not panic")
+		}
+	}()
+	var q runQueue
+	q.pop()
+}

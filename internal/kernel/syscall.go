@@ -272,7 +272,7 @@ func (k *Kernel) sysEnter(t *Thread, num uint64) (uint64, error) {
 		k.meter.Charge(k.meter.Model.SyscallExit)
 		// Round-robin: back of the queue.
 		t.state = TRunnable
-		k.runq = append(k.runq, t)
+		k.runq.push(t)
 		return 0, errNoReturn
 
 	case abi.SysNanosleep:

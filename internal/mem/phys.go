@@ -58,7 +58,8 @@ func (f FrameID) Pages() uint64 {
 
 type frame struct {
 	refs int32
-	data []byte // nil ⇒ logically zero-filled
+	next FrameID // intrusive free-list link, meaningful only while free
+	data []byte  // nil ⇒ logically zero-filled
 }
 
 // CommitPolicy selects how commit (reservation) accounting behaves.
@@ -96,11 +97,18 @@ func (p CommitPolicy) String() string {
 type Physical struct {
 	meter *cost.Meter
 
-	frames []frame   // base (4 KiB) frames
-	free   []FrameID // LIFO free stack of base frames
+	// Base (4 KiB) frames. The allocator is O(1) in both time and
+	// setup: never-allocated frames are handed out in ascending id
+	// order from a bump watermark, and freed frames go on an
+	// intrusive LIFO list threaded through the frame structs — no
+	// per-frame free stack is ever built, and the frame table grows
+	// lazily, so booting a multi-GiB machine costs nothing up front.
+	frames   []frame
+	nextFree uint64  // bump watermark: ids below this have been handed out
+	freeHead FrameID // head of the intrusive free list (NoFrame = empty)
 
 	hframes []frame   // huge (2 MiB) frames, grown on demand
-	hfree   []FrameID // LIFO free stack of huge frames
+	hfree   []FrameID // LIFO free stack of huge frames (few; a slice is fine)
 
 	totalPages     uint64 // RAM size in 4 KiB pages
 	allocatedPages uint64 // pages currently handed out (huge counts 512)
@@ -115,20 +123,13 @@ type Physical struct {
 // whole pages. The meter is charged for every hardware operation.
 func NewPhysical(meter *cost.Meter, ramBytes, swapBytes uint64, policy CommitPolicy) *Physical {
 	nframes := ramBytes >> PageShift
-	p := &Physical{
+	return &Physical{
 		meter:       meter,
-		frames:      make([]frame, nframes),
-		free:        make([]FrameID, 0, nframes),
+		freeHead:    NoFrame,
 		totalPages:  nframes,
 		policy:      policy,
 		commitLimit: (ramBytes + swapBytes) >> PageShift,
 	}
-	// Push in reverse so frame 0 pops first; allocation order is
-	// deterministic either way but ascending reads better in traces.
-	for i := int64(nframes) - 1; i >= 0; i-- {
-		p.free = append(p.free, FrameID(i))
-	}
-	return p
 }
 
 // TotalPages reports the RAM size in 4 KiB pages.
@@ -208,13 +209,27 @@ func (p *Physical) live(f FrameID) *frame {
 
 // Alloc hands out one 4 KiB frame with refcount 1 and logically zero
 // contents. It fails with ENOMEM when RAM is exhausted — the simulated
-// OOM condition.
+// OOM condition. Recently freed frames are reused first (LIFO, cache-
+// warm); otherwise the next never-touched frame is taken in ascending
+// id order, growing the frame table on demand.
 func (p *Physical) Alloc() (FrameID, error) {
-	if len(p.free) == 0 || p.allocatedPages+1 > p.totalPages {
+	if p.allocatedPages+1 > p.totalPages {
 		return NoFrame, errno.ENOMEM
 	}
-	f := p.free[len(p.free)-1]
-	p.free = p.free[:len(p.free)-1]
+	var f FrameID
+	if p.freeHead != NoFrame {
+		f = p.freeHead
+		p.freeHead = p.frames[f].next
+	} else {
+		if p.nextFree >= p.totalPages {
+			return NoFrame, errno.ENOMEM
+		}
+		f = FrameID(p.nextFree)
+		p.nextFree++
+		if uint64(len(p.frames)) < p.nextFree {
+			p.frames = append(p.frames, frame{})
+		}
+	}
 	p.frames[f] = frame{refs: 1}
 	p.allocatedPages++
 	p.meter.Charge(p.meter.Model.FrameAlloc)
@@ -278,12 +293,13 @@ func (p *Physical) DecRef(f FrameID) bool {
 	if fr.refs > 0 {
 		return false
 	}
-	*fr = frame{}
 	if f.IsHuge() {
+		*fr = frame{}
 		p.hfree = append(p.hfree, f)
 		p.allocatedPages -= FramesPerHuge
 	} else {
-		p.free = append(p.free, f)
+		*fr = frame{next: p.freeHead}
+		p.freeHead = f
 		p.allocatedPages--
 	}
 	p.meter.Charge(p.meter.Model.FrameFree)
@@ -343,7 +359,10 @@ func (p *Physical) Materialised(f FrameID) bool {
 // size, charging the copy cost (the COW-break path). The new frame has
 // refcount 1.
 func (p *Physical) CopyFrame(src FrameID) (FrameID, error) {
-	sf := p.live(src)
+	// Take the source's data slice by value before allocating: Alloc
+	// can grow the lazily-sized frame table and relocate the frame
+	// structs, so a *frame held across it would go stale.
+	srcData := p.live(src).data
 	var dst FrameID
 	var err error
 	if src.IsHuge() {
@@ -362,9 +381,9 @@ func (p *Physical) CopyFrame(src FrameID) (FrameID, error) {
 	if err != nil {
 		return NoFrame, err
 	}
-	if sf.data != nil {
+	if srcData != nil {
 		nd := make([]byte, src.Size())
-		copy(nd, sf.data)
+		copy(nd, srcData)
 		p.slot(dst).data = nd
 	}
 	return dst, nil

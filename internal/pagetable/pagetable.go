@@ -11,6 +11,7 @@ package pagetable
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cost"
 	"repro/internal/mem"
@@ -119,6 +120,18 @@ type node struct {
 	ptes [entriesPerNode]PTE
 }
 
+// nodePool recycles radix nodes between tables. Fork-heavy workloads
+// allocate and destroy a mirror node per page-table page per child;
+// without pooling that is an 8 KiB host allocation each, and at tens of
+// thousands of creations the garbage collector dominates the
+// simulator's own run time. Nodes are returned zeroed (destroyNode
+// clears every slot as it walks), so Get needs no re-initialisation.
+// sync.Pool keeps this safe under `go test -race` with parallel tests.
+var nodePool = sync.Pool{New: func() any { return new(node) }}
+
+func newNode() *node  { return nodePool.Get().(*node) }
+func putNode(n *node) { nodePool.Put(n) }
+
 type tlbEntry struct {
 	vpn   uint64 // virtual page number (base-page granularity)
 	pte   PTE
@@ -143,7 +156,7 @@ type Table struct {
 func New(phys *mem.Physical, meter *cost.Meter) *Table {
 	meter.Charge(meter.Model.PTNodeAlloc)
 	meter.PTNodes++
-	return &Table{phys: phys, meter: meter, root: &node{}}
+	return &Table{phys: phys, meter: meter, root: newNode()}
 }
 
 // Entries reports the number of present leaf entries (huge counts 1).
@@ -196,7 +209,7 @@ func (t *Table) Map(va uint64, e PTE) {
 			panic(fmt.Sprintf("pagetable: 4K map %#x overlaps huge mapping", va))
 		}
 		if n.kids[i] == nil {
-			n.kids[i] = &node{}
+			n.kids[i] = newNode()
 			t.nodes++
 			t.meter.Charge(t.meter.Model.PTNodeAlloc)
 			t.meter.PTNodes++
@@ -222,7 +235,7 @@ func (t *Table) MapHuge(va uint64, e PTE) {
 	for level := Levels - 1; level > 1; level-- {
 		i := index(va, level)
 		if n.kids[i] == nil {
-			n.kids[i] = &node{}
+			n.kids[i] = newNode()
 			t.nodes++
 			t.meter.Charge(t.meter.Model.PTNodeAlloc)
 			t.meter.PTNodes++
@@ -369,6 +382,25 @@ func (t *Table) visit(n *node, base uint64, level int, fn func(uint64, PTE) PTE)
 	return changed
 }
 
+// cloneCounts accumulates the metered events of a clone walk so the
+// cost is charged in one batch at the end instead of one Charge call
+// per entry. The virtual-time total is identical — Θ(mapped pages)
+// remains the paper's point — but the host-side inner loop shrinks to
+// pointer and integer work, which is what lets the load scenarios fork
+// large parents tens of thousands of times.
+type cloneCounts struct {
+	writes uint64 // PTE writes: child installs plus parent downgrades
+	copies uint64 // leaf entries copied into the child
+	nodes  uint64 // mirror page-table pages allocated
+}
+
+// charge applies the accumulated events to the meter in one batch.
+func (cc *cloneCounts) charge(m *cost.Meter) {
+	m.Charge(cost.Ticks(cc.writes)*m.Model.PTEWrite + cost.Ticks(cc.nodes)*m.Model.PTNodeAlloc)
+	m.PTECopies += cc.copies
+	m.PTNodes += cc.nodes
+}
+
 // CloneCOW builds a copy of t for a forked child: every private
 // mapping is downgraded to read-only + COW in *both* tables and its
 // frame reference count incremented; shared mappings are copied
@@ -380,15 +412,18 @@ func (t *Table) visit(n *node, base uint64, level int, fn func(uint64, PTE) PTE)
 // permission).
 func (t *Table) CloneCOW() *Table {
 	child := New(t.phys, t.meter)
-	child.cloneNode(t, t.root, child.root, Levels-1)
+	var cc cloneCounts
+	child.cloneNode(t.root, child.root, Levels-1, &cc)
+	child.nodes = int(cc.nodes)
 	child.entries = t.entries
 	child.hugeEntries = t.hugeEntries
+	cc.charge(t.meter)
 	t.FlushTLB()
 	child.FlushTLB()
 	return child
 }
 
-func (c *Table) cloneNode(parent *Table, pn, cn *node, level int) {
+func (c *Table) cloneNode(pn, cn *node, level int, cc *cloneCounts) {
 	for i := 0; i < entriesPerNode; i++ {
 		if level == 0 || (level == 1 && pn.ptes[i].Present() && pn.ptes[i].Huge()) {
 			e := pn.ptes[i]
@@ -399,8 +434,8 @@ func (c *Table) cloneNode(parent *Table, pn, cn *node, level int) {
 				// Shared mapping: same frame, full perms.
 				c.phys.IncRef(e.Frame())
 				cn.ptes[i] = e
-				c.meter.Charge(c.meter.Model.PTEWrite)
-				c.meter.PTECopies++
+				cc.writes++
+				cc.copies++
 				continue
 			}
 			// Private mapping: drop write permission on both
@@ -415,21 +450,19 @@ func (c *Table) cloneNode(parent *Table, pn, cn *node, level int) {
 			}
 			if shared != e {
 				pn.ptes[i] = shared
-				c.meter.Charge(c.meter.Model.PTEWrite)
+				cc.writes++
 			}
 			cn.ptes[i] = shared
-			c.meter.Charge(c.meter.Model.PTEWrite)
-			c.meter.PTECopies++
+			cc.writes++
+			cc.copies++
 			continue
 		}
 		if pn.kids[i] == nil {
 			continue
 		}
-		cn.kids[i] = &node{}
-		c.nodes++
-		c.meter.Charge(c.meter.Model.PTNodeAlloc)
-		c.meter.PTNodes++
-		c.cloneNode(parent, pn.kids[i], cn.kids[i], level-1)
+		cn.kids[i] = newNode()
+		cc.nodes++
+		c.cloneNode(pn.kids[i], cn.kids[i], level-1, cc)
 	}
 }
 
@@ -440,11 +473,16 @@ func (c *Table) cloneNode(parent *Table, pn, cn *node, level int) {
 // error so the caller can destroy it.
 func (t *Table) CloneEager() (*Table, error) {
 	child := New(t.phys, t.meter)
-	err := child.cloneEagerNode(t.root, child.root, Levels-1)
+	var cc cloneCounts
+	err := child.cloneEagerNode(t.root, child.root, Levels-1, &cc)
+	child.nodes = int(cc.nodes)
+	// Charge even on the ENOMEM path: the work up to the failure
+	// happened and its cost is real.
+	cc.charge(t.meter)
 	return child, err
 }
 
-func (c *Table) cloneEagerNode(pn, cn *node, level int) error {
+func (c *Table) cloneEagerNode(pn, cn *node, level int, cc *cloneCounts) error {
 	for i := 0; i < entriesPerNode; i++ {
 		if level == 0 || (level == 1 && pn.ptes[i].Present() && pn.ptes[i].Huge()) {
 			e := pn.ptes[i]
@@ -461,8 +499,8 @@ func (c *Table) cloneEagerNode(pn, cn *node, level int) error {
 				}
 				cn.ptes[i] = Make(nf, e.Flags())
 			}
-			c.meter.Charge(c.meter.Model.PTEWrite)
-			c.meter.PTECopies++
+			cc.writes++
+			cc.copies++
 			c.entries++
 			if e.Huge() {
 				c.hugeEntries++
@@ -472,11 +510,9 @@ func (c *Table) cloneEagerNode(pn, cn *node, level int) error {
 		if pn.kids[i] == nil {
 			continue
 		}
-		cn.kids[i] = &node{}
-		c.nodes++
-		c.meter.Charge(c.meter.Model.PTNodeAlloc)
-		c.meter.PTNodes++
-		if err := c.cloneEagerNode(pn.kids[i], cn.kids[i], level-1); err != nil {
+		cn.kids[i] = newNode()
+		cc.nodes++
+		if err := c.cloneEagerNode(pn.kids[i], cn.kids[i], level-1, cc); err != nil {
 			return err
 		}
 	}
@@ -487,16 +523,22 @@ func (c *Table) cloneEagerNode(pn, cn *node, level int) error {
 // entry (the caller drops frame references there) and charging the
 // node-free cost for every page-table page including the root.
 func (t *Table) Destroy(release func(va uint64, e PTE)) {
-	t.destroyNode(t.root, 0, Levels-1, release)
+	freed := uint64(1) // the root
+	t.destroyNode(t.root, 0, Levels-1, release, &freed)
+	putNode(t.root)
 	t.root = nil
-	t.meter.Charge(t.meter.Model.PTNodeFree) // the root
+	t.meter.Charge(cost.Ticks(freed) * t.meter.Model.PTNodeFree)
 	t.entries, t.nodes, t.hugeEntries = 0, 0, 0
 	for i := range t.tlb {
 		t.tlb[i].valid = false
 	}
 }
 
-func (t *Table) destroyNode(n *node, base uint64, level int, release func(uint64, PTE)) {
+// destroyNode zeroes every slot as it walks, so each node goes back to
+// the pool fully cleared and newNode needs no re-initialisation. The
+// per-node free cost is accumulated into freed and charged in one batch
+// by Destroy.
+func (t *Table) destroyNode(n *node, base uint64, level int, release func(uint64, PTE), freed *uint64) {
 	span := uint64(1) << (mem.PageShift + uint(level)*LevelBits)
 	for i := 0; i < entriesPerNode; i++ {
 		va := base + uint64(i)*span
@@ -508,9 +550,10 @@ func (t *Table) destroyNode(n *node, base uint64, level int, release func(uint64
 			continue
 		}
 		if n.kids[i] != nil {
-			t.destroyNode(n.kids[i], va, level-1, release)
+			t.destroyNode(n.kids[i], va, level-1, release, freed)
+			putNode(n.kids[i])
 			n.kids[i] = nil
-			t.meter.Charge(t.meter.Model.PTNodeFree)
+			*freed++
 		}
 	}
 }

@@ -24,6 +24,12 @@
 // ExtraFiles wire descriptors between commands exactly as os/exec
 // wires *os.File.
 //
+// The sim/load subpackage drives high-scale workloads over a System —
+// a prefork server, pipeline farm, snapshot checkpointer, and fork
+// storm, each deterministic and parameterized by strategy — turning
+// the paper's §5 "fork poisons servers" claim into measured
+// throughput (see `forkbench load`).
+//
 // The internal packages remain the substrate: internal/kernel is the
 // simulated OS, internal/core holds the paper's spawn/cross-process
 // primitives, and internal/experiments regenerates the figures.

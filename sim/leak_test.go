@@ -1,0 +1,154 @@
+package sim_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/errno"
+	"repro/sim"
+)
+
+// allStrategies is every creation API including the eager ablation —
+// the leak invariant must hold for each of them.
+func allStrategies() []sim.Strategy {
+	return append(sim.Strategies(), sim.EagerForkExec)
+}
+
+type counts struct {
+	procs int
+	pages uint64
+}
+
+func snapshot(sys *sim.System) counts {
+	k := sys.Kernel()
+	return counts{procs: k.ProcessCount(), pages: k.Phys().AllocatedPages()}
+}
+
+// TestStartFailureLeaksNothing is the generalized form of PR 1's
+// Builder.Start fix: after ANY Cmd.Start failure, under every
+// strategy, the kernel's process table and physical memory must be
+// exactly back at baseline — a server that creates thousands of
+// processes cannot afford a page per failed creation.
+func TestStartFailureLeaksNothing(t *testing.T) {
+	t.Run("bad-path", func(t *testing.T) {
+		for _, st := range allStrategies() {
+			t.Run(st.String(), func(t *testing.T) {
+				sys, err := sim.NewSystem(sim.WithUserland("true"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				base := snapshot(sys)
+				if err := sys.Command("/bin/no-such-binary").Via(st).Start(); err == nil {
+					t.Fatal("Start of a nonexistent binary succeeded")
+				}
+				if got := snapshot(sys); got != base {
+					t.Errorf("leak after failed Start: %+v, baseline %+v", got, base)
+				}
+			})
+		}
+	})
+
+	// A machine with a single free frame: image load fails with
+	// ENOMEM partway into construction for every strategy.
+	t.Run("enomem-tiny-ram", func(t *testing.T) {
+		for _, st := range allStrategies() {
+			t.Run(st.String(), func(t *testing.T) {
+				sys, err := sim.NewSystem(sim.WithRAM(4096), sim.WithUserland("true"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				base := snapshot(sys)
+				err = sys.Command("true").Via(st).Start()
+				if err == nil {
+					t.Fatal("Start succeeded with one frame of RAM")
+				}
+				if !errors.Is(err, errno.ENOMEM) {
+					t.Fatalf("err = %v, want ENOMEM", err)
+				}
+				if got := snapshot(sys); got != base {
+					t.Errorf("leak after ENOMEM: %+v, baseline %+v", got, base)
+				}
+			})
+		}
+	})
+
+	// Strict overcommit with a heap past half of RAM: the fork
+	// family's commit reservation (or the eager copy itself) fails;
+	// spawn and the builder duplicate nothing and vfork shares the
+	// parent's space outright, so those three sail through — §4.6's
+	// and §6's point — and must also come back to baseline after the
+	// child is reaped.
+	t.Run("enomem-strict-commit", func(t *testing.T) {
+		for _, st := range allStrategies() {
+			t.Run(st.String(), func(t *testing.T) {
+				sys, err := sim.NewSystem(
+					sim.WithRAM(64<<20),
+					sim.WithCommitPolicy(sim.CommitStrict),
+					sim.WithUserland("true"),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sys.DirtyHost(40<<20, false); err != nil {
+					t.Fatal(err)
+				}
+				base := snapshot(sys)
+				cmd := sys.Command("true").Via(st)
+				switch err := cmd.Start(); st {
+				case sim.ForkExec, sim.EagerForkExec, sim.EmulatedFork:
+					if err == nil {
+						t.Fatalf("%v fork of a 40MiB parent in 64MiB strict RAM succeeded", st)
+					}
+					if !errors.Is(err, errno.ENOMEM) {
+						t.Fatalf("err = %v, want ENOMEM", err)
+					}
+				default: // Spawn, Builder, VforkExec: no duplication, no reservation
+					if err != nil {
+						t.Fatalf("%v failed: %v", st, err)
+					}
+					if err := cmd.Wait(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if got := snapshot(sys); got != base {
+					t.Errorf("counts after %v: %+v, baseline %+v", st, got, base)
+				}
+			})
+		}
+	})
+
+	// Mid-pipeline failure: the first stage is already running when
+	// the second stage's Start fails; after killing and reaping the
+	// orphaned stage, everything must be back at baseline.
+	t.Run("mid-pipeline", func(t *testing.T) {
+		for _, st := range allStrategies() {
+			t.Run(st.String(), func(t *testing.T) {
+				sys, err := sim.NewSystem(sim.WithUserland("cat"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				base := snapshot(sys)
+				r, w := sys.Pipe()
+				left := sys.Command("cat").Via(st) // blocks reading its inherited stdin
+				left.Stdout = w
+				right := sys.Command("/bin/no-such-filter").Via(st)
+				right.Stdin = r
+				if err := left.Start(); err != nil {
+					t.Fatal(err)
+				}
+				if err := right.Start(); err == nil {
+					t.Fatal("second stage with a bad path started")
+				}
+				left.Process.Kill()
+				if err := left.Wait(); err == nil {
+					t.Fatal("killed stage reported success")
+				}
+				w.Close()
+				r.Close()
+				if got := snapshot(sys); got != base {
+					t.Errorf("leak after mid-pipeline failure: %+v, baseline %+v", got, base)
+				}
+			})
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package load_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/sim"
+	"repro/sim/load"
+)
+
+// TestScenariosDeterministic is the repository's determinism
+// regression: every scenario, run twice from identical configs on
+// fresh machines, must produce byte-identical metrics — tick counts,
+// fault counts, context switches, everything. A mismatch means
+// something in the kernel (typically map iteration) leaked host
+// nondeterminism into the simulation.
+func TestScenariosDeterministic(t *testing.T) {
+	cases := []load.Config{
+		{Scenario: load.Prefork, Via: sim.ForkExec, Requests: 12, HeapBytes: 8 << 20},
+		{Scenario: load.Prefork, Via: sim.Spawn, Requests: 12, HeapBytes: 8 << 20},
+		{Scenario: load.Pipeline, Via: sim.Builder, Requests: 4, Workers: 3, HeapBytes: 4 << 20},
+		{Scenario: load.Checkpoint, Via: sim.ForkExec, Requests: 4, HeapBytes: 8 << 20},
+		{Scenario: load.Checkpoint, Via: sim.EagerForkExec, Requests: 2, HeapBytes: 4 << 20},
+		{Scenario: load.ForkStorm, Via: sim.VforkExec, Requests: 2, Workers: 24, HeapBytes: 4 << 20},
+		{Scenario: load.Prefork, Via: sim.ForkExec, Requests: 6, HeapBytes: 8 << 20, HugePages: true},
+	}
+	for _, cfg := range cases {
+		cfg := cfg
+		t.Run(fmt.Sprintf("%s-%v", cfg.Scenario, cfg.Via), func(t *testing.T) {
+			a, err := load.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := load.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *a != *b {
+				aj, _ := json.MarshalIndent(a, "", "  ")
+				bj, _ := json.MarshalIndent(b, "", "  ")
+				t.Errorf("two identical runs diverged:\nfirst:  %s\nsecond: %s", aj, bj)
+			}
+		})
+	}
+}

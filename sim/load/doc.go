@@ -1,0 +1,47 @@
+// Package load is the simulator's workload driver: deterministic,
+// closed-loop, high-volume scenarios that exercise sustained process
+// creation on a sim.System — the scale dimension of "A fork() in the
+// road" (HotOS'19).
+//
+// The paper's §5 argument is not that one fork is slow, it is that
+// fork is the wrong API *at scale*: its cost grows with the parent's
+// address space, so a server that creates a process per request gets
+// slower as it gets bigger. Figure 1 shows single creations; this
+// package drains tens of thousands of them and reports throughput.
+//
+// Four scenarios, each parameterized by creation strategy (sim.Via),
+// scale, and server heap size:
+//
+//	Prefork    — a web server creating one worker process per request
+//	             (the classic fork-per-connection design); throughput
+//	             collapses under fork as the server heap grows, and is
+//	             flat under spawn or the cross-process builder.
+//	Pipeline   — a shell-style farm building echo|cat|…|cat pipelines
+//	             and draining them; exercises pipes plus multi-process
+//	             creation per unit of work.
+//	Checkpoint — a Redis-style snapshot loop: snapshot the server's
+//	             heap, keep mutating it while the snapshot is held,
+//	             pay the COW-fault tax on every mutated page. The one
+//	             workload where fork's COW semantics genuinely help
+//	             (§5's "fork remains useful for snapshots").
+//	ForkStorm  — bursts of simultaneously live children, stressing the
+//	             scheduler's run queue and burst teardown.
+//
+// Every run is a pure function of its Config: the simulator has no
+// host-time or randomness inputs, so two runs with the same Config
+// produce byte-identical Metrics — asserted by this package's
+// determinism regression test. Metrics are virtual-time quantities
+// (requests per *virtual* second, from the kernel's cost.Meter); host
+// wall-clock speed is a property of the simulator, not the result.
+//
+//	m, err := load.Run(load.Config{
+//		Scenario:  load.Prefork,
+//		Via:       sim.Spawn,
+//		Requests:  10000,
+//		HeapBytes: 256 << 20,
+//	})
+//
+// The forkbench CLI fronts this package (`forkbench load`), and
+// internal/experiments uses it to regenerate the §5 server-claim
+// table.
+package load

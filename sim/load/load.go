@@ -1,0 +1,286 @@
+package load
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/addrspace"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/sim"
+)
+
+// Scenario names a workload shape. The string form is the CLI name.
+type Scenario string
+
+// Scenarios.
+const (
+	Prefork    Scenario = "prefork"
+	Pipeline   Scenario = "pipeline"
+	Checkpoint Scenario = "checkpoint"
+	ForkStorm  Scenario = "forkstorm"
+)
+
+// Scenarios lists every workload, in a fixed order.
+func Scenarios() []Scenario {
+	return []Scenario{Prefork, Pipeline, Checkpoint, ForkStorm}
+}
+
+// ParseScenario maps a CLI name to its Scenario.
+func ParseScenario(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if name == string(s) {
+			return s, nil
+		}
+	}
+	return "", fmt.Errorf("load: unknown scenario %q (prefork|pipeline|checkpoint|forkstorm)", name)
+}
+
+// Config parameterizes one run. The zero value of every field selects
+// a sensible default; Scenario defaults to Prefork and Via to
+// sim.Spawn (sim's own default).
+type Config struct {
+	// Scenario selects the workload shape.
+	Scenario Scenario
+
+	// Via is the process-creation strategy every child in the
+	// scenario is created through.
+	Via sim.Strategy
+
+	// Requests is the closed-loop unit count: requests drained
+	// (Prefork), pipelines built (Pipeline), snapshot cycles
+	// (Checkpoint), or waves (ForkStorm).
+	Requests int
+
+	// Workers is the pipeline depth (Pipeline, default 3) or the
+	// burst size of simultaneously live children (ForkStorm,
+	// default 64).
+	Workers int
+
+	// HeapBytes is the server's dirty anonymous heap — the paper's
+	// "parent of size X" under sustained load (default 64 MiB).
+	HeapBytes uint64
+
+	// MutateBytes is how much of the heap the Checkpoint server
+	// rewrites between snapshots, each page paying a COW break
+	// while the snapshot holds the old view (default HeapBytes/8).
+	MutateBytes uint64
+
+	// RAMBytes sizes the machine (default 4×HeapBytes, minimum
+	// 1 GiB).
+	RAMBytes uint64
+
+	// HugePages backs the heap with 2 MiB mappings.
+	HugePages bool
+}
+
+// withDefaults returns cfg with every zero field resolved.
+func (cfg Config) withDefaults() Config {
+	if cfg.Scenario == "" {
+		cfg.Scenario = Prefork
+	}
+	if cfg.Requests == 0 {
+		switch cfg.Scenario {
+		case Pipeline:
+			cfg.Requests = 64
+		case Checkpoint:
+			cfg.Requests = 32
+		case ForkStorm:
+			cfg.Requests = 4
+		default:
+			cfg.Requests = 256
+		}
+	}
+	if cfg.Workers == 0 {
+		if cfg.Scenario == ForkStorm {
+			cfg.Workers = 64
+		} else {
+			cfg.Workers = 3
+		}
+	}
+	if cfg.HeapBytes == 0 {
+		cfg.HeapBytes = 64 << 20
+	}
+	if cfg.MutateBytes == 0 {
+		cfg.MutateBytes = cfg.HeapBytes / 8
+	}
+	// Round up to whole pages: an explicit sub-page mutation must not
+	// silently become "mutate nothing".
+	cfg.MutateBytes = (cfg.MutateBytes + uint64(mem.PageSize) - 1) &^ (uint64(mem.PageSize) - 1)
+	if cfg.RAMBytes == 0 {
+		cfg.RAMBytes = 4 * cfg.HeapBytes
+		if cfg.RAMBytes < 1<<30 {
+			cfg.RAMBytes = 1 << 30
+		}
+	}
+	return cfg
+}
+
+// Metrics is the deterministic result of one run. All quantities are
+// virtual-time: two runs with the same Config produce identical
+// Metrics, bit for bit.
+type Metrics struct {
+	Scenario  string `json:"scenario"`
+	Strategy  string `json:"strategy"`
+	HeapBytes uint64 `json:"heap_bytes"`
+	RAMBytes  uint64 `json:"ram_bytes"`
+
+	// Requests is completed units of user-visible work; Creations
+	// is processes created (a pipeline request creates several).
+	Requests  uint64 `json:"requests"`
+	Creations uint64 `json:"creations"`
+
+	// VirtualNanos is the virtual time the loop took; the *PerVSec
+	// rates are per virtual second — the paper's throughput axis.
+	VirtualNanos     uint64  `json:"virtual_ns"`
+	RequestsPerVSec  float64 `json:"requests_per_vsec"`
+	CreationsPerVSec float64 `json:"creations_per_vsec"`
+
+	// PeakRSSBytes is the high-water mark of allocated physical
+	// memory during the loop (huge frames counted at full size).
+	PeakRSSBytes uint64 `json:"peak_rss_bytes"`
+
+	// Cost-meter event counters for the loop: PageCopies is the
+	// COW-fault tax (plus eager-fork copies where selected).
+	PageFaults      uint64 `json:"page_faults"`
+	PageCopies      uint64 `json:"page_copies"`
+	PageZeroes      uint64 `json:"page_zeroes"`
+	PTECopies       uint64 `json:"pte_copies"`
+	ContextSwitches uint64 `json:"context_switches"`
+	Syscalls        uint64 `json:"syscalls"`
+	Instructions    uint64 `json:"instructions"`
+}
+
+// Render formats the metrics as an aligned block for the CLI.
+func (m *Metrics) Render() string {
+	var b strings.Builder
+	row := func(k, v string) { fmt.Fprintf(&b, "  %-18s %s\n", k, v) }
+	fmt.Fprintf(&b, "load %s via %s (heap %s, RAM %s)\n",
+		m.Scenario, m.Strategy, humanBytes(m.HeapBytes), humanBytes(m.RAMBytes))
+	row("requests", fmt.Sprintf("%d (%.0f/virt-s)", m.Requests, m.RequestsPerVSec))
+	row("creations", fmt.Sprintf("%d (%.0f/virt-s)", m.Creations, m.CreationsPerVSec))
+	row("virtual time", fmt.Sprintf("%.3fms", float64(m.VirtualNanos)/1e6))
+	row("peak RSS", humanBytes(m.PeakRSSBytes))
+	row("page faults", fmt.Sprint(m.PageFaults))
+	row("page copies", fmt.Sprintf("%d (COW tax)", m.PageCopies))
+	row("PTE copies", fmt.Sprint(m.PTECopies))
+	row("ctx switches", fmt.Sprint(m.ContextSwitches))
+	row("syscalls", fmt.Sprint(m.Syscalls))
+	row("instructions", fmt.Sprint(m.Instructions))
+	return b.String()
+}
+
+func humanBytes(n uint64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGiB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// driver carries one run's state: the booted machine, the server heap
+// VMA, and the counters accumulated by the scenario loop.
+type driver struct {
+	cfg       Config
+	sys       *sim.System
+	k         *kernel.Kernel
+	heapStart uint64
+
+	requests  uint64
+	creations uint64
+	peakPages uint64
+}
+
+// sample records the physical-memory high-water mark; scenarios call
+// it at their peak-occupancy points.
+func (d *driver) sample() {
+	if a := d.k.Phys().AllocatedPages(); a > d.peakPages {
+		d.peakPages = a
+	}
+}
+
+// Run executes one scenario and reports its metrics. The machine is
+// booted fresh, the server heap is dirtied, counters are zeroed, and
+// only then does the measured loop start — boot cost is excluded.
+func Run(cfg Config) (*Metrics, error) {
+	cfg = cfg.withDefaults()
+	sys, err := sim.NewSystem(
+		sim.WithRAM(cfg.RAMBytes),
+		sim.WithUserland("true", "echo", "cat"),
+	)
+	if err != nil {
+		return nil, err
+	}
+	d := &driver{cfg: cfg, sys: sys, k: sys.Kernel()}
+
+	// The server's resident, dirty heap — what fork must duplicate
+	// page-table entries for on every creation.
+	host := sys.Host()
+	ps := uint64(mem.PageSize)
+	if cfg.HugePages {
+		ps = mem.HugeSize
+	}
+	heap := (cfg.HeapBytes + ps - 1) &^ (ps - 1)
+	vma, err := host.Space().Map(0, heap, addrspace.Read|addrspace.Write, addrspace.MapOpts{
+		Kind: addrspace.KindAnon, Name: "server-heap", Huge: cfg.HugePages,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("load: map heap: %w", err)
+	}
+	if err := host.Space().Touch(vma.Start, heap, addrspace.AccessWrite); err != nil {
+		return nil, fmt.Errorf("load: dirty heap: %w", err)
+	}
+	d.heapStart = vma.Start
+
+	meter := d.k.Meter()
+	meter.ResetCounters()
+	cswBase := d.k.ContextSwitches()
+	t0 := d.k.Now()
+	d.sample()
+
+	switch cfg.Scenario {
+	case Prefork:
+		err = d.prefork()
+	case Pipeline:
+		err = d.pipeline()
+	case Checkpoint:
+		err = d.checkpoint()
+	case ForkStorm:
+		err = d.forkstorm()
+	default:
+		err = fmt.Errorf("load: unknown scenario %q", cfg.Scenario)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("load: %s via %v: %w", cfg.Scenario, cfg.Via, err)
+	}
+
+	elapsed := uint64(d.k.Now() - t0)
+	m := &Metrics{
+		Scenario:  string(cfg.Scenario),
+		Strategy:  cfg.Via.String(),
+		HeapBytes: heap,
+		RAMBytes:  cfg.RAMBytes,
+		Requests:  d.requests,
+		Creations: d.creations,
+
+		VirtualNanos: elapsed,
+		PeakRSSBytes: d.peakPages * uint64(mem.PageSize),
+
+		PageFaults:      meter.PageFaults,
+		PageCopies:      meter.PageCopies,
+		PageZeroes:      meter.PageZeroes,
+		PTECopies:       meter.PTECopies,
+		ContextSwitches: d.k.ContextSwitches() - cswBase,
+		Syscalls:        meter.Syscalls,
+		Instructions:    meter.Instructions,
+	}
+	if elapsed > 0 {
+		m.RequestsPerVSec = float64(m.Requests) * 1e9 / float64(elapsed)
+		m.CreationsPerVSec = float64(m.Creations) * 1e9 / float64(elapsed)
+	}
+	return m, nil
+}

@@ -1,0 +1,194 @@
+package load_test
+
+import (
+	"testing"
+
+	"repro/sim"
+	"repro/sim/load"
+)
+
+// TestPreforkDrainsAllRequests checks the closed loop completes and
+// the counters add up under each strategy.
+func TestPreforkDrainsAllRequests(t *testing.T) {
+	for _, via := range sim.Strategies() {
+		if via == sim.EmulatedFork {
+			continue // Θ(resident bytes) per creation; covered once below
+		}
+		t.Run(via.String(), func(t *testing.T) {
+			m, err := load.Run(load.Config{
+				Scenario:  load.Prefork,
+				Via:       via,
+				Requests:  24,
+				HeapBytes: 4 << 20,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Requests != 24 || m.Creations != 24 {
+				t.Errorf("requests=%d creations=%d, want 24/24", m.Requests, m.Creations)
+			}
+			if m.VirtualNanos == 0 || m.RequestsPerVSec == 0 {
+				t.Errorf("no virtual time recorded: %+v", m)
+			}
+			if m.PeakRSSBytes < m.HeapBytes {
+				t.Errorf("peak RSS %d below resident heap %d", m.PeakRSSBytes, m.HeapBytes)
+			}
+		})
+	}
+}
+
+// TestPreforkEmulatedFork runs the deliberately slow strategy once at
+// a tiny scale so the path stays covered.
+func TestPreforkEmulatedFork(t *testing.T) {
+	m, err := load.Run(load.Config{
+		Scenario: load.Prefork, Via: sim.EmulatedFork,
+		Requests: 2, HeapBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != 2 {
+		t.Errorf("requests = %d, want 2", m.Requests)
+	}
+}
+
+// TestPreforkThroughputOrdering is the paper's §5 claim at load-test
+// scale: with a large server heap, spawn and the builder sustain
+// higher request throughput than fork+exec.
+func TestPreforkThroughputOrdering(t *testing.T) {
+	run := func(via sim.Strategy) *load.Metrics {
+		t.Helper()
+		m, err := load.Run(load.Config{
+			Scenario:  load.Prefork,
+			Via:       via,
+			Requests:  16,
+			HeapBytes: 256 << 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	fork := run(sim.ForkExec)
+	spawn := run(sim.Spawn)
+	builder := run(sim.Builder)
+	if spawn.RequestsPerVSec <= fork.RequestsPerVSec {
+		t.Errorf("spawn %.0f req/vs not above fork %.0f at 256MiB heap",
+			spawn.RequestsPerVSec, fork.RequestsPerVSec)
+	}
+	if builder.RequestsPerVSec <= fork.RequestsPerVSec {
+		t.Errorf("builder %.0f req/vs not above fork %.0f at 256MiB heap",
+			builder.RequestsPerVSec, fork.RequestsPerVSec)
+	}
+	// And fork pays for the heap in PTE copies; spawn must not.
+	if fork.PTECopies < 16*(256<<20)/4096 {
+		t.Errorf("fork copied only %d PTEs; expected ≥ one per heap page per request", fork.PTECopies)
+	}
+	if spawn.PTECopies >= fork.PTECopies/10 {
+		t.Errorf("spawn PTE copies %d suspiciously close to fork's %d", spawn.PTECopies, fork.PTECopies)
+	}
+}
+
+// TestPipelineFarm drains pipelines and counts one creation per stage.
+func TestPipelineFarm(t *testing.T) {
+	m, err := load.Run(load.Config{
+		Scenario:  load.Pipeline,
+		Via:       sim.Spawn,
+		Requests:  8,
+		Workers:   4,
+		HeapBytes: 4 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != 8 {
+		t.Errorf("requests = %d, want 8", m.Requests)
+	}
+	if m.Creations != 8*4 {
+		t.Errorf("creations = %d, want %d", m.Creations, 8*4)
+	}
+}
+
+// TestCheckpointPaysCOWTax: under COW fork, mutating the heap while a
+// snapshot is held must copy the mutated pages — and only those.
+func TestCheckpointPaysCOWTax(t *testing.T) {
+	const heap = 16 << 20
+	const mutate = 2 << 20
+	const cycles = 8
+	m, err := load.Run(load.Config{
+		Scenario:    load.Checkpoint,
+		Via:         sim.ForkExec,
+		Requests:    cycles,
+		HeapBytes:   heap,
+		MutateBytes: mutate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCopies := uint64(cycles * mutate / 4096)
+	if m.PageCopies < wantCopies {
+		t.Errorf("page copies %d, want ≥ %d (one per mutated page)", m.PageCopies, wantCopies)
+	}
+	if m.PageCopies > 2*wantCopies {
+		t.Errorf("page copies %d, want ≈ %d — far more than the mutated set", m.PageCopies, wantCopies)
+	}
+}
+
+// TestCheckpointForklessCopiesEverything: the fork-less snapshot path
+// copies Θ(resident bytes) regardless of the mutation rate.
+func TestCheckpointForklessCopiesEverything(t *testing.T) {
+	m, err := load.Run(load.Config{
+		Scenario:    load.Checkpoint,
+		Via:         sim.Spawn,
+		Requests:    2,
+		HeapBytes:   4 << 20,
+		MutateBytes: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshotting through cross-process reads/writes zeroes and
+	// fills fresh frames for the whole heap each cycle.
+	if m.PageZeroes < 2*(4<<20)/4096 {
+		t.Errorf("fork-less snapshot zeroed %d pages; want ≥ one per heap page per cycle", m.PageZeroes)
+	}
+}
+
+// TestForkStormHoldsBurstAlive checks the wave really is concurrent:
+// at peak, every child's stack and image are resident on top of the
+// server heap.
+func TestForkStormHoldsBurstAlive(t *testing.T) {
+	const burst = 100
+	m, err := load.Run(load.Config{
+		Scenario:  load.ForkStorm,
+		Via:       sim.Spawn,
+		Requests:  2,
+		Workers:   burst,
+		HeapBytes: 4 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Creations != 2*burst || m.Requests != 2*burst {
+		t.Errorf("creations=%d requests=%d, want %d", m.Creations, m.Requests, 2*burst)
+	}
+	// Each spawned child carries at least a page of stack; the peak
+	// must sit clearly above the lone server heap.
+	if m.PeakRSSBytes < m.HeapBytes+burst*4096 {
+		t.Errorf("peak RSS %d does not reflect %d live children over a %d heap",
+			m.PeakRSSBytes, burst, m.HeapBytes)
+	}
+}
+
+// TestParseScenario round-trips every name and rejects junk.
+func TestParseScenario(t *testing.T) {
+	for _, s := range load.Scenarios() {
+		got, err := load.ParseScenario(string(s))
+		if err != nil || got != s {
+			t.Errorf("ParseScenario(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := load.ParseScenario("bogus"); err == nil {
+		t.Error("ParseScenario(bogus) succeeded")
+	}
+}

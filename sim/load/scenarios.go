@@ -1,0 +1,174 @@
+package load
+
+import (
+	"strconv"
+
+	"repro/internal/addrspace"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/sim"
+)
+
+// prefork is the fork-per-request web server: every synthetic request
+// is handled by a freshly created worker process that runs and exits
+// before the next request is accepted (closed loop). Under fork the
+// per-request cost includes duplicating the server's page tables —
+// Θ(heap) — so throughput falls as the server grows; under spawn or
+// the builder it is flat. This is §5's server claim as a workload.
+func (d *driver) prefork() error {
+	for i := 0; i < d.cfg.Requests; i++ {
+		cmd := d.sys.Command("true").Via(d.cfg.Via)
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		d.creations++
+		// Sample while the worker is live, so the peak reflects the
+		// per-request footprint (stack, image, mirrored page table),
+		// not just the server heap.
+		d.sample()
+		if err := cmd.Wait(); err != nil {
+			return err
+		}
+		d.requests++
+	}
+	return nil
+}
+
+// pipeline is the shell farm: each unit of work builds an
+// echo|cat|…|cat pipeline of Workers stages wired through kernel
+// pipes, starts every stage through the configured strategy, and
+// drains it. The final stage writes to the console (discarded).
+func (d *driver) pipeline() error {
+	depth := d.cfg.Workers
+	if depth < 2 {
+		depth = 2
+	}
+	for i := 0; i < d.cfg.Requests; i++ {
+		cmds := make([]*sim.Cmd, depth)
+		cmds[0] = d.sys.Command("echo", "req", strconv.Itoa(i))
+		for j := 1; j < depth; j++ {
+			cmds[j] = d.sys.Command("cat")
+		}
+		files := make([]*sim.File, 0, 2*(depth-1))
+		for j := 0; j < depth-1; j++ {
+			r, w := d.sys.Pipe()
+			cmds[j].Stdout = w
+			cmds[j+1].Stdin = r
+			files = append(files, r, w)
+		}
+		closeAll := func() {
+			for _, f := range files {
+				f.Close()
+			}
+		}
+		for j := range cmds {
+			if err := cmds[j].Via(d.cfg.Via).Start(); err != nil {
+				// Tear down the stages already launched so the
+				// error surfaces instead of a wedged machine.
+				for _, started := range cmds[:j] {
+					started.Process.Kill()
+					started.Wait()
+				}
+				closeAll()
+				return err
+			}
+			d.creations++
+		}
+		// Drop the host's pipe ends so EOF propagates stage to stage.
+		closeAll()
+		d.sample()
+		for j := range cmds {
+			if err := cmds[j].Wait(); err != nil {
+				return err
+			}
+		}
+		d.requests++
+	}
+	return nil
+}
+
+// checkpoint is the Redis-style snapshotter: each cycle takes a
+// point-in-time snapshot of the server's heap, then the server keeps
+// mutating MutateBytes of it while the snapshot is held — every
+// mutated page pays a COW break (the PageCopies column). The snapshot
+// mechanism follows the strategy:
+//
+//   - ForkExec/VforkExec: kernel COW fork — the cheap snapshot the
+//     paper concedes fork is still good for (vfork itself cannot
+//     snapshot, it shares the address space, so it gets COW fork too);
+//   - EagerForkExec: the 1970s ablation, physically copying the heap;
+//   - Spawn/Builder/EmulatedFork: the fork-less path — a §5 kernel
+//     without fork snapshots through cross-process reads and writes,
+//     paying Θ(resident bytes) in user space.
+func (d *driver) checkpoint() error {
+	host := d.sys.Host()
+	heap := d.cfg.HeapBytes
+	mutate := d.cfg.MutateBytes
+	if mutate > heap {
+		mutate = heap
+	}
+	off := uint64(0)
+	for i := 0; i < d.cfg.Requests; i++ {
+		snap, err := d.snapshot(host)
+		if err != nil {
+			return err
+		}
+		d.creations++
+		if mutate > 0 {
+			if off+mutate > heap {
+				off = 0
+			}
+			if err := host.Space().Touch(d.heapStart+off, mutate, addrspace.AccessWrite); err != nil {
+				d.k.DestroyProcess(snap)
+				return err
+			}
+			off += mutate
+		}
+		d.sample()
+		// The snapshot has been "persisted"; release the old view.
+		d.k.DestroyProcess(snap)
+		d.requests++
+	}
+	return nil
+}
+
+func (d *driver) snapshot(host *kernel.Process) (*kernel.Process, error) {
+	switch d.cfg.Via {
+	case sim.ForkExec, sim.VforkExec:
+		return d.k.Fork(host)
+	case sim.EagerForkExec:
+		return d.k.ForkWithMode(host, kernel.ForkEager)
+	default:
+		return core.EmulateFork(d.k, host)
+	}
+}
+
+// forkstorm launches Workers children back to back without waiting,
+// holding every one alive at once — the burst that floods the run
+// queue — then drains and reaps the whole wave, Requests times.
+func (d *driver) forkstorm() error {
+	burst := d.cfg.Workers
+	for wave := 0; wave < d.cfg.Requests; wave++ {
+		cmds := make([]*sim.Cmd, 0, burst)
+		for j := 0; j < burst; j++ {
+			cmd := d.sys.Command("true").Via(d.cfg.Via)
+			if err := cmd.Start(); err != nil {
+				for _, started := range cmds {
+					started.Process.Kill()
+					started.Wait()
+				}
+				return err
+			}
+			cmds = append(cmds, cmd)
+			d.creations++
+		}
+		d.sample()
+		for _, cmd := range cmds {
+			if err := cmd.Wait(); err != nil {
+				return err
+			}
+			d.requests++
+		}
+	}
+	return nil
+}
