@@ -378,3 +378,28 @@ func BenchmarkPipeVFS(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLoadSMPServer measures the SMP worst case end to end: a
+// multithreaded server snapshotted mid-traffic on 4 CPUs, fork (with
+// its per-remote-core shootdown tax) vs the fork-less snapshot.
+func BenchmarkLoadSMPServer(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		via  sim.Strategy
+	}{{"fork", sim.ForkExec}, {"forkless", sim.Spawn}} {
+		b.Run(v.name, func(b *testing.B) {
+			var ipis uint64
+			for i := 0; i < b.N; i++ {
+				m, err := load.Run(load.Config{
+					Scenario: load.SMPServer, Via: v.via,
+					CPUs: 4, Requests: 4, HeapBytes: 16 * mib,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipis = m.TLBShootdowns
+			}
+			b.ReportMetric(float64(ipis), "shootdown-IPIs")
+		})
+	}
+}

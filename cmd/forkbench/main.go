@@ -6,9 +6,10 @@
 // Usage:
 //
 //	forkbench [flags] <experiment>
+//	forkbench load [load flags]
 //
 //	experiments: fig1 table1 cowtax hugepages overcommit compose scale
-//	             strategies server all
+//	             ablations strategies server cpusweep all
 //
 //	-max SIZE     largest parent for sweeps (default 1GiB for fig1)
 //	-reps N       repetitions per fig1 point (default 5)
@@ -17,17 +18,23 @@
 // "strategies" demonstrates the public sim API: one workload launched
 // through every process-creation strategy the paper compares
 // (Cmd.Via), verifying identical output and reporting each strategy's
-// creation latency from a dirty parent.
+// creation latency from a dirty parent. "cpusweep" is the SMP
+// experiment: fork's snapshot tax versus core count (E9).
 //
 // The load subcommand drives the sim/load workload scenarios:
 //
-//	forkbench load [-scenario prefork|pipeline|checkpoint|forkstorm|all]
+//	forkbench load [-scenario prefork|pipeline|checkpoint|forkstorm|
+//	                          smpserver|buildfarm|all]
 //	               [-via spawn|fork|vfork|builder|emufork|eager]
 //	               [-n REQUESTS] [-workers N] [-heap SIZE] [-ram SIZE]
-//	               [-huge] [-json FILE]
+//	               [-cpus N] [-huge] [-json FILE]
 //
-// Each run is deterministic; -json appends every run's metrics to a
-// JSON array, the format of the repo's BENCH_*.json trajectory files.
+// Each run is deterministic; -json writes every run's metrics as a
+// JSON array, the format of the repo's BENCH_*.json trajectory files
+// (regenerate with `forkbench load -sweep -json BENCH_PRn.json`).
+// With -sweep, -cpus pins the whole baseline matrix to one CPU count
+// (the CI job runs it at 1 and 4); by default the matrix includes its
+// own 1/2/4/8-CPU sweep of the SMP scenarios.
 package main
 
 import (
@@ -70,7 +77,7 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per fig1 point")
 	eager := flag.Bool("eager", false, "include eager-copy fork line in fig1")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|strategies|server|all\n")
+		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|strategies|server|cpusweep|all\n")
 		fmt.Fprintf(os.Stderr, "       forkbench load [load flags]   (see forkbench load -h)\n")
 		flag.PrintDefaults()
 	}
@@ -187,6 +194,18 @@ func main() {
 		}
 		fmt.Println(res.Render())
 	}
+	if runAll || what == "cpusweep" {
+		ran = true
+		cmax := maxBytes
+		if cmax > 64*experiments.MiB {
+			cmax = 64 * experiments.MiB
+		}
+		res, err := experiments.CPUSweep(experiments.CPUSweepConfig{HeapBytes: cmax})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
 	if runAll || what == "strategies" {
 		ran = true
 		if err := strategies(maxBytes); err != nil {
@@ -248,15 +267,16 @@ func strategies(parentBytes uint64) error {
 // run's metrics, and optionally records them all as a JSON array.
 func runLoad(args []string) error {
 	fs := flag.NewFlagSet("forkbench load", flag.ExitOnError)
-	scenario := fs.String("scenario", "prefork", "prefork|pipeline|checkpoint|forkstorm|all")
+	scenario := fs.String("scenario", "prefork", "prefork|pipeline|checkpoint|forkstorm|smpserver|buildfarm|all")
 	via := fs.String("via", "spawn", "spawn|fork|vfork|builder|emufork|eager")
 	n := fs.Int("n", 0, "requests per scenario (0 = scenario default)")
 	workers := fs.Int("workers", 0, "pipeline depth / storm burst size (0 = default)")
 	heap := fs.String("heap", "64MiB", "server heap size")
 	ram := fs.String("ram", "0", "machine RAM (0 = 4x heap)")
+	cpus := fs.Int("cpus", 0, "simulated CPU count (0 = 1; with -sweep, pins the matrix to this count)")
 	huge := fs.Bool("huge", false, "back the server heap with 2MiB pages")
 	jsonPath := fs.String("json", "", "write all runs' metrics to FILE as a JSON array")
-	sweep := fs.Bool("sweep", false, "run the standard baseline matrix (ignores the other load flags)")
+	sweep := fs.Bool("sweep", false, "run the standard baseline matrix (ignores the other load flags except -cpus)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -266,7 +286,7 @@ func runLoad(args []string) error {
 
 	var configs []load.Config
 	if *sweep {
-		configs = sweepConfigs()
+		configs = sweepConfigs(*cpus)
 	} else {
 		st, err := sim.ParseStrategy(*via)
 		if err != nil {
@@ -294,6 +314,7 @@ func runLoad(args []string) error {
 			configs = append(configs, load.Config{
 				Scenario:  s,
 				Via:       st,
+				CPUs:      *cpus,
 				Requests:  *n,
 				Workers:   *workers,
 				HeapBytes: heapBytes,
@@ -327,10 +348,14 @@ func runLoad(args []string) error {
 
 // sweepConfigs is the standard baseline matrix behind
 // `forkbench load -sweep -json BENCH_PRn.json`: the prefork §5 cells
-// (fork vs spawn vs builder as the server heap grows) plus one
-// representative configuration of each other scenario. Deterministic,
-// so the emitted JSON is reproducible bit for bit.
-func sweepConfigs() []load.Config {
+// (fork vs spawn vs builder as the server heap grows), one
+// representative configuration of each other scenario, and the SMP
+// matrix — smpserver and buildfarm swept over 1/2/4/8 CPUs, where
+// fork's per-snapshot shootdown tax grows with the core count and the
+// fork-less paths stay flat. Deterministic, so the emitted JSON is
+// reproducible bit for bit. pinCPUs > 0 pins every config to one CPU
+// count (the CI matrix runs the sweep at 1 and at 4).
+func sweepConfigs(pinCPUs int) []load.Config {
 	var out []load.Config
 	for _, heap := range []uint64{64 * experiments.MiB, 256 * experiments.MiB} {
 		for _, via := range []sim.Strategy{sim.ForkExec, sim.Spawn, sim.Builder} {
@@ -356,6 +381,29 @@ func sweepConfigs() []load.Config {
 			Scenario: load.ForkStorm, Via: via, Requests: 4, Workers: 256,
 			HeapBytes: 64 * experiments.MiB,
 		})
+	}
+	smpCounts := []int{1, 2, 4, 8}
+	if pinCPUs > 0 {
+		smpCounts = []int{pinCPUs}
+	}
+	for _, cpus := range smpCounts {
+		for _, via := range []sim.Strategy{sim.ForkExec, sim.Spawn} {
+			out = append(out, load.Config{
+				Scenario: load.SMPServer, Via: via, CPUs: cpus,
+				Requests: 8, HeapBytes: 64 * experiments.MiB,
+			})
+		}
+		for _, via := range []sim.Strategy{sim.ForkExec, sim.Spawn} {
+			out = append(out, load.Config{
+				Scenario: load.BuildFarm, Via: via, CPUs: cpus,
+				Requests: 16 * cpus, HeapBytes: 64 * experiments.MiB,
+			})
+		}
+	}
+	if pinCPUs > 0 {
+		for i := range out {
+			out[i].CPUs = pinCPUs
+		}
 	}
 	return out
 }

@@ -83,16 +83,21 @@ func TestRunLoadRejectsJunk(t *testing.T) {
 }
 
 // TestSweepConfigsCoverEveryScenario keeps the baseline matrix honest:
-// all four scenarios present, and the §5 cells sweep fork vs spawn vs
-// builder at more than one heap size.
+// every scenario present, the §5 cells sweeping fork vs spawn vs
+// builder at more than one heap size, and the SMP scenarios swept over
+// multiple CPU counts.
 func TestSweepConfigsCoverEveryScenario(t *testing.T) {
-	cfgs := sweepConfigs()
+	cfgs := sweepConfigs(0)
 	seen := map[load.Scenario]int{}
 	heaps := map[uint64]bool{}
+	smpCPUs := map[int]bool{}
 	for _, c := range cfgs {
 		seen[c.Scenario]++
 		if c.Scenario == load.Prefork {
 			heaps[c.HeapBytes] = true
+		}
+		if c.Scenario == load.SMPServer {
+			smpCPUs[c.CPUs] = true
 		}
 	}
 	for _, s := range load.Scenarios() {
@@ -102,5 +107,15 @@ func TestSweepConfigsCoverEveryScenario(t *testing.T) {
 	}
 	if seen[load.Prefork] < 6 || len(heaps) < 2 {
 		t.Errorf("prefork cells = %d over %d heaps; want the full §5 matrix", seen[load.Prefork], len(heaps))
+	}
+	if len(smpCPUs) < 3 {
+		t.Errorf("smpserver swept over %d CPU counts; want the 1/2/4/8 matrix", len(smpCPUs))
+	}
+
+	// A pinned sweep (the CI cpus matrix) pins every cell.
+	for _, c := range sweepConfigs(4) {
+		if c.CPUs != 4 {
+			t.Fatalf("pinned sweep left %s at %d CPUs", c.Scenario, c.CPUs)
+		}
 	}
 }

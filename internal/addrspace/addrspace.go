@@ -11,6 +11,7 @@ package addrspace
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/cost"
@@ -136,6 +137,15 @@ type Space struct {
 	commitPages uint64 // pages reserved against phys
 
 	brkBase, brk uint64 // heap bounds; brkBase==0 ⇒ no heap yet
+
+	// resident is a bitmask of CPUs currently executing in this
+	// space (maintained by the kernel's dispatcher). Any operation
+	// that shrinks a translation — a COW break, an unmap, a write-
+	// permission downgrade — must interrupt every *other* resident
+	// CPU to invalidate its TLB: the per-remote-CPU IPI tax that "A
+	// fork() in the road" §5 argues makes fork scale badly with
+	// cores.
+	resident uint64
 }
 
 // New creates an empty address space.
@@ -169,6 +179,24 @@ func (s *Space) VMAs() []*VMA { return s.vmas }
 
 // Brk reports the current program break.
 func (s *Space) Brk() uint64 { return s.brk }
+
+// MarkResident records that cpu is executing in this space.
+func (s *Space) MarkResident(cpu int) { s.resident |= 1 << uint(cpu) }
+
+// ClearResident records that cpu switched away from this space.
+func (s *Space) ClearResident(cpu int) { s.resident &^= 1 << uint(cpu) }
+
+// ResidentCPUs counts the CPUs currently executing in this space.
+func (s *Space) ResidentCPUs() int { return bits.OnesCount64(s.resident) }
+
+// shootdown charges one TLB-shootdown IPI per remote CPU on which the
+// space is resident: every translation-shrinking operation (COW break,
+// unmap, protection downgrade) is one batched invalidation round. The
+// initiating CPU — the meter's active one — invalidates locally for
+// free (the local flush cost is part of the page-table operation).
+func (s *Space) shootdown() {
+	s.meter.ChargeShootdown(bits.OnesCount64(s.resident &^ (1 << uint(s.meter.ActiveCPU()))))
+}
 
 func align(x, a uint64) uint64   { return (x + a - 1) &^ (a - 1) }
 func alignDn(x, a uint64) uint64 { return x &^ (a - 1) }
@@ -287,6 +315,7 @@ func (s *Space) Unmap(start, length uint64) error {
 	end := start + length
 
 	var out []*VMA
+	released := 0
 	for _, v := range s.vmas {
 		if v.End <= start || v.Start >= end {
 			out = append(out, v)
@@ -307,6 +336,7 @@ func (s *Space) Unmap(start, length uint64) error {
 		for va := lo; va < hi; va += v.pageSize() {
 			if old, ok := s.pt.Unmap(va); ok {
 				s.releaseEntry(old)
+				released++
 			}
 		}
 		if v.reserved() {
@@ -331,6 +361,10 @@ func (s *Space) Unmap(start, length uint64) error {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	s.vmas = out
+	if released > 0 {
+		// One batched invalidation round for the whole range.
+		s.shootdown()
+	}
 	return nil
 }
 
@@ -477,6 +511,10 @@ func (s *Space) demandFault(v *VMA, base uint64, access Access) error {
 func (s *Space) cowBreak(v *VMA, base uint64, pte pagetable.PTE) error {
 	if !pte.COW() {
 		if s.phys.Refs(pte.Frame()) == 1 {
+			// Permission widening, same frame: no remote
+			// invalidation needed — a stale read-only entry on
+			// another CPU just takes a spurious fault and
+			// re-walks.
 			s.pt.Update(base, pte.With(pagetable.FlagWritable|pagetable.FlagDirty))
 			return nil
 		}
@@ -485,7 +523,8 @@ func (s *Space) cowBreak(v *VMA, base uint64, pte pagetable.PTE) error {
 	f := pte.Frame()
 	if s.phys.Refs(f) == 1 {
 		// Sole owner again (the other side copied or exited):
-		// reclaim write permission in place.
+		// reclaim write permission in place. Widening only, so
+		// again no remote IPIs.
 		s.pt.Update(base, pte.Without(pagetable.FlagCOW).With(pagetable.FlagWritable|pagetable.FlagDirty))
 		return nil
 	}
@@ -498,6 +537,11 @@ func (s *Space) cowBreak(v *VMA, base uint64, pte pagetable.PTE) error {
 	// space swaps in the copy, so RSS is unchanged.
 	flags := pte.Flags().Without(pagetable.FlagCOW).With(pagetable.FlagWritable | pagetable.FlagDirty)
 	s.pt.Update(base, pagetable.Make(nf, flags))
+	// The frame changed: every other CPU running this space may
+	// still translate to the old frame and must be interrupted —
+	// one IPI each, per break. This is the tax that makes a forked
+	// snapshot of a busy SMP server expensive.
+	s.shootdown()
 	return nil
 }
 
@@ -611,6 +655,15 @@ func (s *Space) CloneCOW() (*Space, error) {
 	c.pt = s.pt.CloneCOW()
 	// Every shared frame now has an extra reference; the page-table
 	// clone bumped them. RSS for the child counts them resident.
+	//
+	// The clone downgraded every private writable mapping in the
+	// *parent* to read-only: every other CPU running the parent must
+	// be interrupted before the fork is safe — the paper's §5 "fork
+	// pauses all your cores" point. One batched round; the child is
+	// brand new and resident nowhere.
+	if s.pt.Entries() > 0 {
+		s.shootdown()
+	}
 	return c, nil
 }
 
@@ -654,6 +707,7 @@ func (s *Space) Destroy() {
 	}
 	s.vmas = nil
 	s.brkBase, s.brk = 0, 0
+	s.resident = 0
 	if s.rssPages != 0 {
 		panic(fmt.Sprintf("addrspace: %d pages leaked at destroy", s.rssPages))
 	}
@@ -743,10 +797,17 @@ func (s *Space) Protect(start, length uint64, prot Prot) error {
 		// revoked; exec/read removal is enforced at the VMA
 		// level on the next fault.
 		if prot&Write == 0 {
+			downgraded := 0
 			for va := lo; va < hi; va += mid.pageSize() {
 				if pte, ok := s.pt.Lookup(va); ok && pte.Writable() {
 					s.pt.Update(va, pte.Without(pagetable.FlagWritable))
+					downgraded++
 				}
+			}
+			if downgraded > 0 {
+				// One batched invalidation round per
+				// protection change.
+				s.shootdown()
 			}
 		}
 	}

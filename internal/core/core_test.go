@@ -14,11 +14,14 @@ import (
 
 func newKernel(t *testing.T, out *bytes.Buffer) *kernel.Kernel {
 	t.Helper()
-	opts := kernel.Options{RAMBytes: 1 << 30}
+	opts := kernel.Options{RAMBytes: 1 << 30, NumCPUs: 1}
 	if out != nil {
 		opts.ConsoleOut = out
 	}
-	k := kernel.New(opts)
+	k, err := kernel.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := ulib.InstallAll(k); err != nil {
 		t.Fatal(err)
 	}

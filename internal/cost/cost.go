@@ -3,9 +3,18 @@
 // Nothing in the simulated operating system reads the wall clock.
 // Instead, every hardware-level operation (copying a page-table entry,
 // zero-filling a frame, taking a trap) charges a fixed number of ticks
-// to a Clock according to a Model. One tick is nominally one
+// to a Meter according to a Model. One tick is nominally one
 // nanosecond, so results print naturally in microseconds, but the unit
 // is only meaningful relative to the calibration in DefaultModel.
+//
+// Since the SMP refactor the Meter keeps one virtual clock per
+// simulated CPU, all on a single shared timeline. Exactly one CPU is
+// "active" at a time (the simulator is single-threaded by design);
+// Charge advances the active CPU's clock only, so work performed on
+// different CPUs overlaps in virtual time instead of serializing. The
+// kernel's scheduler always executes the lowest-clock CPU next, which
+// keeps the interleaving — and therefore every counter below —
+// bit-for-bit reproducible.
 package cost
 
 import "fmt"
@@ -41,18 +50,8 @@ func (t Ticks) String() string {
 	}
 }
 
-// Clock is a monotonic virtual clock. It is not safe for concurrent
-// use; the simulator is single-threaded by design (see DESIGN.md,
-// "Determinism").
-type Clock struct {
-	now Ticks
-}
-
-// Now returns the current virtual time.
-func (c *Clock) Now() Ticks { return c.now }
-
-// Advance moves the clock forward by d ticks.
-func (c *Clock) Advance(d Ticks) { c.now += d }
+// MaxCPUs bounds NumCPUs: address-space residency is a uint64 bitmask.
+const MaxCPUs = 64
 
 // Model is the hardware cost model: how many ticks each primitive
 // machine-level operation costs. The default values are calibrated so
@@ -70,8 +69,12 @@ type Model struct {
 	ContextSwitch Ticks
 
 	// Address-translation hardware.
-	TLBFlush    Ticks // full flush on AS switch / fork
-	TLBShootIPI Ticks // per-CPU shootdown (modelled once; 1-CPU sim)
+	TLBFlush Ticks // full flush on AS switch / fork
+	// TLBShootIPI is charged once per *remote* CPU on which the
+	// affected address space is resident, for every COW break,
+	// unmap, and protection change — the §5 multicore fork tax. On
+	// a 1-CPU machine it is never charged.
+	TLBShootIPI Ticks
 
 	// Physical memory operations (per 4 KiB frame unless noted).
 	FrameAlloc Ticks // pull a frame off the free list
@@ -148,36 +151,112 @@ func DefaultModel() Model {
 	}
 }
 
-// Meter couples a clock with a model and accumulates per-category
-// counters so experiments can report *why* an operation cost what it
-// did (e.g. PTEs copied during a fork).
+// Meter couples the per-CPU clocks with a model and accumulates
+// per-category counters so experiments can report *why* an operation
+// cost what it did (e.g. PTEs copied during a fork). It is not safe
+// for concurrent use; the simulator is single-threaded by design.
 type Meter struct {
-	Clock *Clock
 	Model Model
 
+	clocks []Ticks // per-CPU virtual time, one shared timeline
+	idle   []Ticks // of clocks[i], how much was idle fast-forward
+	active int     // CPU whose clock Charge advances
+
 	// Counters, exported for experiment reporting.
-	PTECopies    uint64
-	PTNodes      uint64
-	PageCopies   uint64
-	PageZeroes   uint64
-	PageFaults   uint64
-	Syscalls     uint64
-	Instructions uint64
+	PTECopies     uint64
+	PTNodes       uint64
+	PageCopies    uint64
+	PageZeroes    uint64
+	PageFaults    uint64
+	Syscalls      uint64
+	Instructions  uint64
+	TLBShootdowns uint64 // remote-CPU IPIs sent (one per remote CPU per event)
 }
 
-// NewMeter returns a meter over a fresh clock using the given model.
-func NewMeter(m Model) *Meter {
-	return &Meter{Clock: &Clock{}, Model: m}
+// NewMeter returns a single-CPU meter using the given model.
+func NewMeter(m Model) *Meter { return NewMeterSMP(m, 1) }
+
+// NewMeterSMP returns a meter with ncpus per-CPU clocks, all starting
+// at zero. ncpus is clamped to [1, MaxCPUs] (callers validate earlier
+// for a real error).
+func NewMeterSMP(m Model, ncpus int) *Meter {
+	if ncpus < 1 {
+		ncpus = 1
+	}
+	if ncpus > MaxCPUs {
+		ncpus = MaxCPUs
+	}
+	return &Meter{
+		Model:  m,
+		clocks: make([]Ticks, ncpus),
+		idle:   make([]Ticks, ncpus),
+	}
 }
 
-// Charge advances the clock by d.
-func (mt *Meter) Charge(d Ticks) { mt.Clock.Advance(d) }
+// NumCPUs reports how many per-CPU clocks the meter keeps.
+func (mt *Meter) NumCPUs() int { return len(mt.clocks) }
 
-// Now returns the meter's current virtual time.
-func (mt *Meter) Now() Ticks { return mt.Clock.Now() }
+// ActiveCPU reports the CPU whose clock Charge currently advances.
+func (mt *Meter) ActiveCPU() int { return mt.active }
 
-// ResetCounters zeroes the event counters (not the clock).
+// SetActiveCPU switches charging to CPU i (the scheduler calls this at
+// every dispatch).
+func (mt *Meter) SetActiveCPU(i int) {
+	if i < 0 || i >= len(mt.clocks) {
+		panic(fmt.Sprintf("cost: active CPU %d out of range [0,%d)", i, len(mt.clocks)))
+	}
+	mt.active = i
+}
+
+// Charge advances the active CPU's clock by d.
+func (mt *Meter) Charge(d Ticks) { mt.clocks[mt.active] += d }
+
+// Now returns the active CPU's current virtual time.
+func (mt *Meter) Now() Ticks { return mt.clocks[mt.active] }
+
+// CPUClock returns CPU i's virtual time.
+func (mt *Meter) CPUClock(i int) Ticks { return mt.clocks[i] }
+
+// CPUBusy returns how much of CPU i's virtual time was spent charging
+// work (its clock minus idle fast-forwards) — the numerator of a
+// utilization figure.
+func (mt *Meter) CPUBusy(i int) Ticks { return mt.clocks[i] - mt.idle[i] }
+
+// MaxClock returns the furthest-ahead CPU clock: the machine-wide
+// elapsed virtual time.
+func (mt *Meter) MaxClock() Ticks {
+	max := mt.clocks[0]
+	for _, c := range mt.clocks[1:] {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// IdleTo fast-forwards CPU i to the absolute time deadline, recording
+// the gap as idle rather than busy. A deadline in i's past is a no-op.
+func (mt *Meter) IdleTo(i int, deadline Ticks) {
+	if deadline > mt.clocks[i] {
+		mt.idle[i] += deadline - mt.clocks[i]
+		mt.clocks[i] = deadline
+	}
+}
+
+// ChargeShootdown charges one TLB-shootdown IPI per remote CPU and
+// counts them. remotes <= 0 is a no-op (1-CPU machines, or a space
+// resident nowhere else).
+func (mt *Meter) ChargeShootdown(remotes int) {
+	if remotes <= 0 {
+		return
+	}
+	mt.Charge(Ticks(remotes) * mt.Model.TLBShootIPI)
+	mt.TLBShootdowns += uint64(remotes)
+}
+
+// ResetCounters zeroes the event counters (not the clocks).
 func (mt *Meter) ResetCounters() {
 	mt.PTECopies, mt.PTNodes, mt.PageCopies = 0, 0, 0
 	mt.PageZeroes, mt.PageFaults, mt.Syscalls, mt.Instructions = 0, 0, 0, 0
+	mt.TLBShootdowns = 0
 }

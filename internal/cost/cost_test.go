@@ -25,18 +25,6 @@ func TestTickFormatting(t *testing.T) {
 	}
 }
 
-func TestClockMonotonic(t *testing.T) {
-	var c Clock
-	if c.Now() != 0 {
-		t.Fatal("clock not zero at start")
-	}
-	c.Advance(10)
-	c.Advance(5)
-	if c.Now() != 15 {
-		t.Errorf("Now = %d", c.Now())
-	}
-}
-
 func TestMeterChargesAndCounters(t *testing.T) {
 	m := NewMeter(DefaultModel())
 	m.Charge(m.Model.PageCopy)
@@ -50,6 +38,57 @@ func TestMeterChargesAndCounters(t *testing.T) {
 	}
 	if m.Now() == 0 {
 		t.Error("ResetCounters must not reset the clock")
+	}
+}
+
+func TestMeterPerCPUClocks(t *testing.T) {
+	m := NewMeterSMP(DefaultModel(), 4)
+	if m.NumCPUs() != 4 {
+		t.Fatalf("NumCPUs = %d", m.NumCPUs())
+	}
+	m.Charge(100) // CPU 0
+	m.SetActiveCPU(2)
+	m.Charge(30)
+	if m.CPUClock(0) != 100 || m.CPUClock(1) != 0 || m.CPUClock(2) != 30 {
+		t.Errorf("clocks = %d %d %d", m.CPUClock(0), m.CPUClock(1), m.CPUClock(2))
+	}
+	if m.Now() != 30 {
+		t.Errorf("Now on CPU 2 = %v", m.Now())
+	}
+	if m.MaxClock() != 100 {
+		t.Errorf("MaxClock = %v", m.MaxClock())
+	}
+	// Idle fast-forward counts toward the clock but not busy time.
+	m.IdleTo(1, 80)
+	if m.CPUClock(1) != 80 || m.CPUBusy(1) != 0 {
+		t.Errorf("after IdleTo: clock=%v busy=%v", m.CPUClock(1), m.CPUBusy(1))
+	}
+	m.IdleTo(1, 50) // in the past: no-op
+	if m.CPUClock(1) != 80 {
+		t.Errorf("IdleTo went backwards: %v", m.CPUClock(1))
+	}
+	if m.CPUBusy(0) != 100 || m.CPUBusy(2) != 30 {
+		t.Errorf("busy = %v %v", m.CPUBusy(0), m.CPUBusy(2))
+	}
+}
+
+func TestChargeShootdown(t *testing.T) {
+	m := NewMeterSMP(DefaultModel(), 8)
+	m.ChargeShootdown(0)
+	m.ChargeShootdown(-1)
+	if m.TLBShootdowns != 0 || m.Now() != 0 {
+		t.Fatal("no-op shootdown charged something")
+	}
+	m.ChargeShootdown(3)
+	if m.TLBShootdowns != 3 {
+		t.Errorf("TLBShootdowns = %d", m.TLBShootdowns)
+	}
+	if m.Now() != 3*m.Model.TLBShootIPI {
+		t.Errorf("charged %v, want %v", m.Now(), 3*m.Model.TLBShootIPI)
+	}
+	m.ResetCounters()
+	if m.TLBShootdowns != 0 {
+		t.Error("ResetCounters missed TLBShootdowns")
 	}
 }
 
@@ -67,5 +106,8 @@ func TestDefaultModelSanity(t *testing.T) {
 	}
 	if m.PageFault <= m.PTWalk {
 		t.Error("a fault costs more than a table walk")
+	}
+	if m.TLBShootIPI == 0 {
+		t.Error("shootdown IPIs must cost something or SMP fork is free")
 	}
 }

@@ -37,7 +37,7 @@ func Ablations(maxBytes uint64) (*AblationResult, error) {
 
 	// 1. COW vs eager fork.
 	for _, size := range SizeSweep(4*MiB, maxBytes) {
-		k := kernel.New(kernel.Options{RAMBytes: 4 * maxBytes})
+		k := NewKernel(kernel.Options{RAMBytes: 4 * maxBytes})
 		if err := ulib.Install(k, "true", "/bin/true"); err != nil {
 			return nil, err
 		}
@@ -66,7 +66,7 @@ func Ablations(maxBytes uint64) (*AblationResult, error) {
 
 	// 2. The §8 mitigation.
 	outcome := func(deny bool) (string, error) {
-		k := kernel.New(kernel.Options{DenyMultithreadedFork: deny})
+		k := NewKernel(kernel.Options{DenyMultithreadedFork: deny})
 		if err := ulib.InstallAll(k); err != nil {
 			return "", err
 		}

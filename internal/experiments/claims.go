@@ -33,7 +33,7 @@ func CowTax(size uint64) (*CowTaxResult, error) {
 	if size == 0 {
 		size = 64 * MiB
 	}
-	k := kernel.New(kernel.Options{RAMBytes: 4 * size})
+	k := NewKernel(kernel.Options{RAMBytes: 4 * size})
 	parent, err := BuildParent(k, "p", size, false)
 	if err != nil {
 		return nil, err
@@ -121,7 +121,7 @@ func HugePages(minBytes, maxBytes uint64) (*HugePagesResult, error) {
 	res := &HugePagesResult{}
 	for _, size := range SizeSweep(minBytes, maxBytes) {
 		for _, huge := range []bool{false, true} {
-			k := kernel.New(kernel.Options{RAMBytes: 4 * maxBytes})
+			k := NewKernel(kernel.Options{RAMBytes: 4 * maxBytes})
 			if err := ulib.Install(k, "true", "/bin/true"); err != nil {
 				return nil, err
 			}
@@ -201,7 +201,7 @@ func Overcommit(ram uint64) (*OvercommitResult, error) {
 	res := &OvercommitResult{RAM: ram}
 	for _, pol := range []mem.CommitPolicy{mem.CommitStrict, mem.CommitHeuristic} {
 		for _, frac := range []float64{0.25, 0.40, 0.60} {
-			k := kernel.New(kernel.Options{RAMBytes: ram, Commit: pol})
+			k := NewKernel(kernel.Options{RAMBytes: ram, Commit: pol})
 			size := uint64(float64(ram) * frac)
 			size &^= mem.PageSize - 1
 			parent, err := BuildParent(k, "p", size, false)
@@ -271,7 +271,7 @@ func Compose() (*ComposeResult, error) {
 	// 1. Buffered stdio duplicated by fork.
 	{
 		var out bytes.Buffer
-		k := kernel.New(kernel.Options{ConsoleOut: &out})
+		k := NewKernel(kernel.Options{ConsoleOut: &out})
 		if err := ulib.InstallAll(k); err != nil {
 			return nil, err
 		}
@@ -290,7 +290,7 @@ func Compose() (*ComposeResult, error) {
 
 	// 2. Shared file offset.
 	{
-		k := kernel.New(kernel.Options{})
+		k := NewKernel(kernel.Options{})
 		if err := ulib.InstallAll(k); err != nil {
 			return nil, err
 		}
@@ -320,7 +320,7 @@ func Compose() (*ComposeResult, error) {
 		{"threads_spawn", "spawn with held lock completes", false},
 	} {
 		var out bytes.Buffer
-		k := kernel.New(kernel.Options{ConsoleOut: &out})
+		k := NewKernel(kernel.Options{ConsoleOut: &out})
 		if err := ulib.InstallAll(k); err != nil {
 			return nil, err
 		}
@@ -394,7 +394,7 @@ func Scale(minBytes, maxBytes uint64) (*ScaleResult, error) {
 		core.MethodForkExec, core.MethodSpawn, core.MethodBuilder, core.MethodEmulatedForkExec,
 	}
 	for _, size := range SizeSweep(minBytes, maxBytes) {
-		k := kernel.New(kernel.Options{RAMBytes: 4 * maxBytes})
+		k := NewKernel(kernel.Options{RAMBytes: 4 * maxBytes})
 		if err := ulib.Install(k, "true", "/bin/true"); err != nil {
 			return nil, err
 		}

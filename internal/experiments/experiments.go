@@ -33,9 +33,21 @@ const (
 
 // NewKernel builds a quiet kernel for experiments with the ulib
 // binaries expected at /bin installed by the caller (see helpers in
-// each experiment).
+// each experiment). Zero RAMBytes/NumCPUs select the conventional
+// 4 GiB single-CPU machine; experiment configurations are constants,
+// so a validation failure is a bug and panics.
 func NewKernel(opts kernel.Options) *kernel.Kernel {
-	return kernel.New(opts)
+	if opts.RAMBytes == 0 {
+		opts.RAMBytes = 4 * GiB
+	}
+	if opts.NumCPUs == 0 {
+		opts.NumCPUs = 1
+	}
+	k, err := kernel.New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return k
 }
 
 // BuildParent creates a synthetic process whose anonymous working set

@@ -295,3 +295,52 @@ func TestServerClaimShape(t *testing.T) {
 		t.Error("empty render")
 	}
 }
+
+// TestCPUSweep is the acceptance bar for the SMP refactor's claim:
+// fork's per-snapshot COW/shootdown tax grows monotonically with the
+// core count, while the fork-less snapshot pays no IPIs at any count.
+func TestCPUSweep(t *testing.T) {
+	res, err := CPUSweep(CPUSweepConfig{
+		HeapBytes: 8 * MiB,
+		Snapshots: 3,
+		FarmJobs:  4,
+		CPUCounts: []int{1, 2, 4, 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	prev := -1.0
+	for _, p := range res.Points {
+		fork := p.ForkIPIsPerSnapshot()
+		if fork <= prev {
+			t.Errorf("fork IPIs/snapshot not monotonic: %.0f at %d CPUs after %.0f",
+				fork, p.CPUs, prev)
+		}
+		prev = fork
+		if p.CPUs == 1 && fork != 0 {
+			t.Errorf("1-CPU fork charged %.0f IPIs/snapshot", fork)
+		}
+		if flat := p.FlatIPIsPerSnapshot(); flat != 0 {
+			t.Errorf("fork-less snapshot at %d CPUs charged %.0f IPIs", p.CPUs, flat)
+		}
+		if p.Fork.PageCopies == 0 {
+			t.Errorf("no COW tax at %d CPUs — the snapshot is not being mutated under", p.CPUs)
+		}
+	}
+	// The parallel farm: spawn's throughput advantage must not
+	// shrink as cores grow (fork serializes on the parent's page
+	// tables; spawn does not).
+	first := res.Points[0]
+	last := res.Points[len(res.Points)-1]
+	ratioFirst := first.FarmSpawn.RequestsPerVSec / first.FarmFork.RequestsPerVSec
+	ratioLast := last.FarmSpawn.RequestsPerVSec / last.FarmFork.RequestsPerVSec
+	if ratioLast < ratioFirst*0.9 {
+		t.Errorf("spawn/fork farm-throughput ratio shrank with cores: %.2f → %.2f", ratioFirst, ratioLast)
+	}
+	if r := res.Render(); len(r) == 0 {
+		t.Error("empty render")
+	}
+}

@@ -105,7 +105,7 @@ func methodName(m core.Method) string {
 }
 
 func fig1Measure(cfg Fig1Config, size uint64, huge bool, methods []core.Method) ([]Fig1Point, error) {
-	k := kernel.New(kernel.Options{RAMBytes: cfg.RAMBytes})
+	k := NewKernel(kernel.Options{RAMBytes: cfg.RAMBytes})
 	if err := ulib.Install(k, "true", "/bin/true"); err != nil {
 		return nil, err
 	}

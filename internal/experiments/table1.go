@@ -76,7 +76,7 @@ func (r *Table1Result) Render() string {
 
 // t1Kernel builds a fresh kernel with /bin/true installed.
 func t1Kernel() (*kernel.Kernel, error) {
-	k := kernel.New(kernel.Options{RAMBytes: 1 * GiB})
+	k := NewKernel(kernel.Options{RAMBytes: 1 * GiB})
 	if err := ulib.Install(k, "true", "/bin/true"); err != nil {
 		return nil, err
 	}
@@ -371,7 +371,7 @@ func probeO1() ([]string, error) {
 func probeThreadSafe() ([]string, error) {
 	runDemo := func(prog string) (bool, error) {
 		var out bytes.Buffer
-		k := kernel.New(kernel.Options{RAMBytes: 1 * GiB, ConsoleOut: &out})
+		k := NewKernel(kernel.Options{RAMBytes: 1 * GiB, ConsoleOut: &out})
 		if err := ulib.InstallAll(k); err != nil {
 			return false, err
 		}
@@ -408,7 +408,7 @@ func probeThreadSafe() ([]string, error) {
 func probeCommit() ([]string, error) {
 	var cells []string
 	for _, m := range t1Methods {
-		k := kernel.New(kernel.Options{RAMBytes: 256 * MiB, Commit: mem.CommitStrict})
+		k := NewKernel(kernel.Options{RAMBytes: 256 * MiB, Commit: mem.CommitStrict})
 		if err := ulib.Install(k, "true", "/bin/true"); err != nil {
 			return nil, err
 		}

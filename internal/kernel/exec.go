@@ -137,8 +137,11 @@ func (k *Kernel) doExec(caller *Thread, path string, argv []string) error {
 	old, owned := p.space, p.spaceOwned
 	p.space = newSpace
 	p.spaceOwned = true
-	if owned && old != nil {
-		old.Destroy()
+	if old != nil {
+		k.spaceRetired(old)
+		if owned {
+			old.Destroy()
+		}
 	}
 	// A vfork child returning the parent's space: resume the parent.
 	if w := p.vforkWaiter; w != nil {

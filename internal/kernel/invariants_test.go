@@ -63,7 +63,7 @@ func checkTreeInvariants(t *testing.T, k *Kernel) bool {
 // TestQuickProcessTree drives random process-management operations.
 func TestQuickProcessTree(t *testing.T) {
 	f := func(ops []uint8) bool {
-		k := New(Options{RAMBytes: 512 << 20})
+		k := mustNew(t, Options{RAMBytes: 512 << 20})
 		if err := ulib.Install(k, "true", "/bin/true"); err != nil {
 			t.Fatal(err)
 		}
@@ -135,7 +135,7 @@ func TestQuickProcessTree(t *testing.T) {
 // TestSpawnFailurePaths: spawn must unwind cleanly on every failure
 // mode, leaking neither processes nor descriptors.
 func TestSpawnFailurePaths(t *testing.T) {
-	k := New(Options{RAMBytes: 64 << 20})
+	k := mustNew(t, Options{RAMBytes: 64 << 20})
 	if err := ulib.Install(k, "true", "/bin/true"); err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestSpawnFailurePaths(t *testing.T) {
 // TestForkFailureUnwind: a fork refused by strict commit must leave no
 // trace.
 func TestForkFailureUnwind(t *testing.T) {
-	k := New(Options{RAMBytes: 32 << 20, Commit: mem.CommitStrict})
+	k := mustNew(t, Options{RAMBytes: 32 << 20, Commit: mem.CommitStrict})
 	parent := k.NewSynthetic("parent", nil)
 	if _, err := parent.Space().Map(0x100000, 20<<20, addrspace.Read|addrspace.Write, addrspace.MapOpts{}); err != nil {
 		t.Fatal(err)
@@ -193,7 +193,7 @@ func TestForkFailureUnwind(t *testing.T) {
 // TestExecFailureKeepsOldImage: a failed exec must leave the process
 // able to continue with its original address space.
 func TestExecFailureKeepsOldImage(t *testing.T) {
-	k := New(Options{})
+	k := mustNew(t, Options{})
 	if err := ulib.Install(k, "true", "/bin/true"); err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestExecFailureKeepsOldImage(t *testing.T) {
 // still spawn (the clone preserves, not extends), but file actions
 // that need new slots fail cleanly.
 func TestFDExhaustionOnSpawnClone(t *testing.T) {
-	k := New(Options{})
+	k := mustNew(t, Options{})
 	if err := ulib.Install(k, "true", "/bin/true"); err != nil {
 		t.Fatal(err)
 	}

@@ -13,14 +13,22 @@
 //     internal/core, which implements the paper's proposed
 //     process-creation APIs on top of these primitives.
 //
-// Everything is single-threaded and driven by a virtual clock
-// (internal/cost); given the same inputs a simulation is reproducible
-// bit-for-bit.
+// The machine has Options.NumCPUs simulated CPUs. Execution is still
+// single-threaded on the host: the scheduler is a virtual-time-ordered
+// loop that always runs the CPU with the lowest clock next (lowest id
+// on ties), so concurrency exists in *virtual* time — work on
+// different CPUs overlaps — while every run remains reproducible
+// bit-for-bit. Each CPU owns a ring run queue; a CPU whose queue is
+// empty steals the oldest thread from the longest queue (lowest id on
+// ties). The dispatcher tracks which address space is live on each
+// CPU, which is what prices TLB-shootdown IPIs (see internal/cost and
+// internal/addrspace).
 package kernel
 
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"repro/internal/addrspace"
@@ -30,9 +38,12 @@ import (
 	"repro/internal/vfs"
 )
 
-// Options configures a kernel instance.
+// Options configures a kernel instance. New validates: RAMBytes and
+// NumCPUs are required (there is no silent default machine), Quantum
+// must not be negative. DefaultOptions supplies the conventional
+// 4 GiB / 1-CPU machine.
 type Options struct {
-	// RAMBytes sizes physical memory (default 4 GiB).
+	// RAMBytes sizes physical memory. Required: zero is an error.
 	RAMBytes uint64
 	// SwapBytes adds commit headroom beyond RAM (default 0).
 	SwapBytes uint64
@@ -47,12 +58,61 @@ type Options struct {
 	// the paper proposes on the road to deprecating fork entirely
 	// (a child that cannot deadlock is better than one that can).
 	DenyMultithreadedFork bool
-	// Quantum is the scheduler timeslice in instructions (default 2048).
+	// Quantum is the scheduler timeslice in instructions (0 selects
+	// the default of 2048; negative is an error).
 	Quantum int
+	// NumCPUs is the number of simulated CPUs. Required: a value
+	// below 1 (including the zero value) is an error, above
+	// cost.MaxCPUs too.
+	NumCPUs int
 	// ConsoleOut receives /dev/console writes (default: discard).
 	ConsoleOut io.Writer
 	// ConsoleIn supplies /dev/console reads (default: EOF).
 	ConsoleIn io.Reader
+}
+
+// DefaultQuantum is the timeslice used when Options.Quantum is zero.
+const DefaultQuantum = 2048
+
+// DefaultOptions returns the conventional machine: 4 GiB of RAM, one
+// CPU, default quantum.
+func DefaultOptions() Options {
+	return Options{RAMBytes: 4 << 30, NumCPUs: 1}
+}
+
+// Validate reports the first configuration error, or nil. New calls it;
+// callers constructing Options programmatically can call it earlier.
+func (o Options) Validate() error {
+	if o.RAMBytes == 0 {
+		return fmt.Errorf("kernel: Options.RAMBytes must be > 0 (no default machine size; use DefaultOptions)")
+	}
+	if o.RAMBytes < mem.PageSize {
+		return fmt.Errorf("kernel: Options.RAMBytes %d is below one %d-byte page", o.RAMBytes, mem.PageSize)
+	}
+	if o.Quantum < 0 {
+		return fmt.Errorf("kernel: Options.Quantum %d is negative", o.Quantum)
+	}
+	if o.NumCPUs < 1 {
+		return fmt.Errorf("kernel: Options.NumCPUs %d must be at least 1", o.NumCPUs)
+	}
+	if o.NumCPUs > cost.MaxCPUs {
+		return fmt.Errorf("kernel: Options.NumCPUs %d exceeds the %d-CPU limit", o.NumCPUs, cost.MaxCPUs)
+	}
+	return nil
+}
+
+// cpu is one simulated processor: its run queue, dispatch accounting,
+// and the address space currently live on it. Virtual time lives in
+// the meter (one clock per CPU); the scheduler orders CPUs by it.
+type cpu struct {
+	id       int
+	runq     runQueue
+	switches uint64
+	steals   uint64
+	// curSpace is the address space of the last thread dispatched
+	// here. While set, the space is marked resident on this CPU and
+	// pays a TLB-shootdown IPI here for remote translation changes.
+	curSpace *addrspace.Space
 }
 
 // Kernel is one simulated machine.
@@ -65,7 +125,7 @@ type Kernel struct {
 	procs   map[PID]*Process
 	nextPID PID
 
-	runq     runQueue
+	cpus     []cpu
 	sleepers []*Thread // blocked in nanosleep, unordered
 
 	futexes map[futexKey]*WaitQueue
@@ -73,7 +133,7 @@ type Kernel struct {
 	// Diagnostics.
 	OOMKills        int
 	SegvKills       int
-	lastStop        StopReason
+	lastStop        StopInfo
 	contextSwitches uint64
 }
 
@@ -99,20 +159,52 @@ func (r StopReason) String() string {
 	return fmt.Sprintf("stop(%d)", int(r))
 }
 
+// StopInfo is the per-CPU-aware stop record: which CPU the stop
+// decision was made on (-1 for machine-wide conditions like idle and
+// deadlock) and the machine's virtual time at that moment.
+type StopInfo struct {
+	Reason      StopReason
+	CPU         int
+	VirtualTime cost.Ticks
+}
+
+func (si StopInfo) String() string {
+	if si.CPU < 0 {
+		return fmt.Sprintf("%v at %v", si.Reason, si.VirtualTime)
+	}
+	return fmt.Sprintf("%v on cpu%d at %v", si.Reason, si.CPU, si.VirtualTime)
+}
+
+// CPUState is a diagnostic snapshot of one simulated CPU.
+type CPUState struct {
+	CPU      int
+	Clock    cost.Ticks // this CPU's virtual time
+	Busy     cost.Ticks // clock minus idle fast-forwards
+	QueueLen int
+	Switches uint64 // dispatches on this CPU
+	Steals   uint64 // dispatches that took work from another queue
+}
+
+func (cs CPUState) String() string {
+	return fmt.Sprintf("cpu%d clock=%v busy=%v queue=%d switches=%d steals=%d",
+		cs.CPU, cs.Clock, cs.Busy, cs.QueueLen, cs.Switches, cs.Steals)
+}
+
 // New boots a kernel with an empty filesystem containing /dev, /bin,
-// and /tmp.
-func New(opts Options) *Kernel {
-	if opts.RAMBytes == 0 {
-		opts.RAMBytes = 4 << 30
+// and /tmp. It returns an error for invalid Options (see
+// Options.Validate).
+func New(opts Options) (*Kernel, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	if opts.Quantum == 0 {
-		opts.Quantum = 2048
+		opts.Quantum = DefaultQuantum
 	}
 	model := cost.DefaultModel()
 	if opts.Model != nil {
 		model = *opts.Model
 	}
-	meter := cost.NewMeter(model)
+	meter := cost.NewMeterSMP(model, opts.NumCPUs)
 	k := &Kernel{
 		opts:    opts,
 		meter:   meter,
@@ -120,7 +212,11 @@ func New(opts Options) *Kernel {
 		fs:      vfs.NewFS(),
 		procs:   map[PID]*Process{},
 		nextPID: 1,
+		cpus:    make([]cpu, opts.NumCPUs),
 		futexes: map[futexKey]*WaitQueue{},
+	}
+	for i := range k.cpus {
+		k.cpus[i].id = i
 	}
 	for _, d := range []string{"/dev", "/bin", "/tmp"} {
 		if _, err := k.fs.MkdirAll(d); err != nil {
@@ -134,15 +230,19 @@ func New(opts Options) *Kernel {
 	if _, err := k.fs.Mknod("/dev/console", console); err != nil {
 		panic(err)
 	}
-	return k
+	return k, nil
 }
 
 // Meter exposes the cost meter (experiments read the clock and event
 // counters from here).
 func (k *Kernel) Meter() *cost.Meter { return k.meter }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time on the active CPU.
 func (k *Kernel) Now() cost.Ticks { return k.meter.Now() }
+
+// Elapsed returns the machine-wide virtual time: the furthest-ahead
+// CPU clock. On a 1-CPU machine it equals Now.
+func (k *Kernel) Elapsed() cost.Ticks { return k.meter.MaxClock() }
 
 // Phys exposes physical memory.
 func (k *Kernel) Phys() *mem.Physical { return k.phys }
@@ -153,11 +253,36 @@ func (k *Kernel) FS() *vfs.FS { return k.fs }
 // Options returns the boot options.
 func (k *Kernel) Options() Options { return k.opts }
 
-// LastStop reports why the previous Run returned.
-func (k *Kernel) LastStop() StopReason { return k.lastStop }
+// NumCPUs reports the simulated CPU count.
+func (k *Kernel) NumCPUs() int { return len(k.cpus) }
 
-// ContextSwitches reports the scheduler's dispatch count.
+// LastStop reports why the previous Run returned.
+func (k *Kernel) LastStop() StopReason { return k.lastStop.Reason }
+
+// LastStopInfo reports why — and where — the previous Run returned.
+func (k *Kernel) LastStopInfo() StopInfo { return k.lastStop }
+
+// ContextSwitches reports the scheduler's total dispatch count across
+// all CPUs.
 func (k *Kernel) ContextSwitches() uint64 { return k.contextSwitches }
+
+// CPUStates snapshots every CPU's scheduler state (diagnostics,
+// utilization reporting).
+func (k *Kernel) CPUStates() []CPUState {
+	out := make([]CPUState, len(k.cpus))
+	for i := range k.cpus {
+		c := &k.cpus[i]
+		out[i] = CPUState{
+			CPU:      c.id,
+			Clock:    k.meter.CPUClock(c.id),
+			Busy:     k.meter.CPUBusy(c.id),
+			QueueLen: c.runq.Len(),
+			Switches: c.switches,
+			Steals:   c.steals,
+		}
+	}
+	return out
+}
 
 // WaitQueue is a FIFO of blocked threads.
 type WaitQueue struct {
@@ -187,7 +312,9 @@ func (k *Kernel) block(t *Thread, q *WaitQueue, reason string) {
 	}
 }
 
-// unblock makes t runnable again, removing it from its queue.
+// unblock makes t runnable again, removing it from its queue. The
+// thread goes back to its affinity CPU's queue (the CPU it last ran
+// on); the work-stealing dispatcher migrates it if that CPU lags.
 func (k *Kernel) unblock(t *Thread) {
 	if t.state != TBlocked {
 		return
@@ -206,7 +333,25 @@ func (k *Kernel) unblock(t *Thread) {
 	// handler clears it when the sleep completes, and a sleeper
 	// woken early (signal) re-blocks for the remaining time.
 	t.state = TRunnable
-	k.runq.push(t)
+	k.enqueue(t)
+}
+
+// enqueue pushes a runnable thread onto its affinity CPU's queue.
+func (k *Kernel) enqueue(t *Thread) {
+	k.cpus[t.cpu].runq.push(t)
+}
+
+// placeNewThread assigns a first CPU to a brand-new runnable thread:
+// the shortest queue, lowest id on ties — a deterministic spread that
+// puts sibling threads on different CPUs.
+func (k *Kernel) placeNewThread(t *Thread) {
+	best := 0
+	for i := 1; i < len(k.cpus); i++ {
+		if k.cpus[i].runq.Len() < k.cpus[best].runq.Len() {
+			best = i
+		}
+	}
+	t.cpu = best
 }
 
 // wakeOne wakes the oldest waiter; it reports whether one was woken.
@@ -231,80 +376,200 @@ func (k *Kernel) wakeAll(q *WaitQueue) int {
 // RunLimits bounds a Run call. Zero fields mean "no limit".
 type RunLimits struct {
 	MaxInstructions uint64
-	MaxTicks        cost.Ticks
+	// MaxTicks bounds machine-wide elapsed virtual time, measured
+	// from the furthest-ahead CPU clock at the call.
+	MaxTicks cost.Ticks
 }
 
 // DeadlockError reports a simulation where live threads exist but none
 // can ever run again — e.g. the child of a multithreaded fork blocking
 // on a mutex whose holder was not duplicated (§4.2 of the paper).
 type DeadlockError struct {
-	Threads []string // human-readable blocked-thread descriptions
+	Threads []string   // blocked-thread descriptions, sorted by pid/tid
+	CPUs    []CPUState // per-CPU scheduler state at detection time
 }
 
 func (e *DeadlockError) Error() string {
-	return fmt.Sprintf("kernel: deadlock: %d thread(s) blocked forever: %s",
+	msg := fmt.Sprintf("kernel: deadlock: %d thread(s) blocked forever: %s",
 		len(e.Threads), strings.Join(e.Threads, "; "))
+	if len(e.CPUs) > 1 {
+		states := make([]string, len(e.CPUs))
+		for i, cs := range e.CPUs {
+			states[i] = cs.String()
+		}
+		msg += " [" + strings.Join(states, ", ") + "]"
+	}
+	return msg
+}
+
+// queuedThreads counts entries across every CPU's run queue (stale
+// entries for exited threads included; pops skip those lazily).
+func (k *Kernel) queuedThreads() int {
+	n := 0
+	for i := range k.cpus {
+		n += k.cpus[i].runq.Len()
+	}
+	return n
+}
+
+// nextCPU picks the CPU that executes next: lowest clock, lowest id on
+// ties. Executing in virtual-time order is what makes the N-CPU
+// machine deterministic — there is never a host-dependent choice.
+func (k *Kernel) nextCPU() *cpu {
+	best := 0
+	bc := k.meter.CPUClock(0)
+	for i := 1; i < len(k.cpus); i++ {
+		if c := k.meter.CPUClock(i); c < bc {
+			best, bc = i, c
+		}
+	}
+	return &k.cpus[best]
+}
+
+// stealVictim picks the queue to steal from: the longest, lowest id on
+// ties. Returns nil if every queue is empty.
+func (k *Kernel) stealVictim() *cpu {
+	best := -1
+	for i := range k.cpus {
+		if k.cpus[i].runq.Len() == 0 {
+			continue
+		}
+		if best == -1 || k.cpus[i].runq.Len() > k.cpus[best].runq.Len() {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	return &k.cpus[best]
 }
 
 // Run drives the machine until every thread has exited or parked
 // (StopIdle), the system deadlocks (returns *DeadlockError), or a
 // limit is hit (StopLimit). It is the only place virtual time advances
-// for instruction execution.
+// for instruction execution. CPUs execute in virtual-time order: the
+// lowest-clock CPU dispatches next, from its own queue or — when
+// empty — by stealing the oldest thread from the longest queue.
 func (k *Kernel) Run(limits RunLimits) error {
 	startInstr := k.meter.Instructions
 	deadline := cost.Ticks(0)
 	if limits.MaxTicks != 0 {
-		deadline = k.meter.Now() + limits.MaxTicks
+		deadline = k.meter.MaxClock() + limits.MaxTicks
 	}
 	for {
 		if limits.MaxInstructions != 0 && k.meter.Instructions-startInstr >= limits.MaxInstructions {
-			k.lastStop = StopLimit
+			k.stop(StopLimit, k.meter.ActiveCPU())
 			return nil
 		}
-		if deadline != 0 && k.meter.Now() >= deadline {
-			k.lastStop = StopLimit
-			return nil
-		}
-		if k.runq.Len() == 0 {
+		if k.queuedThreads() == 0 {
 			if k.wakeSleepers() {
 				continue
 			}
 			// No runnable, no sleeper. Deadlock if any thread
 			// is still blocked.
-			var stuck []string
-			for _, p := range k.procs {
-				if p.state != ProcAlive {
-					continue
-				}
-				for _, t := range p.threads {
-					if t.state == TBlocked {
-						stuck = append(stuck, fmt.Sprintf("%s on %s", t, t.waitReason))
-					}
-				}
+			if stuck := k.stuckThreads(); len(stuck) > 0 {
+				err := &DeadlockError{Threads: stuck, CPUs: k.CPUStates()}
+				k.stop(StopDeadlock, -1)
+				return err
 			}
-			if len(stuck) > 0 {
-				k.lastStop = StopDeadlock
-				return &DeadlockError{Threads: stuck}
-			}
-			k.lastStop = StopIdle
+			// Fully quiesced: the machine waited for its last
+			// CPU — bring every clock to the barrier so
+			// subsequent harness work starts from a single
+			// point in time.
+			k.idleSync()
+			k.stop(StopIdle, -1)
 			return nil
 		}
-		t := k.runq.pop()
-		if t.state != TRunnable {
+		c := k.nextCPU()
+		if deadline != 0 && k.meter.CPUClock(c.id) >= deadline {
+			k.stop(StopLimit, c.id)
+			return nil
+		}
+		t, stolen := k.take(c)
+		if t == nil || t.state != TRunnable {
 			continue // exited or re-blocked while queued
 		}
-		k.dispatch(t, limits, startInstr, deadline)
+		if stolen {
+			c.steals++
+		}
+		k.dispatch(c, t, limits, startInstr, deadline)
 	}
 }
 
-// dispatch runs t for up to one quantum.
-func (k *Kernel) dispatch(t *Thread, limits RunLimits, startInstr uint64, deadline cost.Ticks) {
+// take pops the next thread for c: its own queue first, then a steal.
+func (k *Kernel) take(c *cpu) (t *Thread, stolen bool) {
+	if c.runq.Len() > 0 {
+		return c.runq.pop(), false
+	}
+	v := k.stealVictim()
+	if v == nil {
+		return nil, false
+	}
+	return v.runq.pop(), true
+}
+
+// stop records the reason Run returned.
+func (k *Kernel) stop(r StopReason, cpu int) {
+	k.lastStop = StopInfo{Reason: r, CPU: cpu, VirtualTime: k.meter.MaxClock()}
+}
+
+// stuckThreads collects blocked-thread descriptions, sorted by pid and
+// tid so reports are deterministic.
+func (k *Kernel) stuckThreads() []string {
+	type stuckKey struct {
+		pid PID
+		tid int
+	}
+	var keys []stuckKey
+	desc := map[stuckKey]string{}
+	for _, p := range k.procs {
+		if p.state != ProcAlive {
+			continue
+		}
+		for _, t := range p.threads {
+			if t.state == TBlocked {
+				key := stuckKey{p.Pid, t.TID}
+				keys = append(keys, key)
+				desc[key] = fmt.Sprintf("%s on %s", t, t.waitReason)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pid != keys[j].pid {
+			return keys[i].pid < keys[j].pid
+		}
+		return keys[i].tid < keys[j].tid
+	})
+	out := make([]string, len(keys))
+	for i, key := range keys {
+		out[i] = desc[key]
+	}
+	return out
+}
+
+// idleSync fast-forwards every CPU to the machine-wide clock (recorded
+// as idle time, not busy time).
+func (k *Kernel) idleSync() {
+	max := k.meter.MaxClock()
+	for i := range k.cpus {
+		k.meter.IdleTo(i, max)
+	}
+}
+
+// dispatch runs t on c for up to one quantum.
+func (k *Kernel) dispatch(c *cpu, t *Thread, limits RunLimits, startInstr uint64, deadline cost.Ticks) {
+	k.meter.SetActiveCPU(c.id)
+	t.cpu = c.id
 	t.state = TRunning
+	t.dispatches++
+	c.switches++
 	k.contextSwitches++
+	k.switchSpace(c, t.proc.space)
+	before := k.meter.CPUClock(c.id)
 	k.meter.Charge(k.meter.Model.ContextSwitch)
 	for i := 0; i < k.opts.Quantum; i++ {
 		if t.state != TRunning {
-			return // blocked or exited inside step
+			break // blocked or exited inside step
 		}
 		if limits.MaxInstructions != 0 && k.meter.Instructions-startInstr >= limits.MaxInstructions {
 			break
@@ -314,45 +579,90 @@ func (k *Kernel) dispatch(t *Thread, limits RunLimits, startInstr uint64, deadli
 		}
 		k.step(t)
 	}
+	t.proc.chargeCPU(c.id, k.meter.CPUClock(c.id)-before)
 	if t.state == TRunning {
 		t.state = TRunnable
-		k.runq.push(t)
+		k.enqueue(t)
 	}
 }
 
-// wakeSleepers advances the clock to the earliest sleep deadline and
-// wakes the threads due then. It reports whether anything was woken.
+// switchSpace updates c's live address space and the residency mask
+// that prices TLB shootdowns: the outgoing space no longer pays IPIs
+// for this CPU, the incoming one does.
+func (k *Kernel) switchSpace(c *cpu, next *addrspace.Space) {
+	if c.curSpace == next {
+		return
+	}
+	if c.curSpace != nil {
+		c.curSpace.ClearResident(c.id)
+	}
+	c.curSpace = next
+	if next != nil {
+		next.MarkResident(c.id)
+	}
+}
+
+// spaceRetired clears any per-CPU reference to a destroyed (or
+// replaced) address space so residency never outlives the space.
+func (k *Kernel) spaceRetired(s *addrspace.Space) {
+	if s == nil {
+		return
+	}
+	for i := range k.cpus {
+		if k.cpus[i].curSpace == s {
+			// Drop the residency bit too: a space that survives
+			// retirement (a vfork child leaving its parent's
+			// space) must not keep paying IPIs for this CPU.
+			s.ClearResident(k.cpus[i].id)
+			k.cpus[i].curSpace = nil
+		}
+	}
+}
+
+// wakeSleepers advances every CPU to the earliest sleep deadline
+// (recorded as idle time) and wakes the threads due then. It reports
+// whether anything was woken.
 func (k *Kernel) wakeSleepers() bool {
 	if len(k.sleepers) == 0 {
 		return false
 	}
-	earliest := k.sleepers[0].sleepDeadline
-	for _, t := range k.sleepers[1:] {
-		if t.sleepDeadline < earliest {
-			earliest = t.sleepDeadline
+	earliest := cost.Ticks(0)
+	found := false
+	for _, t := range k.sleepers {
+		if t.state != TBlocked {
+			continue // woken early; stale entry dropped below
+		}
+		if !found || t.sleepDeadline < earliest {
+			earliest, found = t.sleepDeadline, true
 		}
 	}
-	if earliest > k.meter.Now() {
-		k.meter.Charge(earliest - k.meter.Now())
+	if !found {
+		k.sleepers = k.sleepers[:0]
+		return false
+	}
+	for i := range k.cpus {
+		k.meter.IdleTo(i, earliest)
 	}
 	rest := k.sleepers[:0]
+	woke := false
 	for _, t := range k.sleepers {
 		switch {
 		case t.state != TBlocked:
 			// Woken early (e.g. by a signal); drop the stale
 			// sleeper entry.
-		case t.sleepDeadline <= k.meter.Now():
+		case t.sleepDeadline <= earliest:
 			k.unblock(t)
+			woke = true
 		default:
 			rest = append(rest, t)
 		}
 	}
 	k.sleepers = rest
-	return true
+	return woke
 }
 
 // Idle reports whether nothing can run.
-func (k *Kernel) Idle() bool { return k.runq.Len() == 0 && len(k.sleepers) == 0 }
+func (k *Kernel) Idle() bool { return k.queuedThreads() == 0 && len(k.sleepers) == 0 }
 
 // newSpace creates an empty address space bound to this kernel's
 // physical memory and meter.

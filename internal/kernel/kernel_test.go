@@ -14,12 +14,29 @@ import (
 	"repro/internal/vfs"
 )
 
+// mustNew boots a kernel with test defaults filled in (4 GiB RAM, one
+// CPU) for zero Options fields.
+func mustNew(t testing.TB, opts Options) *Kernel {
+	t.Helper()
+	if opts.RAMBytes == 0 {
+		opts.RAMBytes = 4 << 30
+	}
+	if opts.NumCPUs == 0 {
+		opts.NumCPUs = 1
+	}
+	k, err := New(opts)
+	if err != nil {
+		t.Fatalf("kernel.New: %v", err)
+	}
+	return k
+}
+
 // boot creates a kernel with ulib installed and a console capture.
 func boot(t *testing.T, opts Options) (*Kernel, *bytes.Buffer) {
 	t.Helper()
 	var out bytes.Buffer
 	opts.ConsoleOut = &out
-	k := New(opts)
+	k := mustNew(t, opts)
 	if err := ulib.InstallAll(k); err != nil {
 		t.Fatalf("install ulib: %v", err)
 	}

@@ -55,6 +55,7 @@ func (k *Kernel) ExitProcess(p *Process, status uint64) {
 	}
 
 	if p.space != nil {
+		k.spaceRetired(p.space)
 		if p.spaceOwned {
 			p.space.Destroy()
 		}

@@ -69,6 +69,10 @@ type Process struct {
 
 	started   cost.Ticks
 	oomKilled bool
+
+	// cpuTicks accumulates the virtual time this process's threads
+	// executed on each CPU (one slot per simulated CPU).
+	cpuTicks []cost.Ticks
 }
 
 // Space returns the process's address space.
@@ -88,6 +92,24 @@ func (p *Process) ExitStatus() uint64 { return p.exitStatus }
 
 // OOMKilled reports whether the process died to the OOM killer.
 func (p *Process) OOMKilled() bool { return p.oomKilled }
+
+// CPUTicks returns a copy of the per-CPU virtual time this process's
+// threads have executed (index = CPU id).
+func (p *Process) CPUTicks() []cost.Ticks {
+	return append([]cost.Ticks(nil), p.cpuTicks...)
+}
+
+// TotalCPUTicks sums CPUTicks across CPUs.
+func (p *Process) TotalCPUTicks() cost.Ticks {
+	var total cost.Ticks
+	for _, t := range p.cpuTicks {
+		total += t
+	}
+	return total
+}
+
+// chargeCPU records d ticks of execution on cpu (dispatcher callback).
+func (p *Process) chargeCPU(cpu int, d cost.Ticks) { p.cpuTicks[cpu] += d }
 
 // Parent returns the parent process (nil for init and synthetic roots).
 func (p *Process) Parent() *Process { return p.parent }
@@ -174,6 +196,13 @@ type Thread struct {
 	pc   uint64
 
 	state TState
+	// cpu is the thread's affinity: the CPU it last ran on (or was
+	// placed on at creation). Wakeups enqueue here; the dispatcher's
+	// stealing migrates the thread if this CPU lags.
+	cpu int
+	// dispatches counts scheduler dispatches of this thread
+	// (fairness diagnostics).
+	dispatches uint64
 	// wait is the queue this thread is blocked on (nil otherwise);
 	// waitReason names it for deadlock reports.
 	wait       *WaitQueue
@@ -215,18 +244,27 @@ func (t *Thread) SetPC(v uint64) { t.pc = v }
 // SigMask returns the thread's blocked-signal set.
 func (t *Thread) SigMask() sig.Set { return t.sigMask }
 
+// CPU returns the thread's affinity CPU (the one it last ran on).
+func (t *Thread) CPU() int { return t.cpu }
+
+// Dispatches reports how many times the scheduler has dispatched this
+// thread.
+func (t *Thread) Dispatches() uint64 { return t.dispatches }
+
 func (t *Thread) String() string {
 	return fmt.Sprintf("pid%d/t%d(%s)", t.proc.Pid, t.TID, t.state)
 }
 
-// newThread adds a thread to p in the given state.
+// newThread adds a thread to p in the given state. Runnable threads
+// are spread across CPUs (shortest queue, lowest id on ties).
 func (k *Kernel) newThread(p *Process, state TState) *Thread {
 	t := &Thread{TID: p.nextTID, proc: p, state: state}
 	p.nextTID++
 	p.threads = append(p.threads, t)
 	k.meter.Charge(k.meter.Model.ThreadAlloc)
 	if state == TRunnable {
-		k.runq.push(t)
+		k.placeNewThread(t)
+		k.enqueue(t)
 	}
 	return t
 }
@@ -234,14 +272,15 @@ func (k *Kernel) newThread(p *Process, state TState) *Thread {
 // newProcess allocates a process shell (no space, fds, or threads yet).
 func (k *Kernel) newProcess(name string, parent *Process) *Process {
 	p := &Process{
-		Pid:     k.nextPID,
-		Name:    name,
-		parent:  parent,
-		cwd:     k.fs.Root(),
-		sigs:    &sig.Table{},
-		childQ:  &WaitQueue{name: "wait:children"},
-		started: k.meter.Now(),
-		state:   ProcAlive,
+		Pid:      k.nextPID,
+		Name:     name,
+		parent:   parent,
+		cwd:      k.fs.Root(),
+		sigs:     &sig.Table{},
+		childQ:   &WaitQueue{name: "wait:children"},
+		started:  k.meter.Now(),
+		state:    ProcAlive,
+		cpuTicks: make([]cost.Ticks, len(k.cpus)),
 	}
 	k.nextPID++
 	if parent != nil {
@@ -283,7 +322,8 @@ func (k *Kernel) StartProcess(p *Process) error {
 	}
 	if t.state == TParked {
 		t.state = TRunnable
-		k.runq.push(t)
+		k.placeNewThread(t)
+		k.enqueue(t)
 	}
 	return nil
 }

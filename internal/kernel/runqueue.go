@@ -1,12 +1,14 @@
 package kernel
 
-// runQueue is the scheduler's FIFO of runnable threads, backed by a
-// power-of-two ring buffer. The previous representation — a plain slice
-// popped with runq = runq[1:] — kept the backing array's dead prefix
-// alive and forced a fresh allocation every time append outgrew it,
-// which thrashes once load scenarios park thousands of threads. The
-// ring reuses its storage: push and pop are O(1) with no shifting, and
-// the buffer only grows (doubling) when the queue is genuinely full.
+// runQueue is one CPU's FIFO of runnable threads, backed by a
+// power-of-two ring buffer (each simulated CPU owns one; the
+// dispatcher steals across queues when its own is empty). The earlier
+// representation — a plain slice popped with runq = runq[1:] — kept
+// the backing array's dead prefix alive and forced a fresh allocation
+// every time append outgrew it, which thrashes once load scenarios
+// park thousands of threads. The ring reuses its storage: push and pop
+// are O(1) with no shifting, and the buffer only grows (doubling) when
+// the queue is genuinely full.
 type runQueue struct {
 	buf  []*Thread
 	head int // index of the oldest element

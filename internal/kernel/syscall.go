@@ -270,9 +270,9 @@ func (k *Kernel) sysEnter(t *Thread, num uint64) (uint64, error) {
 		t.regs[0] = 0
 		t.pc += isa.InstrSize
 		k.meter.Charge(k.meter.Model.SyscallExit)
-		// Round-robin: back of the queue.
+		// Round-robin: back of this CPU's queue.
 		t.state = TRunnable
-		k.runq.push(t)
+		k.enqueue(t)
 		return 0, errNoReturn
 
 	case abi.SysNanosleep:

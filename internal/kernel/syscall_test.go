@@ -22,7 +22,7 @@ func runAsm(t *testing.T, opts Options, src string, argv ...string) (*Kernel, *P
 	t.Helper()
 	var out bytes.Buffer
 	opts.ConsoleOut = &out
-	k := New(opts)
+	k := mustNew(t, opts)
 	if err := ulib.InstallAll(k); err != nil {
 		t.Fatal(err)
 	}
@@ -585,7 +585,7 @@ dir: .asciz "/bin"
 // TestSysExecErrorsWithJunk prepares the bad-image file first.
 func TestSysExecErrorsWithJunk(t *testing.T) {
 	var out bytes.Buffer
-	k := New(Options{ConsoleOut: &out})
+	k := mustNew(t, Options{ConsoleOut: &out})
 	if err := ulib.InstallAll(k); err != nil {
 		t.Fatal(err)
 	}
@@ -819,7 +819,7 @@ parent:
 
 func TestRunLimitsStop(t *testing.T) {
 	var out bytes.Buffer
-	k := New(Options{ConsoleOut: &out})
+	k := mustNew(t, Options{ConsoleOut: &out})
 	if err := ulib.InstallAll(k); err != nil {
 		t.Fatal(err)
 	}

@@ -408,8 +408,11 @@ func (cc *cloneCounts) charge(m *cost.Meter) {
 // for every page-table page and writes one entry per mapping — the
 // Θ(address-space size) loop at the heart of fork's cost.
 //
-// Both TLBs are flushed (the parent's mappings just lost their write
-// permission).
+// Both local TLBs are flushed (the parent's mappings just lost their
+// write permission). On a multicore machine the downgrade must also
+// reach every other CPU running the parent; that per-remote-CPU
+// shootdown IPI is charged by addrspace.CloneCOW, which knows the
+// space's CPU residency.
 func (t *Table) CloneCOW() *Table {
 	child := New(t.phys, t.meter)
 	var cc cloneCounts

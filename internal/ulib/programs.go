@@ -33,6 +33,7 @@ var Sources = map[string]string{
 	"threads_deadlock": progThreadsDeadlock,
 	"threads_spawn":    progThreadsSpawn,
 	"threads_sum":      progThreadsSum,
+	"smpspin":          progSMPSpin,
 	"segv":             progSegv,
 	"sigdemo":          progSigdemo,
 	"hog":              progHog,
@@ -482,6 +483,85 @@ ts_stack1: .space 4096
 ts_stack1_top: .space 8
 ts_stack2: .space 4096
 ts_stack2_top: .space 8
+`
+
+// progSMPSpin is the multithreaded server of the SMP load scenarios:
+// `smpspin <threads> <bytes>` maps and dirties a heap of the given
+// size, then starts <threads> worker threads (max 8) that loop
+// forever, each write-touching its own slice of the heap and
+// yielding. The main thread parks on a futex; the harness kills the
+// process when the scenario ends. While the workers run they keep the
+// address space resident on several CPUs, so a harness-side fork
+// snapshot pays a TLB-shootdown IPI per remote core, and every
+// post-snapshot slice rewrite pays COW breaks with further IPIs — the
+// Redis/SMP worst case of §5.
+const progSMPSpin = `
+_start:
+    mov r10, r1             ; argv
+    ld8 r0, [r10+8]         ; argv[1]: worker thread count
+    call atoi
+    mov r11, r0
+    ld8 r0, [r10+16]        ; argv[2]: heap bytes
+    call atoi
+    mov r12, r0
+    movi r0, 0
+    mov r1, r12
+    movi r2, PROT_READ + PROT_WRITE
+    movi r3, 0
+    sys SYS_MMAP
+    movi r3, 0
+    blt r0, r3, sp_fail
+    li r3, sp_base
+    st8 [r3+0], r0
+    mov r13, r0             ; heap base
+    div r4, r12, r11        ; slice = bytes / threads
+    li r3, sp_slice
+    st8 [r3+0], r4
+    mov r0, r13
+    mov r1, r12
+    movi r2, 1
+    sys SYS_TOUCH           ; dirty the whole heap: the resident parent
+    movi r10, 0             ; i
+sp_spawn:
+    beq r10, r11, sp_park
+    addi r4, r10, 1
+    shli r4, r4, 12         ; (i+1)*4096
+    li r2, sp_stacks
+    add r2, r2, r4          ; worker i's stack top
+    li r0, sp_worker
+    mov r1, r10             ; arg = worker index
+    sys SYS_THREAD_CREATE
+    addi r10, r10, 1
+    b sp_spawn
+sp_park:
+    li r0, sp_parkw
+    movi r1, 0
+    sys SYS_FUTEX_WAIT      ; parked forever; the harness kills us
+    b sp_park
+sp_fail:
+    movi r0, 2
+    sys SYS_EXIT
+sp_worker:
+    mov r10, r0             ; worker index
+    li r3, sp_base
+    ld8 r11, [r3+0]
+    li r3, sp_slice
+    ld8 r12, [r3+0]
+    mul r4, r10, r12
+    add r11, r11, r4        ; my slice base
+sp_loop:
+    mov r0, r11
+    mov r1, r12
+    movi r2, 1
+    sys SYS_TOUCH           ; rewrite my slice (COW breaks after a snapshot)
+    sys SYS_YIELD
+    b sp_loop
+.bss
+.align 8
+sp_base: .space 8
+sp_slice: .space 8
+sp_parkw: .space 8
+sp_stacks: .space 32768
 `
 
 // progSegv dereferences null: default SIGSEGV kills the process.

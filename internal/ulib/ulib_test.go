@@ -87,7 +87,10 @@ func TestProgramShape(t *testing.T) {
 // TestInstallAllIntoKernel exercises the Installer integration: every
 // program lands in /bin and decodes as a valid image.
 func TestInstallAllIntoKernel(t *testing.T) {
-	k := kernel.New(kernel.Options{})
+	k, err := kernel.New(kernel.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := InstallAll(k); err != nil {
 		t.Fatal(err)
 	}

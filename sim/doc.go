@@ -24,10 +24,27 @@
 // ExtraFiles wire descriptors between commands exactly as os/exec
 // wires *os.File.
 //
+// A System is a multicore machine: sim.WithCPUs(n) boots up to 64
+// simulated CPUs (default 1). Runnable threads then genuinely overlap
+// in virtual time — and fork gets more expensive, because every COW
+// break, unmap, and protection change pays a TLB-shootdown IPI per
+// other CPU running the address space (§5's multicore argument).
+// Stats reports per-CPU utilization and the shootdown count, and
+// ProcessState reports per-CPU execution time.
+//
+// Determinism guarantee: the scheduler executes CPUs in virtual-time
+// order (lowest clock first, lowest id on ties) with per-CPU run
+// queues and deterministic work stealing, so with identical inputs a
+// simulation is reproducible bit-for-bit at every CPU count. Nothing
+// in the machine reads host time, host scheduling, or map iteration
+// order; sim/load's regression suite asserts byte-identical metrics
+// across repeated runs at 1, 2, 4, and 8 CPUs.
+//
 // The sim/load subpackage drives high-scale workloads over a System —
-// a prefork server, pipeline farm, snapshot checkpointer, and fork
-// storm, each deterministic and parameterized by strategy — turning
-// the paper's §5 "fork poisons servers" claim into measured
+// a prefork server, pipeline farm, snapshot checkpointer, fork storm,
+// a multithreaded SMP server snapshotting mid-traffic, and a parallel
+// build farm, each deterministic and parameterized by strategy —
+// turning the paper's §5 "fork poisons servers" claim into measured
 // throughput (see `forkbench load`).
 //
 // The internal packages remain the substrate: internal/kernel is the

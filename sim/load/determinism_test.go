@@ -3,6 +3,7 @@ package load_test
 import (
 	"encoding/json"
 	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/sim"
@@ -12,9 +13,10 @@ import (
 // TestScenariosDeterministic is the repository's determinism
 // regression: every scenario, run twice from identical configs on
 // fresh machines, must produce byte-identical metrics — tick counts,
-// fault counts, context switches, everything. A mismatch means
-// something in the kernel (typically map iteration) leaked host
-// nondeterminism into the simulation.
+// fault counts, context switches, shootdowns, everything — at every
+// CPU count. A mismatch means something in the kernel (typically map
+// iteration, or a host-dependent scheduling choice on the SMP path)
+// leaked host nondeterminism into the simulation.
 func TestScenariosDeterministic(t *testing.T) {
 	cases := []load.Config{
 		{Scenario: load.Prefork, Via: sim.ForkExec, Requests: 12, HeapBytes: 8 << 20},
@@ -24,10 +26,19 @@ func TestScenariosDeterministic(t *testing.T) {
 		{Scenario: load.Checkpoint, Via: sim.EagerForkExec, Requests: 2, HeapBytes: 4 << 20},
 		{Scenario: load.ForkStorm, Via: sim.VforkExec, Requests: 2, Workers: 24, HeapBytes: 4 << 20},
 		{Scenario: load.Prefork, Via: sim.ForkExec, Requests: 6, HeapBytes: 8 << 20, HugePages: true},
+		// The SMP matrix: the same scenarios must stay deterministic
+		// when CPUs overlap in virtual time.
+		{Scenario: load.Prefork, Via: sim.ForkExec, Requests: 12, HeapBytes: 8 << 20, CPUs: 2},
+		{Scenario: load.Prefork, Via: sim.Spawn, Requests: 12, HeapBytes: 8 << 20, CPUs: 8},
+		{Scenario: load.ForkStorm, Via: sim.Spawn, Requests: 2, Workers: 24, HeapBytes: 4 << 20, CPUs: 4},
+		{Scenario: load.SMPServer, Via: sim.ForkExec, Requests: 3, HeapBytes: 8 << 20, CPUs: 4},
+		{Scenario: load.SMPServer, Via: sim.Spawn, Requests: 2, HeapBytes: 4 << 20, CPUs: 2},
+		{Scenario: load.BuildFarm, Via: sim.Spawn, Requests: 8, HeapBytes: 4 << 20, CPUs: 4},
+		{Scenario: load.BuildFarm, Via: sim.ForkExec, Requests: 6, HeapBytes: 4 << 20, CPUs: 2},
 	}
 	for _, cfg := range cases {
 		cfg := cfg
-		t.Run(fmt.Sprintf("%s-%v", cfg.Scenario, cfg.Via), func(t *testing.T) {
+		t.Run(fmt.Sprintf("%s-%v-%dcpu", cfg.Scenario, cfg.Via, cfg.CPUs), func(t *testing.T) {
 			a, err := load.Run(cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -36,7 +47,7 @@ func TestScenariosDeterministic(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if *a != *b {
+			if !reflect.DeepEqual(a, b) {
 				aj, _ := json.MarshalIndent(a, "", "  ")
 				bj, _ := json.MarshalIndent(b, "", "  ")
 				t.Errorf("two identical runs diverged:\nfirst:  %s\nsecond: %s", aj, bj)

@@ -9,13 +9,14 @@
 // slower as it gets bigger. Figure 1 shows single creations; this
 // package drains tens of thousands of them and reports throughput.
 //
-// Four scenarios, each parameterized by creation strategy (sim.Via),
-// scale, and server heap size:
+// Six scenarios, each parameterized by creation strategy (sim.Via),
+// CPU count (Config.CPUs), scale, and server heap size:
 //
 //	Prefork    — a web server creating one worker process per request
-//	             (the classic fork-per-connection design); throughput
-//	             collapses under fork as the server heap grows, and is
-//	             flat under spawn or the cross-process builder.
+//	             (the classic fork-per-connection design), keeping one
+//	             request in flight per CPU; throughput collapses under
+//	             fork as the server heap grows, and is flat under
+//	             spawn or the cross-process builder.
 //	Pipeline   — a shell-style farm building echo|cat|…|cat pipelines
 //	             and draining them; exercises pipes plus multi-process
 //	             creation per unit of work.
@@ -25,14 +26,28 @@
 //	             workload where fork's COW semantics genuinely help
 //	             (§5's "fork remains useful for snapshots").
 //	ForkStorm  — bursts of simultaneously live children, stressing the
-//	             scheduler's run queue and burst teardown.
+//	             scheduler's run queues and burst teardown; the burst
+//	             size scales with the CPU count.
+//	SMPServer  — the Redis/SMP worst case: a real multithreaded server
+//	             (one spinning worker thread per CPU, each rewriting
+//	             its slice of a dirty heap) takes fork snapshots
+//	             mid-traffic. Each snapshot COW-downgrades the page
+//	             tables while threads run on other cores — one TLB-
+//	             shootdown IPI per remote core, then another round per
+//	             post-snapshot COW break — so fork's snapshot tax
+//	             grows with the core count, while fork-less snapshots
+//	             through the cross-process API stay IPI-free.
+//	BuildFarm  — a parallel build keeping 2*CPUs compile jobs in
+//	             flight, each with a private working set; measures how
+//	             the creation strategy scales job launch with cores.
 //
 // Every run is a pure function of its Config: the simulator has no
 // host-time or randomness inputs, so two runs with the same Config
-// produce byte-identical Metrics — asserted by this package's
-// determinism regression test. Metrics are virtual-time quantities
-// (requests per *virtual* second, from the kernel's cost.Meter); host
-// wall-clock speed is a property of the simulator, not the result.
+// produce byte-identical Metrics at every CPU count — asserted by
+// this package's determinism regression test. Metrics are
+// virtual-time quantities (requests per *virtual* second, from the
+// kernel's cost.Meter); host wall-clock speed is a property of the
+// simulator, not the result.
 //
 //	m, err := load.Run(load.Config{
 //		Scenario:  load.Prefork,

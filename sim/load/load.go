@@ -19,11 +19,13 @@ const (
 	Pipeline   Scenario = "pipeline"
 	Checkpoint Scenario = "checkpoint"
 	ForkStorm  Scenario = "forkstorm"
+	SMPServer  Scenario = "smpserver"
+	BuildFarm  Scenario = "buildfarm"
 )
 
 // Scenarios lists every workload, in a fixed order.
 func Scenarios() []Scenario {
-	return []Scenario{Prefork, Pipeline, Checkpoint, ForkStorm}
+	return []Scenario{Prefork, Pipeline, Checkpoint, ForkStorm, SMPServer, BuildFarm}
 }
 
 // ParseScenario maps a CLI name to its Scenario.
@@ -33,7 +35,7 @@ func ParseScenario(name string) (Scenario, error) {
 			return s, nil
 		}
 	}
-	return "", fmt.Errorf("load: unknown scenario %q (prefork|pipeline|checkpoint|forkstorm)", name)
+	return "", fmt.Errorf("load: unknown scenario %q (prefork|pipeline|checkpoint|forkstorm|smpserver|buildfarm)", name)
 }
 
 // Config parameterizes one run. The zero value of every field selects
@@ -46,6 +48,13 @@ type Config struct {
 	// Via is the process-creation strategy every child in the
 	// scenario is created through.
 	Via sim.Strategy
+
+	// CPUs is the simulated CPU count (default 1). Scenarios scale
+	// with it: Prefork keeps CPUs requests in flight, ForkStorm's
+	// default burst and Pipeline's default volume grow with it, the
+	// SMPServer runs one worker thread per CPU, and BuildFarm keeps
+	// 2*CPUs jobs in flight.
+	CPUs int
 
 	// Requests is the closed-loop unit count: requests drained
 	// (Prefork), pipelines built (Pipeline), snapshot cycles
@@ -79,21 +88,28 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Scenario == "" {
 		cfg.Scenario = Prefork
 	}
+	if cfg.CPUs == 0 {
+		cfg.CPUs = 1
+	}
 	if cfg.Requests == 0 {
 		switch cfg.Scenario {
 		case Pipeline:
-			cfg.Requests = 64
+			cfg.Requests = 64 * cfg.CPUs
 		case Checkpoint:
 			cfg.Requests = 32
 		case ForkStorm:
 			cfg.Requests = 4
+		case SMPServer:
+			cfg.Requests = 8
+		case BuildFarm:
+			cfg.Requests = 24 * cfg.CPUs
 		default:
 			cfg.Requests = 256
 		}
 	}
 	if cfg.Workers == 0 {
 		if cfg.Scenario == ForkStorm {
-			cfg.Workers = 64
+			cfg.Workers = 64 * cfg.CPUs
 		} else {
 			cfg.Workers = 3
 		}
@@ -124,6 +140,7 @@ type Metrics struct {
 	Strategy  string `json:"strategy"`
 	HeapBytes uint64 `json:"heap_bytes"`
 	RAMBytes  uint64 `json:"ram_bytes"`
+	NumCPUs   int    `json:"num_cpus"`
 
 	// Requests is completed units of user-visible work; Creations
 	// is processes created (a pipeline request creates several).
@@ -141,22 +158,36 @@ type Metrics struct {
 	PeakRSSBytes uint64 `json:"peak_rss_bytes"`
 
 	// Cost-meter event counters for the loop: PageCopies is the
-	// COW-fault tax (plus eager-fork copies where selected).
+	// COW-fault tax (plus eager-fork copies where selected), and
+	// TLBShootdowns the remote-CPU IPIs — the SMP fork tax, always 0
+	// on one CPU.
 	PageFaults      uint64 `json:"page_faults"`
 	PageCopies      uint64 `json:"page_copies"`
 	PageZeroes      uint64 `json:"page_zeroes"`
 	PTECopies       uint64 `json:"pte_copies"`
+	TLBShootdowns   uint64 `json:"tlb_shootdowns"`
 	ContextSwitches uint64 `json:"context_switches"`
 	Syscalls        uint64 `json:"syscalls"`
 	Instructions    uint64 `json:"instructions"`
+
+	// CPUUtilization is, per CPU, the busy fraction of the virtual
+	// time that CPU advanced during the loop (index = CPU id;
+	// always in [0, 1]).
+	CPUUtilization []float64 `json:"cpu_utilization"`
+
+	// ServerCPUNanos is the virtual CPU time the resident server's
+	// threads executed during the loop, summed across CPUs — the
+	// service capacity left over after creation/snapshot taxes (set
+	// by the SMPServer scenario; 0 elsewhere).
+	ServerCPUNanos uint64 `json:"server_cpu_ns,omitempty"`
 }
 
 // Render formats the metrics as an aligned block for the CLI.
 func (m *Metrics) Render() string {
 	var b strings.Builder
 	row := func(k, v string) { fmt.Fprintf(&b, "  %-18s %s\n", k, v) }
-	fmt.Fprintf(&b, "load %s via %s (heap %s, RAM %s)\n",
-		m.Scenario, m.Strategy, humanBytes(m.HeapBytes), humanBytes(m.RAMBytes))
+	fmt.Fprintf(&b, "load %s via %s (heap %s, RAM %s, %d CPU(s))\n",
+		m.Scenario, m.Strategy, humanBytes(m.HeapBytes), humanBytes(m.RAMBytes), m.NumCPUs)
 	row("requests", fmt.Sprintf("%d (%.0f/virt-s)", m.Requests, m.RequestsPerVSec))
 	row("creations", fmt.Sprintf("%d (%.0f/virt-s)", m.Creations, m.CreationsPerVSec))
 	row("virtual time", fmt.Sprintf("%.3fms", float64(m.VirtualNanos)/1e6))
@@ -164,9 +195,20 @@ func (m *Metrics) Render() string {
 	row("page faults", fmt.Sprint(m.PageFaults))
 	row("page copies", fmt.Sprintf("%d (COW tax)", m.PageCopies))
 	row("PTE copies", fmt.Sprint(m.PTECopies))
+	row("TLB shootdowns", fmt.Sprintf("%d (SMP fork tax)", m.TLBShootdowns))
 	row("ctx switches", fmt.Sprint(m.ContextSwitches))
 	row("syscalls", fmt.Sprint(m.Syscalls))
 	row("instructions", fmt.Sprint(m.Instructions))
+	if len(m.CPUUtilization) > 0 {
+		var u []string
+		for _, f := range m.CPUUtilization {
+			u = append(u, fmt.Sprintf("%.0f%%", 100*f))
+		}
+		row("cpu util", strings.Join(u, " "))
+	}
+	if m.ServerCPUNanos > 0 {
+		row("server cpu", fmt.Sprintf("%.3fms", float64(m.ServerCPUNanos)/1e6))
+	}
 	return b.String()
 }
 
@@ -193,6 +235,10 @@ type driver struct {
 	requests  uint64
 	creations uint64
 	peakPages uint64
+
+	// serverCPU is the virtual CPU time the SMPServer scenario's
+	// server process executed during the loop.
+	serverCPU uint64
 }
 
 // sample records the physical-memory high-water mark; scenarios call
@@ -210,7 +256,8 @@ func Run(cfg Config) (*Metrics, error) {
 	cfg = cfg.withDefaults()
 	sys, err := sim.NewSystem(
 		sim.WithRAM(cfg.RAMBytes),
-		sim.WithUserland("true", "echo", "cat"),
+		sim.WithCPUs(cfg.CPUs),
+		sim.WithUserland("true", "echo", "cat", "hog", "smpspin"),
 	)
 	if err != nil {
 		return nil, err
@@ -239,7 +286,13 @@ func Run(cfg Config) (*Metrics, error) {
 	meter := d.k.Meter()
 	meter.ResetCounters()
 	cswBase := d.k.ContextSwitches()
-	t0 := d.k.Now()
+	busyBase := make([]uint64, cfg.CPUs)
+	clockBase := make([]uint64, cfg.CPUs)
+	for _, cs := range d.k.CPUStates() {
+		busyBase[cs.CPU] = uint64(cs.Busy)
+		clockBase[cs.CPU] = uint64(cs.Clock)
+	}
+	t0 := d.k.Elapsed()
 	d.sample()
 
 	switch cfg.Scenario {
@@ -251,6 +304,10 @@ func Run(cfg Config) (*Metrics, error) {
 		err = d.checkpoint()
 	case ForkStorm:
 		err = d.forkstorm()
+	case SMPServer:
+		err = d.smpserver()
+	case BuildFarm:
+		err = d.buildfarm()
 	default:
 		err = fmt.Errorf("load: unknown scenario %q", cfg.Scenario)
 	}
@@ -258,12 +315,13 @@ func Run(cfg Config) (*Metrics, error) {
 		return nil, fmt.Errorf("load: %s via %v: %w", cfg.Scenario, cfg.Via, err)
 	}
 
-	elapsed := uint64(d.k.Now() - t0)
+	elapsed := uint64(d.k.Elapsed() - t0)
 	m := &Metrics{
 		Scenario:  string(cfg.Scenario),
 		Strategy:  cfg.Via.String(),
 		HeapBytes: heap,
 		RAMBytes:  cfg.RAMBytes,
+		NumCPUs:   cfg.CPUs,
 		Requests:  d.requests,
 		Creations: d.creations,
 
@@ -274,13 +332,22 @@ func Run(cfg Config) (*Metrics, error) {
 		PageCopies:      meter.PageCopies,
 		PageZeroes:      meter.PageZeroes,
 		PTECopies:       meter.PTECopies,
+		TLBShootdowns:   meter.TLBShootdowns,
 		ContextSwitches: d.k.ContextSwitches() - cswBase,
 		Syscalls:        meter.Syscalls,
 		Instructions:    meter.Instructions,
+
+		CPUUtilization: make([]float64, cfg.CPUs),
+		ServerCPUNanos: d.serverCPU,
 	}
 	if elapsed > 0 {
 		m.RequestsPerVSec = float64(m.Requests) * 1e9 / float64(elapsed)
 		m.CreationsPerVSec = float64(m.Creations) * 1e9 / float64(elapsed)
+	}
+	for _, cs := range d.k.CPUStates() {
+		if advanced := uint64(cs.Clock) - clockBase[cs.CPU]; advanced > 0 {
+			m.CPUUtilization[cs.CPU] = float64(uint64(cs.Busy)-busyBase[cs.CPU]) / float64(advanced)
+		}
 	}
 	return m, nil
 }

@@ -192,3 +192,70 @@ func TestParseScenario(t *testing.T) {
 		t.Error("ParseScenario(bogus) succeeded")
 	}
 }
+
+// TestSMPServerShootdownTaxGrowsWithCPUs is §5's multicore claim at
+// the workload level: snapshotting a multithreaded server via fork
+// costs remote-core IPIs that grow with the CPU count; the fork-less
+// snapshot pays none at any count.
+func TestSMPServerShootdownTaxGrowsWithCPUs(t *testing.T) {
+	perSnap := func(via sim.Strategy, cpus int) float64 {
+		t.Helper()
+		m, err := load.Run(load.Config{
+			Scenario: load.SMPServer, Via: via,
+			CPUs: cpus, Requests: 3, HeapBytes: 8 << 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Requests != 3 || m.Creations != 3 {
+			t.Fatalf("snapshots=%d creations=%d, want 3/3", m.Requests, m.Creations)
+		}
+		if m.ServerCPUNanos == 0 {
+			t.Fatal("server threads got no CPU time — no traffic mid-snapshot")
+		}
+		return float64(m.TLBShootdowns) / float64(m.Requests)
+	}
+	prev := -1.0
+	for _, cpus := range []int{1, 2, 4} {
+		fork := perSnap(sim.ForkExec, cpus)
+		if fork <= prev {
+			t.Errorf("fork IPIs/snapshot not growing: %.0f at %d CPUs after %.0f", fork, cpus, prev)
+		}
+		prev = fork
+		if cpus == 1 && fork != 0 {
+			t.Errorf("1-CPU fork snapshot charged %.0f IPIs", fork)
+		}
+		if flat := perSnap(sim.Spawn, cpus); flat != 0 {
+			t.Errorf("fork-less snapshot charged %.0f IPIs at %d CPUs", flat, cpus)
+		}
+	}
+}
+
+// TestBuildFarmScalesWithCPUs: the parallel build drains every job,
+// and the same job count takes less virtual time on more CPUs.
+func TestBuildFarmScalesWithCPUs(t *testing.T) {
+	run := func(cpus int) *load.Metrics {
+		t.Helper()
+		m, err := load.Run(load.Config{
+			Scenario: load.BuildFarm, Via: sim.Spawn,
+			CPUs: cpus, Requests: 16, HeapBytes: 4 << 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Requests != 16 || m.Creations != 16 {
+			t.Fatalf("requests=%d creations=%d, want 16/16", m.Requests, m.Creations)
+		}
+		return m
+	}
+	one := run(1)
+	four := run(4)
+	if four.VirtualNanos >= one.VirtualNanos {
+		t.Errorf("4-CPU farm not faster: %dns vs %dns on 1 CPU", four.VirtualNanos, one.VirtualNanos)
+	}
+	for cpu, u := range four.CPUUtilization {
+		if u < 0 || u > 1 {
+			t.Errorf("cpu%d utilization %.2f outside [0,1]", cpu, u)
+		}
+	}
+}

@@ -10,24 +10,45 @@ import (
 )
 
 // prefork is the fork-per-request web server: every synthetic request
-// is handled by a freshly created worker process that runs and exits
-// before the next request is accepted (closed loop). Under fork the
-// per-request cost includes duplicating the server's page tables —
-// Θ(heap) — so throughput falls as the server grows; under spawn or
-// the builder it is flat. This is §5's server claim as a workload.
+// is handled by a freshly created worker process. The server keeps one
+// request in flight per CPU (closed loop with a CPU-wide window), so
+// on a multicore machine the workers genuinely overlap in virtual
+// time. Under fork the per-request cost includes duplicating the
+// server's page tables — Θ(heap) — so throughput falls as the server
+// grows; under spawn or the builder it is flat. This is §5's server
+// claim as a workload.
 func (d *driver) prefork() error {
-	for i := 0; i < d.cfg.Requests; i++ {
-		cmd := d.sys.Command("true").Via(d.cfg.Via)
-		if err := cmd.Start(); err != nil {
-			return err
+	window := d.cfg.CPUs
+	if window < 1 {
+		window = 1
+	}
+	var inflight []*sim.Cmd
+	launched := 0
+	abort := func(err error) error {
+		for _, cmd := range inflight {
+			cmd.Process.Kill()
+			cmd.Wait()
 		}
-		d.creations++
-		// Sample while the worker is live, so the peak reflects the
+		return err
+	}
+	for d.requests < uint64(d.cfg.Requests) {
+		for len(inflight) < window && launched < d.cfg.Requests {
+			cmd := d.sys.Command("true").Via(d.cfg.Via)
+			if err := cmd.Start(); err != nil {
+				return abort(err)
+			}
+			d.creations++
+			launched++
+			inflight = append(inflight, cmd)
+		}
+		// Sample while workers are live, so the peak reflects the
 		// per-request footprint (stack, image, mirrored page table),
 		// not just the server heap.
 		d.sample()
+		cmd := inflight[0]
+		inflight = inflight[1:]
 		if err := cmd.Wait(); err != nil {
-			return err
+			return abort(err)
 		}
 		d.requests++
 	}
@@ -141,6 +162,109 @@ func (d *driver) snapshot(host *kernel.Process) (*kernel.Process, error) {
 	default:
 		return core.EmulateFork(d.k, host)
 	}
+}
+
+// smpserver is the Redis/SMP worst case §5 warns about: a real
+// multithreaded server (one spinning worker thread per CPU, each
+// rewriting its own slice of a dirty heap) takes periodic fork
+// snapshots *mid-traffic*. Every snapshot COW-downgrades the server's
+// page tables while its threads are live on other cores — an IPI per
+// remote core — and every post-snapshot heap write pays a COW break
+// plus another IPI round. The fork-less strategies snapshot through
+// the cross-process API instead: Θ(heap) copying, but no shootdowns,
+// so their cost stays flat as cores grow.
+//
+// Requests counts snapshot cycles. ServerCPUNanos reports how much
+// CPU time the server's threads still got — the service capacity the
+// snapshot tax did not consume.
+func (d *driver) smpserver() error {
+	threads := d.cfg.CPUs
+	if threads > 8 {
+		threads = 8 // smpspin has 8 worker stacks
+	}
+	srv := d.sys.Command("smpspin",
+		strconv.Itoa(threads), strconv.FormatUint(d.cfg.HeapBytes, 10))
+	if err := srv.Via(sim.Spawn).Start(); err != nil {
+		return err
+	}
+	server := srv.Process.Raw()
+	cpuBase := uint64(server.TotalCPUTicks())
+
+	// One traffic slice is enough virtual time for every worker to
+	// rewrite its slice at least once between snapshots.
+	const slice = 5_000_000 // 5ms virtual
+	finish := func(err error) error {
+		srv.Process.Kill()
+		if werr := srv.Wait(); err == nil && werr != nil && sim.AsExitError(werr) == nil {
+			return werr
+		}
+		d.serverCPU = uint64(server.TotalCPUTicks()) - cpuBase
+		return err
+	}
+	for i := 0; i < d.cfg.Requests; i++ {
+		// Serve traffic, then snapshot mid-flight.
+		if err := d.k.Run(kernel.RunLimits{MaxTicks: slice}); err != nil {
+			return finish(err)
+		}
+		snap, err := d.snapshot(server)
+		if err != nil {
+			return finish(err)
+		}
+		d.creations++
+		// The snapshot is held while traffic continues: the
+		// workers' writes break COW pages one by one, each paying
+		// the remote-core invalidations.
+		if err := d.k.Run(kernel.RunLimits{MaxTicks: slice}); err != nil {
+			d.k.DestroyProcess(snap)
+			return finish(err)
+		}
+		d.sample()
+		// Snapshot "persisted": release the old view.
+		d.k.DestroyProcess(snap)
+		d.requests++
+	}
+	return finish(nil)
+}
+
+// buildfarm is the parallel build: a driver keeps 2*CPUs compile jobs
+// in flight, each a freshly created process that allocates and
+// write-touches a private working set (4 MiB, a compiler-sized
+// footprint) and exits. On a multicore machine the jobs overlap; the
+// creation strategy decides whether job launch serializes on the
+// parent's page tables (fork) or stays flat (spawn/builder).
+func (d *driver) buildfarm() error {
+	window := 2 * d.cfg.CPUs
+	if window < 1 {
+		window = 1
+	}
+	var inflight []*sim.Cmd
+	launched := 0
+	abort := func(err error) error {
+		for _, cmd := range inflight {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+		return err
+	}
+	for d.requests < uint64(d.cfg.Requests) {
+		for len(inflight) < window && launched < d.cfg.Requests {
+			cmd := d.sys.Command("hog", "4").Via(d.cfg.Via)
+			if err := cmd.Start(); err != nil {
+				return abort(err)
+			}
+			d.creations++
+			launched++
+			inflight = append(inflight, cmd)
+		}
+		d.sample()
+		cmd := inflight[0]
+		inflight = inflight[1:]
+		if err := cmd.Wait(); err != nil {
+			return abort(err)
+		}
+		d.requests++
+	}
+	return nil
 }
 
 // forkstorm launches Workers children back to back without waiting,

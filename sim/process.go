@@ -108,12 +108,17 @@ func (p *Process) Wait() (*ProcessState, error) {
 	}
 	status := p.raw.ExitStatus()
 	oom := p.raw.OOMKilled()
+	cpuTicks := p.raw.CPUTicks()
 	if p.raw.State() == kernel.ProcZombie {
 		if _, _, err := k.WaitReap(p.raw.Parent(), p.raw.Pid); err != nil {
 			return nil, fmt.Errorf("sim: reap pid %d: %w", p.raw.Pid, err)
 		}
 	}
-	p.state = &ProcessState{pid: int(p.raw.Pid), status: status, oomKilled: oom}
+	cpuTimes := make([]time.Duration, len(cpuTicks))
+	for i, ct := range cpuTicks {
+		cpuTimes[i] = time.Duration(ct)
+	}
+	p.state = &ProcessState{pid: int(p.raw.Pid), status: status, oomKilled: oom, cpuTimes: cpuTimes}
 	p.runCleanup()
 	return p.state, nil
 }
@@ -124,10 +129,28 @@ type ProcessState struct {
 	pid       int
 	status    uint64
 	oomKilled bool
+	cpuTimes  []time.Duration
 }
 
 // Pid returns the process id.
 func (ps *ProcessState) Pid() int { return ps.pid }
+
+// CPUTimes returns the virtual time the process's threads executed on
+// each simulated CPU (index = CPU id) — on a multi-CPU machine a
+// multithreaded process shows time on several.
+func (ps *ProcessState) CPUTimes() []time.Duration {
+	return append([]time.Duration(nil), ps.cpuTimes...)
+}
+
+// CPUTime returns total virtual execution time across all CPUs
+// (os.ProcessState.SystemTime+UserTime analogue).
+func (ps *ProcessState) CPUTime() time.Duration {
+	var total time.Duration
+	for _, d := range ps.cpuTimes {
+		total += d
+	}
+	return total
+}
 
 // Exited reports whether the process exited normally (not signaled).
 func (ps *ProcessState) Exited() bool { return abi.StatusSignal(ps.status) == 0 }

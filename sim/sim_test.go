@@ -397,3 +397,71 @@ func ExampleSystem_Command() {
 	fmt.Print(string(out))
 	// Output: no forks given
 }
+
+// --- SMP ----------------------------------------------------------
+
+// TestWithCPUsIdenticalOutput: the same pipeline produces the same
+// bytes at every CPU count — parallelism changes virtual timing, never
+// results.
+func TestWithCPUsIdenticalOutput(t *testing.T) {
+	var want []byte
+	for _, cpus := range []int{1, 2, 8} {
+		sys := newSys(t, sim.WithCPUs(cpus))
+		if got := sys.NumCPUs(); got != cpus {
+			t.Fatalf("NumCPUs = %d, want %d", got, cpus)
+		}
+		out, err := sys.Command("echo", "same", "on", "every", "machine").Via(sim.ForkExec).Output()
+		if err != nil {
+			t.Fatalf("%d CPUs: %v", cpus, err)
+		}
+		if want == nil {
+			want = out
+		} else if !bytes.Equal(out, want) {
+			t.Errorf("%d CPUs produced %q, want %q", cpus, out, want)
+		}
+		st := sys.Stats()
+		if st.NumCPUs != cpus || len(st.CPUBusy) != cpus || len(st.CPUUtilization) != cpus {
+			t.Errorf("Stats per-CPU shape wrong: %+v", st)
+		}
+		if cpus == 1 && st.TLBShootdowns != 0 {
+			t.Errorf("1-CPU machine charged %d shootdown IPIs", st.TLBShootdowns)
+		}
+	}
+}
+
+// TestWithCPUsRejectsBadCount: option validation surfaces the kernel's
+// explicit error instead of clamping.
+func TestWithCPUsRejectsBadCount(t *testing.T) {
+	if _, err := sim.NewSystem(sim.WithCPUs(-3)); err == nil {
+		t.Error("negative CPU count accepted")
+	}
+	if _, err := sim.NewSystem(sim.WithCPUs(65)); err == nil {
+		t.Error("65-CPU machine accepted (limit is 64)")
+	}
+}
+
+// TestProcessStateCPUTime: a finished process reports the virtual CPU
+// time it executed, per CPU.
+func TestProcessStateCPUTime(t *testing.T) {
+	sys := newSys(t, sim.WithCPUs(2))
+	cmd := sys.Command("echo", "hi")
+	cmd.Stdout = new(bytes.Buffer)
+	if err := cmd.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ps := cmd.ProcessState
+	if ps.CPUTime() <= 0 {
+		t.Errorf("CPUTime = %v, want > 0", ps.CPUTime())
+	}
+	times := ps.CPUTimes()
+	if len(times) != 2 {
+		t.Fatalf("CPUTimes has %d entries", len(times))
+	}
+	var sum int64
+	for _, d := range times {
+		sum += int64(d)
+	}
+	if int64(ps.CPUTime()) != sum {
+		t.Errorf("CPUTime %v != sum of per-CPU times %v", ps.CPUTime(), sum)
+	}
+}

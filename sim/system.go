@@ -94,6 +94,17 @@ func WithForkMode(m ForkMode) Option {
 	return func(c *config) { c.opts.EagerFork = m == ForkEager }
 }
 
+// WithCPUs sets the number of simulated CPUs (default 1, maximum 64).
+// The machine stays deterministic at every CPU count: the scheduler
+// executes CPUs in virtual-time order, so two runs of the same
+// workload produce bit-identical results. More CPUs let runnable
+// threads overlap in virtual time — and make fork more expensive,
+// because every COW break and page-table downgrade now pays a
+// TLB-shootdown IPI per other CPU running the address space.
+func WithCPUs(n int) Option {
+	return func(c *config) { c.opts.NumCPUs = n }
+}
+
 // WithDenyMultithreadedFork makes fork fail with EAGAIN when the
 // caller has more than one live thread — the §8 mitigation on the road
 // to deprecating fork.
@@ -151,7 +162,18 @@ func NewSystem(options ...Option) (*System, error) {
 	for _, o := range options {
 		o(&c)
 	}
-	k := kernel.New(c.opts)
+	// sim is the convenience layer: zero-value options select the
+	// conventional machine (the kernel itself requires them).
+	if c.opts.RAMBytes == 0 {
+		c.opts.RAMBytes = 4 << 30
+	}
+	if c.opts.NumCPUs == 0 {
+		c.opts.NumCPUs = 1
+	}
+	k, err := kernel.New(c.opts)
+	if err != nil {
+		return nil, err
+	}
 	if c.userland == nil {
 		if err := ulib.InstallAll(k); err != nil {
 			return nil, err
@@ -210,10 +232,14 @@ func (s *System) Kernel() *kernel.Kernel { return s.k }
 // Host returns the host process commands are launched from.
 func (s *System) Host() *kernel.Process { return s.host }
 
-// VirtualTime reports the machine's virtual clock.
+// VirtualTime reports the machine's elapsed virtual time: the
+// furthest-ahead CPU clock.
 func (s *System) VirtualTime() time.Duration {
-	return time.Duration(s.k.Now())
+	return time.Duration(s.k.Elapsed())
 }
+
+// NumCPUs reports the machine's simulated CPU count.
+func (s *System) NumCPUs() int { return s.k.NumCPUs() }
 
 // Stats is a snapshot of the machine's counters.
 type Stats struct {
@@ -225,13 +251,26 @@ type Stats struct {
 	ContextSwitches uint64
 	OOMKills        int
 	SegvKills       int
+
+	// NumCPUs is the simulated CPU count; the per-CPU slices below
+	// are indexed by CPU id.
+	NumCPUs int
+	// TLBShootdowns counts remote-CPU invalidation IPIs — the SMP
+	// fork tax (always 0 on a 1-CPU machine).
+	TLBShootdowns uint64
+	// CPUBusy is each CPU's busy virtual time (clock minus idle).
+	CPUBusy []time.Duration
+	// CPUUtilization is CPUBusy over VirtualTime, per CPU (0 when
+	// no time has passed).
+	CPUUtilization []float64
 }
 
-// Stats snapshots the cost meter and kill counters.
+// Stats snapshots the cost meter, kill counters, and per-CPU
+// scheduler accounting.
 func (s *System) Stats() Stats {
 	m := s.k.Meter()
-	return Stats{
-		VirtualTime:     time.Duration(s.k.Now()),
+	st := Stats{
+		VirtualTime:     time.Duration(s.k.Elapsed()),
 		Instructions:    m.Instructions,
 		Syscalls:        m.Syscalls,
 		PageFaults:      m.PageFaults,
@@ -239,7 +278,19 @@ func (s *System) Stats() Stats {
 		ContextSwitches: s.k.ContextSwitches(),
 		OOMKills:        s.k.OOMKills,
 		SegvKills:       s.k.SegvKills,
+
+		NumCPUs:       s.k.NumCPUs(),
+		TLBShootdowns: m.TLBShootdowns,
 	}
+	st.CPUBusy = make([]time.Duration, st.NumCPUs)
+	st.CPUUtilization = make([]float64, st.NumCPUs)
+	for _, cs := range s.k.CPUStates() {
+		st.CPUBusy[cs.CPU] = time.Duration(cs.Busy)
+		if st.VirtualTime > 0 {
+			st.CPUUtilization[cs.CPU] = float64(cs.Busy) / float64(st.VirtualTime)
+		}
+	}
+	return st
 }
 
 // InstallProgram assembles src (runtime appended) and installs it.
