@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/sim/load"
+)
+
+// runDiff is the `forkbench diff <old.json> <new.json>` subcommand:
+// the bench-drift gate. Both files are sweep outputs (JSON arrays of
+// load metrics, the BENCH_*.json format); runs are matched by their
+// configuration key and every virtual-time metric is compared exactly
+// — the simulator is deterministic, so any difference is a cost-model
+// change that must be acknowledged by regenerating the checked-in
+// baseline, not silently absorbed.
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("forkbench diff", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: forkbench diff <old.json> <new.json>\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("diff: want exactly two files, got %d", fs.NArg())
+	}
+	oldRuns, err := readRuns(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newRuns, err := readRuns(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	drift := 0
+	report := func(format string, a ...any) {
+		fmt.Printf(format+"\n", a...)
+		drift++
+	}
+	var keys []string
+	for k := range oldRuns {
+		keys = append(keys, k)
+	}
+	for k := range newRuns {
+		if _, ok := oldRuns[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		o, inOld := oldRuns[k]
+		n, inNew := newRuns[k]
+		switch {
+		case !inNew:
+			report("missing: %s (in %s only)", k, fs.Arg(0))
+		case !inOld:
+			report("added:   %s (in %s only)", k, fs.Arg(1))
+		default:
+			for _, d := range diffMetrics(o, n) {
+				report("drift:   %s: %s", k, d)
+			}
+		}
+	}
+	fmt.Printf("%d run(s) compared, %d difference(s)\n", len(keys), drift)
+	if drift > 0 {
+		return fmt.Errorf("diff: %s and %s disagree on %d point(s); if the cost-model change is intended, regenerate the baseline (see README)",
+			fs.Arg(0), fs.Arg(1), drift)
+	}
+	return nil
+}
+
+// readRuns loads a sweep JSON file and indexes its runs by
+// configuration key.
+func readRuns(path string) (map[string]*load.Metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ms []*load.Metrics
+	if err := json.Unmarshal(data, &ms); err != nil {
+		return nil, fmt.Errorf("diff: %s: %w", path, err)
+	}
+	runs := make(map[string]*load.Metrics, len(ms))
+	for _, m := range ms {
+		k := runKey(m)
+		if _, dup := runs[k]; dup {
+			return nil, fmt.Errorf("diff: %s: duplicate run %s", path, k)
+		}
+		runs[k] = m
+	}
+	return runs, nil
+}
+
+// runKey identifies a sweep cell by every configuration dimension the
+// metrics record (scenario, strategy, heap, RAM, cpus, requests) —
+// so a machine-shape change like a new RAM default surfaces as a
+// missing+added pair rather than passing silently. Dimensions the
+// metrics do not echo (Workers, Window, HugePages) cannot key; two
+// cells differing only in those are rejected as duplicates, which
+// fails the gate loudly instead of merging them.
+func runKey(m *load.Metrics) string {
+	return fmt.Sprintf("%s/%s heap=%d ram=%d cpus=%d req=%d",
+		m.Scenario, m.Strategy, m.HeapBytes, m.RAMBytes, m.NumCPUs, m.Requests)
+}
+
+// diffMetrics compares every virtual-time metric of one run exactly.
+func diffMetrics(o, n *load.Metrics) []string {
+	var out []string
+	cmp := func(name string, a, b uint64) {
+		if a != b {
+			out = append(out, fmt.Sprintf("%s %d -> %d", name, a, b))
+		}
+	}
+	cmp("creations", o.Creations, n.Creations)
+	cmp("virtual_ns", o.VirtualNanos, n.VirtualNanos)
+	cmp("peak_rss_bytes", o.PeakRSSBytes, n.PeakRSSBytes)
+	cmp("page_faults", o.PageFaults, n.PageFaults)
+	cmp("page_copies", o.PageCopies, n.PageCopies)
+	cmp("page_zeroes", o.PageZeroes, n.PageZeroes)
+	cmp("pte_copies", o.PTECopies, n.PTECopies)
+	cmp("tlb_shootdowns", o.TLBShootdowns, n.TLBShootdowns)
+	cmp("context_switches", o.ContextSwitches, n.ContextSwitches)
+	cmp("syscalls", o.Syscalls, n.Syscalls)
+	cmp("instructions", o.Instructions, n.Instructions)
+	cmp("server_cpu_ns", o.ServerCPUNanos, n.ServerCPUNanos)
+	// Per-CPU busy fractions are deterministic too, and not derivable
+	// from the totals above: a scheduler change that redistributes
+	// busy time across CPUs must not slip past the gate. Floats
+	// compare exactly — the simulator guarantees bit-stable output.
+	if len(o.CPUUtilization) != len(n.CPUUtilization) {
+		out = append(out, fmt.Sprintf("cpu_utilization has %d CPUs -> %d", len(o.CPUUtilization), len(n.CPUUtilization)))
+		return out
+	}
+	for i := range o.CPUUtilization {
+		if o.CPUUtilization[i] != n.CPUUtilization[i] {
+			out = append(out, fmt.Sprintf("cpu_utilization[%d] %v -> %v", i, o.CPUUtilization[i], n.CPUUtilization[i]))
+		}
+	}
+	return out
+}

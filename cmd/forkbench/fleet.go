@@ -1,0 +1,90 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/sim"
+	"repro/sim/fleet"
+	"repro/sim/load"
+)
+
+// runFleet is the `forkbench fleet` subcommand: configure a fleet.Spec
+// from flags, run the fleet across host cores, and print the
+// byte-stable report. Everything on stdout is a pure function of the
+// flags — identical at GOMAXPROCS=1 and GOMAXPROCS=8 — so the CI
+// determinism gate can diff it; the host-side wall clock and worker
+// count go to stderr.
+func runFleet(args []string) error {
+	fs := flag.NewFlagSet("forkbench fleet", flag.ExitOnError)
+	machines := fs.Int("machines", 4, "fleet size")
+	scenario := fs.String("scenario", "rolling", "uniform|rolling|hetero|surge")
+	loadName := fs.String("load", "prefork", "per-machine workload (prefork|pipeline|checkpoint|forkstorm|smpserver|buildfarm)")
+	via := fs.String("via", "fork", "spawn|fork|vfork|builder|emufork|eager")
+	cpus := fs.Int("cpus", 0, "CPUs per machine (0 = 2; hetero cycles 1/2/4/8)")
+	n := fs.Int("n", 0, "requests per machine per serve phase (0 = 24)")
+	workers := fs.Int("workers", 0, "rolling warm-pool size (0 = 2*cpus)")
+	surge := fs.Int("surge", 0, "surge-phase window/volume multiplier (0 = 4)")
+	heap := fs.String("heap", "64MiB", "per-machine server heap size")
+	parallel := fs.Int("parallel", 0, "host worker bound (0 = GOMAXPROCS)")
+	jsonPath := fs.String("json", "", "write the fleet report to FILE as byte-stable JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("fleet: unexpected argument %q", fs.Arg(0))
+	}
+	// The Spec treats zero as "default"; on the CLI an explicit
+	// -machines 0 is a mistake, not a request for the default.
+	if *machines < 1 {
+		return fmt.Errorf("fleet: -machines %d (want >= 1)", *machines)
+	}
+	scen, err := fleet.ParseScenario(*scenario)
+	if err != nil {
+		return err
+	}
+	loadScen, err := load.ParseScenario(*loadName)
+	if err != nil {
+		return err
+	}
+	st, err := sim.ParseStrategy(*via)
+	if err != nil {
+		return err
+	}
+	heapBytes, err := parseSize(*heap)
+	if err != nil {
+		return err
+	}
+	res, err := fleet.Run(fleet.Spec{
+		Machines:    *machines,
+		Scenario:    scen,
+		Load:        loadScen,
+		Via:         st,
+		CPUs:        *cpus,
+		Requests:    *n,
+		Workers:     *workers,
+		SurgeFactor: *surge,
+		HeapBytes:   heapBytes,
+		Parallelism: *parallel,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	fmt.Fprintf(os.Stderr, "host: %d machines on %d worker(s) in %s (GOMAXPROCS %d)\n",
+		len(res.Machines), res.HostWorkers, res.HostElapsed.Round(time.Microsecond), runtime.GOMAXPROCS(0))
+	if *jsonPath != "" {
+		data, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote fleet report to %s\n", *jsonPath)
+	}
+	return nil
+}

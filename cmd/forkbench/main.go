@@ -1,15 +1,17 @@
 // Command forkbench regenerates the evaluation of "A fork() in the
 // road" (HotOS'19) on the simulator: Figure 1, the semantics matrix
-// (Table 1), and the E3–E7 claim experiments. See DESIGN.md for the
+// (Table 1), and the E3–E10 claim experiments. See DESIGN.md for the
 // experiment index and EXPERIMENTS.md for paper-vs-measured notes.
 //
 // Usage:
 //
 //	forkbench [flags] <experiment>
 //	forkbench load [load flags]
+//	forkbench fleet [fleet flags]
+//	forkbench diff <old.json> <new.json>
 //
 //	experiments: fig1 table1 cowtax hugepages overcommit compose scale
-//	             ablations strategies server cpusweep all
+//	             ablations strategies server cpusweep fleetclaim all
 //
 //	-max SIZE     largest parent for sweeps (default 1GiB for fig1)
 //	-reps N       repetitions per fig1 point (default 5)
@@ -20,6 +22,9 @@
 // (Cmd.Via), verifying identical output and reporting each strategy's
 // creation latency from a dirty parent. "cpusweep" is the SMP
 // experiment: fork's snapshot tax versus core count (E9).
+// "fleetclaim" is E10: the rolling-restart wave over growing fleet
+// sizes — each replacement machine repays its warm-up tax, Θ(heap)
+// page-table duplication per pool worker under fork.
 //
 // The load subcommand drives the sim/load workload scenarios:
 //
@@ -34,7 +39,26 @@
 // (regenerate with `forkbench load -sweep -json BENCH_PRn.json`).
 // With -sweep, -cpus pins the whole baseline matrix to one CPU count
 // (the CI job runs it at 1 and 4); by default the matrix includes its
-// own 1/2/4/8-CPU sweep of the SMP scenarios.
+// own 1/2/4/8-CPU sweep of the SMP scenarios. The sweep fans its
+// configurations out across host cores through sim/fleet — results
+// and JSON are byte-identical to a serial run (the CI determinism
+// gate holds the sweep to that at GOMAXPROCS 1 vs 4); wall-clock and
+// worker count are reported on stderr.
+//
+// The fleet subcommand runs many machines at once (sim/fleet):
+//
+//	forkbench fleet [-machines N] [-scenario uniform|rolling|hetero|surge]
+//	                [-load SCENARIO] [-via STRATEGY] [-cpus N] [-n REQUESTS]
+//	                [-workers N] [-surge K] [-heap SIZE] [-parallel N]
+//	                [-json FILE]
+//
+// Its stdout is byte-identical at every GOMAXPROCS setting — host
+// wall-clock goes to stderr.
+//
+// The diff subcommand is the bench-drift gate: it compares two sweep
+// JSON files metric by metric and fails on any difference, so silent
+// cost-model changes fail CI instead of rotting the BENCH_*.json
+// trajectory.
 package main
 
 import (
@@ -43,11 +67,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/sim"
+	"repro/sim/fleet"
 	"repro/sim/load"
 )
 
@@ -77,13 +104,26 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per fig1 point")
 	eager := flag.Bool("eager", false, "include eager-copy fork line in fig1")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|strategies|server|cpusweep|all\n")
-		fmt.Fprintf(os.Stderr, "       forkbench load [load flags]   (see forkbench load -h)\n")
+		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|strategies|server|cpusweep|fleetclaim|all\n")
+		fmt.Fprintf(os.Stderr, "       forkbench load [load flags]    (see forkbench load -h)\n")
+		fmt.Fprintf(os.Stderr, "       forkbench fleet [fleet flags]  (see forkbench fleet -h)\n")
+		fmt.Fprintf(os.Stderr, "       forkbench diff <old.json> <new.json>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.Arg(0) == "load" {
+	switch flag.Arg(0) {
+	case "load":
 		if err := runLoad(flag.Args()[1:]); err != nil {
+			fatal(err)
+		}
+		return
+	case "fleet":
+		if err := runFleet(flag.Args()[1:]); err != nil {
+			fatal(err)
+		}
+		return
+	case "diff":
+		if err := runDiff(flag.Args()[1:]); err != nil {
 			fatal(err)
 		}
 		return
@@ -201,6 +241,18 @@ func main() {
 			cmax = 64 * experiments.MiB
 		}
 		res, err := experiments.CPUSweep(experiments.CPUSweepConfig{HeapBytes: cmax})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if runAll || what == "fleetclaim" {
+		ran = true
+		fmax := maxBytes
+		if fmax > 64*experiments.MiB {
+			fmax = 64 * experiments.MiB
+		}
+		res, err := experiments.FleetClaim(experiments.FleetClaimConfig{HeapBytes: fmax})
 		if err != nil {
 			fatal(err)
 		}
@@ -324,14 +376,21 @@ func runLoad(args []string) error {
 		}
 	}
 
-	var all []*load.Metrics
-	for _, cfg := range configs {
-		m, err := load.Run(cfg)
-		if err != nil {
-			return err
-		}
+	// Every config is an independent machine: fan them out across
+	// host cores. fleet.RunAll position-merges, so stdout and the
+	// JSON are byte-identical to a serial run — the CI determinism
+	// gate diffs the sweep JSON at GOMAXPROCS 1 vs 4 to hold it to
+	// that. Host wall-clock goes to stderr.
+	start := time.Now()
+	hostWorkers := fleet.PoolSize(0, len(configs))
+	all, err := fleet.RunAll(hostWorkers, configs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "load: %d run(s) on %d host worker(s) in %s (GOMAXPROCS %d)\n",
+		len(all), hostWorkers, time.Since(start).Round(time.Microsecond), runtime.GOMAXPROCS(0))
+	for _, m := range all {
 		fmt.Println(m.Render())
-		all = append(all, m)
 	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(all, "", "  ")

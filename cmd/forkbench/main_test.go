@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/sim/fleet"
 	"repro/sim/load"
 )
 
@@ -79,6 +81,98 @@ func TestRunLoadRejectsJunk(t *testing.T) {
 		if err := runLoad(args); err == nil {
 			t.Errorf("runLoad(%v) succeeded, want error", args)
 		}
+	}
+}
+
+// TestRunFleetWritesJSON drives the fleet subcommand end to end at a
+// tiny scale and checks the emitted report parses back.
+func TestRunFleetWritesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	err := runFleet([]string{
+		"-machines", "2", "-scenario", "rolling", "-via", "fork",
+		"-n", "3", "-heap", "4MiB", "-json", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res fleet.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(res.Machines) != 2 || res.Scenario != "rolling" || res.Aggregate.RestartNanos == 0 {
+		t.Errorf("unexpected fleet report: %+v", res)
+	}
+}
+
+// TestRunFleetRejectsJunk pins the fleet flag error paths.
+func TestRunFleetRejectsJunk(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scenario", "bogus"},
+		{"-load", "bogus"},
+		{"-via", "bogus"},
+		{"-heap", "xMiB"},
+		{"-machines", "0"},
+		{"extra-positional"},
+	} {
+		if err := runFleet(args); err == nil {
+			t.Errorf("runFleet(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestRunDiff drives the bench-drift gate: identical sweeps pass,
+// metric drift and missing runs fail with the difference named.
+func TestRunDiff(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, ms []*load.Metrics) string {
+		t.Helper()
+		data, err := json.MarshalIndent(ms, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := []*load.Metrics{
+		{Scenario: "prefork", Strategy: "fork+exec", HeapBytes: 1 << 20, NumCPUs: 1, Requests: 4, VirtualNanos: 1000, PTECopies: 50},
+		{Scenario: "prefork", Strategy: "posix_spawn", HeapBytes: 1 << 20, NumCPUs: 1, Requests: 4, VirtualNanos: 100},
+	}
+	old := write("old.json", base)
+
+	if err := runDiff([]string{old, old}); err != nil {
+		t.Errorf("identical files reported drift: %v", err)
+	}
+
+	drifted := []*load.Metrics{
+		{Scenario: "prefork", Strategy: "fork+exec", HeapBytes: 1 << 20, NumCPUs: 1, Requests: 4, VirtualNanos: 1001, PTECopies: 50},
+		{Scenario: "prefork", Strategy: "posix_spawn", HeapBytes: 1 << 20, NumCPUs: 1, Requests: 4, VirtualNanos: 100},
+	}
+	if err := runDiff([]string{old, write("drift.json", drifted)}); err == nil {
+		t.Error("virtual_ns drift not reported")
+	}
+
+	if err := runDiff([]string{old, write("short.json", base[:1])}); err == nil {
+		t.Error("missing run not reported")
+	}
+	if err := runDiff([]string{old}); err == nil {
+		t.Error("single-argument diff succeeded")
+	}
+	if err := runDiff([]string{old, filepath.Join(dir, "nope.json")}); err == nil {
+		t.Error("nonexistent file succeeded")
+	}
+
+	// A cell is identified by its configuration: the same config
+	// twice in one file is a corrupt sweep, not two cells.
+	dup := []*load.Metrics{base[0], base[0]}
+	if err := runDiff([]string{old, write("dup.json", dup)}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate key error = %v, want duplicate-run failure", err)
 	}
 }
 

@@ -296,6 +296,45 @@ func TestServerClaimShape(t *testing.T) {
 	}
 }
 
+// TestFleetClaimShape checks E10's qualitative claims on a reduced
+// sweep: the spawn fleet out-serves the fork fleet at every size, the
+// rolling wave's re-warm tax is higher under fork than spawn, and both
+// fleet throughput and the restart tax scale linearly with the fleet.
+func TestFleetClaimShape(t *testing.T) {
+	res, err := FleetClaim(FleetClaimConfig{
+		MachineCounts: []int{2, 4},
+		Requests:      6,
+		HeapBytes:     16 * MiB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Spawn.Aggregate.RequestsPerVSec <= p.Fork.Aggregate.RequestsPerVSec {
+			t.Errorf("%d machines: spawn fleet (%.0f req/s) does not beat fork fleet (%.0f req/s)",
+				p.Machines, p.Spawn.Aggregate.RequestsPerVSec, p.Fork.Aggregate.RequestsPerVSec)
+		}
+		if p.Fork.Aggregate.RestartNanos <= p.Spawn.Aggregate.RestartNanos {
+			t.Errorf("%d machines: fork restart tax (%d) not above spawn's (%d)",
+				p.Machines, p.Fork.Aggregate.RestartNanos, p.Spawn.Aggregate.RestartNanos)
+		}
+	}
+	// The wave's total tax doubles when the fleet doubles: machines
+	// are identical, so the aggregate is exactly proportional.
+	small, big := res.Points[0], res.Points[1]
+	if big.Fork.Aggregate.RestartNanos != 2*small.Fork.Aggregate.RestartNanos {
+		t.Errorf("fork restart tax not proportional: %d machines pay %d, %d machines pay %d",
+			small.Machines, small.Fork.Aggregate.RestartNanos,
+			big.Machines, big.Fork.Aggregate.RestartNanos)
+	}
+	if r := res.Render(); len(r) == 0 {
+		t.Error("empty render")
+	}
+}
+
 // TestCPUSweep is the acceptance bar for the SMP refactor's claim:
 // fork's per-snapshot COW/shootdown tax grows monotonically with the
 // core count, while the fork-less snapshot pays no IPIs at any count.

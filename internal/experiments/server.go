@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/sim"
+	"repro/sim/fleet"
 	"repro/sim/load"
 )
 
@@ -43,19 +44,26 @@ func ServerClaim(maxHeap uint64, requests int) (*ServerClaimResult, error) {
 		requests = 64
 	}
 	res := &ServerClaimResult{Requests: requests}
+	// Build the whole (heap, strategy) matrix, then fan the cells out
+	// across host cores; fleet.RunAll merges in input order, so the
+	// table is identical to the old serial sweep.
+	var cfgs []load.Config
 	for _, heap := range SizeSweep(16*MiB, maxHeap) {
 		for _, via := range []sim.Strategy{sim.ForkExec, sim.Spawn, sim.Builder} {
-			m, err := load.Run(load.Config{
+			cfgs = append(cfgs, load.Config{
 				Scenario:  load.Prefork,
 				Via:       via,
 				Requests:  requests,
 				HeapBytes: heap,
 			})
-			if err != nil {
-				return nil, err
-			}
-			res.Points = append(res.Points, ServerPoint{Via: via, HeapBytes: heap, Metrics: m})
 		}
+	}
+	ms, err := fleet.RunAll(0, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range ms {
+		res.Points = append(res.Points, ServerPoint{Via: cfgs[i].Via, HeapBytes: cfgs[i].HeapBytes, Metrics: m})
 	}
 	return res, nil
 }

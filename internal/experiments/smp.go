@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/sim"
+	"repro/sim/fleet"
 	"repro/sim/load"
 )
 
@@ -83,34 +84,40 @@ func CPUSweep(cfg CPUSweepConfig) (*CPUSweepResult, error) {
 		cfg.CPUCounts = []int{1, 2, 4, 8}
 	}
 	res := &CPUSweepResult{HeapBytes: cfg.HeapBytes, Snapshots: cfg.Snapshots}
+	// Four cells per CPU count, fanned out across host cores and
+	// position-merged: [fork server, flat server, fork farm, spawn
+	// farm] for each count, in order.
+	var cfgs []load.Config
 	for _, cpus := range cfg.CPUCounts {
-		pt := CPUSweepPoint{CPUs: cpus}
-		var err error
 		server := load.Config{
 			Scenario: load.SMPServer, CPUs: cpus,
 			Requests: cfg.Snapshots, HeapBytes: cfg.HeapBytes,
 		}
 		server.Via = sim.ForkExec
-		if pt.Fork, err = load.Run(server); err != nil {
-			return nil, fmt.Errorf("cpusweep fork @%d cpus: %w", cpus, err)
-		}
+		cfgs = append(cfgs, server)
 		server.Via = sim.Spawn // fork-less: snapshots via the cross-process API
-		if pt.Flat, err = load.Run(server); err != nil {
-			return nil, fmt.Errorf("cpusweep flat @%d cpus: %w", cpus, err)
-		}
+		cfgs = append(cfgs, server)
 		farm := load.Config{
 			Scenario: load.BuildFarm, CPUs: cpus,
 			Requests: cfg.FarmJobs * cpus, HeapBytes: cfg.HeapBytes,
 		}
 		farm.Via = sim.ForkExec
-		if pt.FarmFork, err = load.Run(farm); err != nil {
-			return nil, fmt.Errorf("cpusweep farm fork @%d cpus: %w", cpus, err)
-		}
+		cfgs = append(cfgs, farm)
 		farm.Via = sim.Spawn
-		if pt.FarmSpawn, err = load.Run(farm); err != nil {
-			return nil, fmt.Errorf("cpusweep farm spawn @%d cpus: %w", cpus, err)
-		}
-		res.Points = append(res.Points, pt)
+		cfgs = append(cfgs, farm)
+	}
+	ms, err := fleet.RunAll(0, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("cpusweep: %w", err)
+	}
+	for i, cpus := range cfg.CPUCounts {
+		res.Points = append(res.Points, CPUSweepPoint{
+			CPUs:      cpus,
+			Fork:      ms[4*i],
+			Flat:      ms[4*i+1],
+			FarmFork:  ms[4*i+2],
+			FarmSpawn: ms[4*i+3],
+		})
 	}
 	return res, nil
 }

@@ -45,7 +45,11 @@
 // a multithreaded SMP server snapshotting mid-traffic, and a parallel
 // build farm, each deterministic and parameterized by strategy —
 // turning the paper's §5 "fork poisons servers" claim into measured
-// throughput (see `forkbench load`).
+// throughput (see `forkbench load`). The sim/fleet subpackage scales
+// that to a fleet: N independent machines multiplexed across host
+// cores with results merged in machine-id order, so the aggregate
+// report inherits the bit-for-bit determinism guarantee at any host
+// parallelism (see `forkbench fleet`).
 //
 // The internal packages remain the substrate: internal/kernel is the
 // simulated OS, internal/core holds the paper's spawn/cross-process

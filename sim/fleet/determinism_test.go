@@ -1,0 +1,86 @@
+package fleet_test
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/sim"
+	"repro/sim/fleet"
+)
+
+// runJSON runs the spec at a given GOMAXPROCS and returns the
+// byte-stable report.
+func runJSON(t *testing.T, spec fleet.Spec, gomaxprocs int) []byte {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(gomaxprocs)
+	defer runtime.GOMAXPROCS(prev)
+	res, err := fleet.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestFleetDeterministicAcrossGOMAXPROCS is the fleet determinism
+// regression behind the CI gate: the same Spec must produce a
+// byte-identical aggregate JSON report whether the host runs the
+// machines on one goroutine or eight. A difference means host
+// scheduling leaked into the merge (ordering, shared state, or a
+// nondeterministic field that escaped the json:"-" fence).
+func TestFleetDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	specs := []fleet.Spec{
+		{Machines: 8, Scenario: fleet.Uniform, Via: sim.ForkExec, Requests: 6, HeapBytes: 8 << 20},
+		{Machines: 8, Scenario: fleet.RollingRestart, Via: sim.ForkExec, Requests: 4, HeapBytes: 8 << 20},
+		{Machines: 8, Scenario: fleet.RollingRestart, Via: sim.Spawn, Requests: 4, HeapBytes: 8 << 20},
+		{Machines: 6, Scenario: fleet.Heterogeneous, Via: sim.ForkExec, Requests: 3, HeapBytes: 4 << 20},
+		{Machines: 4, Scenario: fleet.Surge, Via: sim.Spawn, Requests: 4, HeapBytes: 4 << 20, SurgeFactor: 3},
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(fmt.Sprintf("%s-%v", spec.Scenario, spec.Via), func(t *testing.T) {
+			serial := runJSON(t, spec, 1)
+			parallel := runJSON(t, spec, 8)
+			if !bytes.Equal(serial, parallel) {
+				t.Errorf("fleet report differs between GOMAXPROCS=1 and GOMAXPROCS=8:\nserial:\n%s\nparallel:\n%s",
+					serial, parallel)
+			}
+			// And against itself: same spec, same bytes, full stop.
+			if again := runJSON(t, spec, 8); !bytes.Equal(parallel, again) {
+				t.Errorf("two GOMAXPROCS=8 runs differ:\n%s\nvs\n%s", parallel, again)
+			}
+		})
+	}
+}
+
+// TestParallelismDoesNotChangeResult pins the same guarantee for the
+// explicit Spec.Parallelism knob: the worker-pool width is a
+// host-performance control, never a semantic one.
+func TestParallelismDoesNotChangeResult(t *testing.T) {
+	base := fleet.Spec{Machines: 6, Scenario: fleet.Uniform, Via: sim.ForkExec, Requests: 5, HeapBytes: 4 << 20}
+	var first []byte
+	for _, par := range []int{1, 2, 8} {
+		spec := base
+		spec.Parallelism = par
+		res, err := fleet.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = data
+			continue
+		}
+		if !bytes.Equal(first, data) {
+			t.Errorf("Parallelism=%d changed the report:\n%s\nvs\n%s", par, first, data)
+		}
+	}
+}

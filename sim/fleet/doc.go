@@ -1,0 +1,51 @@
+// Package fleet multiplexes many deterministic simulated machines
+// across host cores — the datacenter dimension of "A fork() in the
+// road" (HotOS'19).
+//
+// The paper's §5 costs compound at scale: one machine pays fork's
+// page-table tax per creation, a fleet pays it per creation per
+// machine, and a deploy wave pays the warm-up tax machine by machine.
+// A fleet.Spec describes N machines, each derived deterministically
+// from (spec, machine id): shape (CPUs), strategy, workload, and
+// scale. Run executes the machines concurrently on a host worker pool
+// bounded by GOMAXPROCS and merges results in machine-id order, so the
+// aggregate report is byte-identical at any host parallelism — the
+// determinism guarantee sim makes for one machine, promoted to the
+// fleet:
+//
+//	res, err := fleet.Run(fleet.Spec{
+//		Machines: 8,
+//		Scenario: fleet.RollingRestart,
+//		Via:      sim.ForkExec,
+//	})
+//	data, _ := res.JSON() // byte-stable: same Spec, same bytes
+//
+// Four fleet scenarios express behaviour one machine cannot:
+//
+//	Uniform        — N identical machines each driving a sim/load
+//	                 scenario; the parallel substrate the forkbench
+//	                 sweep runs on.
+//	RollingRestart — the deploy wave: each machine serves warm, is
+//	                 replaced by a fresh instance that repays the
+//	                 warm-up tax (dirty heap + pre-created worker
+//	                 pool, Θ(heap) per pool worker under fork), then
+//	                 serves again. Spawn-based fleets re-warm flat.
+//	Heterogeneous  — machine shapes cycle 1/2/4/8 CPUs with traffic
+//	                 scaled to the core count; fork's TLB-shootdown
+//	                 tax concentrates on the big machines.
+//	Surge          — a baseline phase, then a traffic spike that
+//	                 multiplies the in-flight window and request
+//	                 volume on every machine at once.
+//
+// RunAll is the lower-level primitive: an order-preserving parallel
+// map over arbitrary load.Configs, used by `forkbench load -sweep`
+// and the experiment tables so the full strategy x scenario x cpus
+// matrix runs concurrently. Host wall-clock and worker count are
+// reported on Result (HostElapsed, HostWorkers) but never marshalled:
+// the JSON answers "what did the fleet do", the host fields answer
+// "how fast did this computer simulate it".
+//
+// The forkbench CLI fronts this package (`forkbench fleet`), and
+// internal/experiments extends the §5 server-claim table to fleet
+// scale with it (experiments.FleetClaim, `forkbench fleetclaim`).
+package fleet

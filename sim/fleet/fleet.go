@@ -1,0 +1,570 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/sim"
+	"repro/sim/load"
+)
+
+// Scenario names a fleet-level workload shape — behaviour only a
+// population of machines can express. The string form is the CLI name.
+type Scenario string
+
+// Fleet scenarios.
+const (
+	// Uniform runs N identical machines, each driving the configured
+	// load scenario — the parallel substrate the sweep runs on.
+	Uniform Scenario = "uniform"
+	// RollingRestart is the deploy wave: every machine serves warm
+	// traffic, is replaced by a freshly booted instance, repays its
+	// warm-up tax (dirty the heap, pre-create the worker pool), and
+	// serves again. Under fork each pool worker duplicates the
+	// server's page tables — Θ(heap) per worker, paid machine by
+	// machine across the wave — while spawn-based fleets re-warm at
+	// a flat cost.
+	RollingRestart Scenario = "rolling"
+	// Heterogeneous mixes machine shapes: CPUs cycle 1/2/4/8 across
+	// the fleet, with per-machine traffic scaled to the core count.
+	Heterogeneous Scenario = "hetero"
+	// Surge runs a baseline phase and then a traffic spike that
+	// multiplies the request volume on every machine at once — and,
+	// for the windowed loads (prefork, buildfarm), the in-flight
+	// request window too.
+	Surge Scenario = "surge"
+)
+
+// Scenarios lists every fleet scenario, in a fixed order.
+func Scenarios() []Scenario {
+	return []Scenario{Uniform, RollingRestart, Heterogeneous, Surge}
+}
+
+// ParseScenario maps a CLI name to its Scenario.
+func ParseScenario(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if name == string(s) {
+			return s, nil
+		}
+	}
+	return "", fmt.Errorf("fleet: unknown scenario %q (uniform|rolling|hetero|surge)", name)
+}
+
+// heteroLadder is the machine-shape cycle of the Heterogeneous
+// scenario: machine i gets heteroLadder[i%4] CPUs.
+var heteroLadder = []int{1, 2, 4, 8}
+
+// Spec describes a fleet. The zero value of every field selects a
+// sensible default; the fleet a Spec describes is deterministic — the
+// same Spec always produces the same Result, regardless of host
+// parallelism.
+type Spec struct {
+	// Machines is the fleet size (default 4).
+	Machines int
+
+	// Scenario is the fleet-level shape (default Uniform).
+	Scenario Scenario
+
+	// Load is the per-machine workload each serve phase drives
+	// (default load.Prefork). RollingRestart always serves
+	// prefork-style traffic; Load configures its warm phase.
+	Load load.Scenario
+
+	// Via is the process-creation strategy every machine uses.
+	Via sim.Strategy
+
+	// CPUs is the per-machine simulated CPU count (default 2).
+	// Heterogeneous ignores it and cycles 1/2/4/8.
+	CPUs int
+
+	// Requests is the per-machine request count per serve phase
+	// (default 24). Heterogeneous scales it by each machine's CPUs;
+	// Surge multiplies it by SurgeFactor in the spike phase.
+	Requests int
+
+	// HeapBytes is each machine's resident server heap (default
+	// 64 MiB) — the quantity fork must duplicate page tables for.
+	HeapBytes uint64
+
+	// Workers is the warm worker pool a RollingRestart machine
+	// pre-creates after its restart (default 2x the machine's CPUs)
+	// — the prefork tax each replacement instance repays before
+	// serving.
+	Workers int
+
+	// SurgeFactor multiplies the in-flight window and request volume
+	// during Surge's spike phase (default 4).
+	SurgeFactor int
+
+	// Parallelism bounds the host worker pool that multiplexes the
+	// fleet's machines across host goroutines (default and ceiling:
+	// GOMAXPROCS). It affects host wall-clock time only, never the
+	// Result: machines are independent simulations merged in
+	// machine-id order.
+	Parallelism int
+}
+
+// withDefaults resolves every zero field.
+func (s Spec) withDefaults() Spec {
+	if s.Machines == 0 {
+		s.Machines = 4
+	}
+	if s.Scenario == "" {
+		s.Scenario = Uniform
+	}
+	if s.Load == "" {
+		s.Load = load.Prefork
+	}
+	if s.CPUs == 0 {
+		s.CPUs = 2
+	}
+	if s.Requests == 0 {
+		s.Requests = 24
+	}
+	if s.HeapBytes == 0 {
+		s.HeapBytes = 64 << 20
+	}
+	// Workers defaults per machine (2x that machine's CPUs), so the
+	// heterogeneous ladder can scale each pool: see Spec.machine.
+	if s.SurgeFactor == 0 {
+		s.SurgeFactor = 4
+	}
+	return s
+}
+
+// validate rejects specs the runner cannot honour.
+func (s Spec) validate() error {
+	if s.Machines < 1 || s.Machines > 4096 {
+		return fmt.Errorf("fleet: %d machines (want 1..4096)", s.Machines)
+	}
+	if s.CPUs < 1 || s.CPUs > 64 {
+		return fmt.Errorf("fleet: %d CPUs per machine (want 1..64)", s.CPUs)
+	}
+	if s.Requests < 1 {
+		return fmt.Errorf("fleet: %d requests (want >= 1)", s.Requests)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("fleet: %d pool workers (want >= 0; 0 selects the default)", s.Workers)
+	}
+	if s.SurgeFactor < 1 {
+		return fmt.Errorf("fleet: surge factor %d (want >= 1)", s.SurgeFactor)
+	}
+	if _, err := load.ParseScenario(string(s.Load)); err != nil {
+		return err
+	}
+	if _, err := ParseScenario(string(s.Scenario)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// machineSpec is the deterministic per-machine derivation of a fleet
+// Spec: machine id fixes shape and scale, nothing else does.
+type machineSpec struct {
+	ID        int
+	CPUs      int
+	Via       sim.Strategy
+	Load      load.Scenario
+	Requests  int
+	HeapBytes uint64
+	Workers   int
+}
+
+// machine derives machine id's configuration from the spec.
+func (s Spec) machine(id int) machineSpec {
+	cpus := s.CPUs
+	requests := s.Requests
+	if s.Scenario == Heterogeneous {
+		cpus = heteroLadder[id%len(heteroLadder)]
+		// A bigger machine takes a proportionally bigger share of
+		// the fleet's traffic.
+		requests = s.Requests * cpus
+	}
+	workers := s.Workers
+	if workers == 0 {
+		workers = 2 * cpus
+	}
+	return machineSpec{
+		ID:        id,
+		CPUs:      cpus,
+		Via:       s.Via,
+		Load:      s.Load,
+		Requests:  requests,
+		HeapBytes: s.HeapBytes,
+		Workers:   workers,
+	}
+}
+
+// loadConfig is the machine's serve-phase workload.
+func (ms machineSpec) loadConfig() load.Config {
+	return load.Config{
+		Scenario:  ms.Load,
+		Via:       ms.Via,
+		CPUs:      ms.CPUs,
+		Requests:  ms.Requests,
+		HeapBytes: ms.HeapBytes,
+	}
+}
+
+// baseWindow is the load scenario's steady-state in-flight window —
+// what Surge's spike multiplies. Zero for the loads without a window
+// knob (their surge scales volume only).
+func (ms machineSpec) baseWindow() int {
+	return load.DefaultWindow(ms.Load, ms.CPUs)
+}
+
+// MachineMetrics is one machine's deterministic contribution to the
+// fleet result: its resolved shape, every measured phase, and — for
+// RollingRestart — the virtual time its replacement instance spent
+// re-warming before it could serve.
+type MachineMetrics struct {
+	Machine  int    `json:"machine"`
+	CPUs     int    `json:"cpus"`
+	Strategy string `json:"strategy"`
+
+	// Phases are the machine's measured serve phases in order:
+	// one for Uniform/Heterogeneous, warm+restarted for
+	// RollingRestart, baseline+spike for Surge.
+	Phases []*load.Metrics `json:"phases"`
+
+	// RestartNanos is the replacement instance's warm-up tax
+	// (RollingRestart only): virtual time to dirty the heap and
+	// pre-create the worker pool on the freshly booted machine.
+	RestartNanos uint64 `json:"restart_ns,omitempty"`
+
+	// RestartPTECopies is the warm-up's page-table bill
+	// (RollingRestart only): the PTE copies paid pre-creating the
+	// worker pool — Θ(heap) per worker under fork, zero under spawn
+	// and the builder. Counted here because the serve phase's meter
+	// reset excludes it from Phases.
+	RestartPTECopies uint64 `json:"restart_pte_copies,omitempty"`
+
+	// RequestsPerVSec is the machine's overall throughput across its
+	// phases (restart time included for RollingRestart).
+	RequestsPerVSec float64 `json:"requests_per_vsec"`
+}
+
+// Aggregate is the fleet-wide rollup, merged in machine-id order so it
+// is byte-identical regardless of host parallelism. Rates sum across
+// machines (they are concurrent hosts); virtual times report both the
+// makespan (slowest machine) and the fleet total (machine-seconds).
+type Aggregate struct {
+	Machines       int    `json:"machines"`
+	TotalRequests  uint64 `json:"total_requests"`
+	TotalCreations uint64 `json:"total_creations"`
+
+	// RequestsPerVSec is fleet throughput: the sum of every
+	// machine's requests-per-virtual-second.
+	RequestsPerVSec float64 `json:"requests_per_vsec"`
+
+	// MaxVirtualNanos is the makespan — the virtual time of the
+	// slowest machine; TotalVirtualNanos is the fleet's summed
+	// machine time.
+	MaxVirtualNanos   uint64 `json:"max_virtual_ns"`
+	TotalVirtualNanos uint64 `json:"total_virtual_ns"`
+
+	// FleetPeakRSSBytes sums each machine's peak resident set — the
+	// fleet's worst-case simultaneous memory footprint.
+	FleetPeakRSSBytes uint64 `json:"fleet_peak_rss_bytes"`
+
+	// Cost-meter totals across every machine and phase. PageCopies
+	// is the fleet COW tax; TLBShootdowns the fleet's remote-CPU
+	// IPIs — §5's fork costs at datacenter scale. PTECopies includes
+	// the rolling wave's pool-creation bill (RestartPTECopies).
+	PageFaults      uint64 `json:"page_faults"`
+	PageCopies      uint64 `json:"page_copies"`
+	PageZeroes      uint64 `json:"page_zeroes"`
+	PTECopies       uint64 `json:"pte_copies"`
+	TLBShootdowns   uint64 `json:"tlb_shootdowns"`
+	ContextSwitches uint64 `json:"context_switches"`
+	Syscalls        uint64 `json:"syscalls"`
+	Instructions    uint64 `json:"instructions"`
+
+	// RestartNanos totals the fleet's re-warm tax across the rolling
+	// wave; MaxRestartNanos is the worst single machine.
+	RestartNanos    uint64 `json:"restart_ns,omitempty"`
+	MaxRestartNanos uint64 `json:"max_restart_ns,omitempty"`
+}
+
+// Result is one fleet run. Everything serialized by JSON is a pure
+// function of the Spec; the host-side fields (wall clock, worker
+// count) are reported separately and never marshalled, so the emitted
+// report is byte-stable across hosts and GOMAXPROCS settings.
+type Result struct {
+	Scenario  string `json:"scenario"`
+	Load      string `json:"load"`
+	Strategy  string `json:"strategy"`
+	HeapBytes uint64 `json:"heap_bytes"`
+
+	Machines  []MachineMetrics `json:"machines"`
+	Aggregate Aggregate        `json:"aggregate"`
+
+	// HostElapsed is the host wall-clock time the run took and
+	// HostWorkers the host goroutines it used — the parallel-speedup
+	// measurements, deliberately excluded from JSON.
+	HostElapsed time.Duration `json:"-"`
+	HostWorkers int           `json:"-"`
+}
+
+// Run executes the fleet: every machine is an independent,
+// deterministic sim.System driven to completion on a host worker pool
+// bounded by GOMAXPROCS (or Spec.Parallelism if lower), with results
+// merged in machine-id order. The Result's JSON is byte-identical at
+// any host parallelism.
+func Run(spec Spec) (*Result, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	workers := poolSize(spec.Parallelism, spec.Machines)
+	start := time.Now()
+	machines := make([]MachineMetrics, spec.Machines)
+	err := forEach(workers, spec.Machines, func(id int) error {
+		mm, _, err := runMachine(spec, id)
+		if err != nil {
+			return fmt.Errorf("fleet: machine %d: %w", id, err)
+		}
+		machines[id] = *mm
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Scenario:    string(spec.Scenario),
+		Load:        string(spec.Load),
+		Strategy:    spec.Via.String(),
+		HeapBytes:   spec.HeapBytes,
+		Machines:    machines,
+		Aggregate:   aggregate(machines),
+		HostElapsed: time.Since(start),
+		HostWorkers: workers,
+	}
+	return res, nil
+}
+
+// runMachine executes machine id's phases. The returned debug state
+// carries the rolling runner's leak-check counters for the tests.
+func runMachine(spec Spec, id int) (*MachineMetrics, *restartDebug, error) {
+	ms := spec.machine(id)
+	mm := &MachineMetrics{Machine: ms.ID, CPUs: ms.CPUs, Strategy: ms.Via.String()}
+	var dbg *restartDebug
+	switch spec.Scenario {
+	case RollingRestart:
+		warm, err := load.Run(ms.loadConfig())
+		if err != nil {
+			return nil, nil, fmt.Errorf("warm phase: %w", err)
+		}
+		rr, d, err := runRestartedMachine(ms)
+		if err != nil {
+			return nil, nil, fmt.Errorf("restart phase: %w", err)
+		}
+		mm.Phases = []*load.Metrics{warm, rr.Serve}
+		mm.RestartNanos = rr.RestartNanos
+		mm.RestartPTECopies = rr.RestartPTECopies
+		dbg = d
+	case Surge:
+		base, err := load.Run(ms.loadConfig())
+		if err != nil {
+			return nil, nil, fmt.Errorf("baseline phase: %w", err)
+		}
+		spike := ms.loadConfig()
+		spike.Requests = ms.Requests * spec.SurgeFactor
+		spike.Window = ms.baseWindow() * spec.SurgeFactor
+		surge, err := load.Run(spike)
+		if err != nil {
+			return nil, nil, fmt.Errorf("surge phase: %w", err)
+		}
+		mm.Phases = []*load.Metrics{base, surge}
+	default: // Uniform, Heterogeneous
+		m, err := load.Run(ms.loadConfig())
+		if err != nil {
+			return nil, nil, err
+		}
+		mm.Phases = []*load.Metrics{m}
+	}
+
+	var requests, nanos uint64
+	for _, p := range mm.Phases {
+		requests += p.Requests
+		nanos += p.VirtualNanos
+	}
+	nanos += mm.RestartNanos
+	if nanos > 0 {
+		mm.RequestsPerVSec = float64(requests) * 1e9 / float64(nanos)
+	}
+	return mm, dbg, nil
+}
+
+// aggregate merges per-machine metrics in machine-id order.
+func aggregate(machines []MachineMetrics) Aggregate {
+	agg := Aggregate{Machines: len(machines)}
+	for _, mm := range machines {
+		var machineNanos, machinePeak uint64
+		for _, p := range mm.Phases {
+			agg.TotalRequests += p.Requests
+			agg.TotalCreations += p.Creations
+			machineNanos += p.VirtualNanos
+			if p.PeakRSSBytes > machinePeak {
+				machinePeak = p.PeakRSSBytes
+			}
+			agg.PageFaults += p.PageFaults
+			agg.PageCopies += p.PageCopies
+			agg.PageZeroes += p.PageZeroes
+			agg.PTECopies += p.PTECopies
+			agg.TLBShootdowns += p.TLBShootdowns
+			agg.ContextSwitches += p.ContextSwitches
+			agg.Syscalls += p.Syscalls
+			agg.Instructions += p.Instructions
+		}
+		machineNanos += mm.RestartNanos
+		agg.PTECopies += mm.RestartPTECopies
+		agg.TotalVirtualNanos += machineNanos
+		if machineNanos > agg.MaxVirtualNanos {
+			agg.MaxVirtualNanos = machineNanos
+		}
+		agg.FleetPeakRSSBytes += machinePeak
+		agg.RequestsPerVSec += mm.RequestsPerVSec
+		agg.RestartNanos += mm.RestartNanos
+		if mm.RestartNanos > agg.MaxRestartNanos {
+			agg.MaxRestartNanos = mm.RestartNanos
+		}
+	}
+	return agg
+}
+
+// JSON renders the result as the byte-stable fleet report: same Spec,
+// same bytes, at any GOMAXPROCS.
+func (r *Result) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Render formats the aggregate and the per-machine breakdown for the
+// CLI. Deterministic: host wall-clock is reported separately.
+func (r *Result) Render() string {
+	var b strings.Builder
+	a := r.Aggregate
+	fmt.Fprintf(&b, "fleet %s: %d machines via %s (load %s, heap %s)\n",
+		r.Scenario, a.Machines, r.Strategy, r.Load, load.HumanBytes(r.HeapBytes))
+	row := func(k, v string) { fmt.Fprintf(&b, "  %-18s %s\n", k, v) }
+	row("requests", fmt.Sprintf("%d (%.0f/virt-s fleet-wide)", a.TotalRequests, a.RequestsPerVSec))
+	row("creations", fmt.Sprint(a.TotalCreations))
+	row("makespan", fmt.Sprintf("%.3fms (fleet total %.3fms)",
+		float64(a.MaxVirtualNanos)/1e6, float64(a.TotalVirtualNanos)/1e6))
+	row("fleet peak RSS", load.HumanBytes(a.FleetPeakRSSBytes))
+	row("page copies", fmt.Sprintf("%d (COW tax)", a.PageCopies))
+	row("PTE copies", fmt.Sprint(a.PTECopies))
+	row("TLB shootdowns", fmt.Sprintf("%d (SMP fork tax)", a.TLBShootdowns))
+	if a.RestartNanos > 0 || r.Scenario == string(RollingRestart) {
+		row("restart tax", fmt.Sprintf("%.3fms total, %.3fms worst machine",
+			float64(a.RestartNanos)/1e6, float64(a.MaxRestartNanos)/1e6))
+	}
+	fmt.Fprintf(&b, "  machine breakdown:\n")
+	fmt.Fprintf(&b, "    %-4s %-5s %-10s %-12s %-10s %-10s %-8s\n",
+		"id", "cpus", "req/virt-s", "virtual", "peak RSS", "COW", "IPIs")
+	for _, mm := range r.Machines {
+		var nanos, peak, cow, ipis uint64
+		for _, p := range mm.Phases {
+			nanos += p.VirtualNanos
+			if p.PeakRSSBytes > peak {
+				peak = p.PeakRSSBytes
+			}
+			cow += p.PageCopies
+			ipis += p.TLBShootdowns
+		}
+		nanos += mm.RestartNanos
+		fmt.Fprintf(&b, "    %-4d %-5d %-10.0f %-12s %-10s %-10d %-8d\n",
+			mm.Machine, mm.CPUs, mm.RequestsPerVSec,
+			fmt.Sprintf("%.3fms", float64(nanos)/1e6),
+			load.HumanBytes(peak), cow, ipis)
+	}
+	return b.String()
+}
+
+// RunAll runs every config through load.Run on a host worker pool
+// bounded by GOMAXPROCS (or parallelism if lower), returning metrics
+// in input order — the primitive `forkbench load -sweep` and the
+// experiment tables fan out on. Each config is an independent machine;
+// results are position-merged, so the output is identical to running
+// the configs serially.
+func RunAll(parallelism int, cfgs []load.Config) ([]*load.Metrics, error) {
+	ms := make([]*load.Metrics, len(cfgs))
+	err := forEach(poolSize(parallelism, len(cfgs)), len(cfgs), func(i int) error {
+		m, err := load.Run(cfgs[i])
+		if err != nil {
+			return err
+		}
+		ms[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ms, nil
+}
+
+// PoolSize reports the host worker count a fleet of n machines would
+// use at the given requested parallelism: min(GOMAXPROCS, requested,
+// n), and at least 1.
+func PoolSize(parallelism, n int) int { return poolSize(parallelism, n) }
+
+func poolSize(parallelism, n int) int {
+	workers := runtime.GOMAXPROCS(0)
+	if parallelism > 0 && parallelism < workers {
+		workers = parallelism
+	}
+	if n > 0 && workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// forEach runs f(0..n-1) on a pool of host goroutines. Once any index
+// fails, no *new* indices are claimed (in-flight ones finish), and the
+// error for the lowest index wins. That stays deterministic at every
+// worker count: indices are claimed in increasing order, so every
+// index below the first failure has already been claimed and run, and
+// the lowest failing index is therefore always observed.
+func forEach(workers, n int, f func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	next := int64(-1)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if errs[i] = f(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

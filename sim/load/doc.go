@@ -58,5 +58,8 @@
 //
 // The forkbench CLI fronts this package (`forkbench load`), and
 // internal/experiments uses it to regenerate the §5 server-claim
-// table.
+// table. The sim/fleet package runs many of these machines at once —
+// Config.Window is its traffic-surge knob — multiplexed across host
+// cores with deterministically merged metrics (`forkbench fleet`,
+// and the parallel `forkbench load -sweep` path).
 package load

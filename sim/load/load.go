@@ -66,6 +66,13 @@ type Config struct {
 	// default 64).
 	Workers int
 
+	// Window overrides the closed loop's in-flight request window:
+	// how many requests Prefork (default CPUs) or BuildFarm jobs
+	// (default 2*CPUs) are live at once. sim/fleet's traffic-surge
+	// scenario widens it to model load spikes beyond the machine's
+	// steady state.
+	Window int
+
 	// HeapBytes is the server's dirty anonymous heap — the paper's
 	// "parent of size X" under sustained load (default 64 MiB).
 	HeapBytes uint64
@@ -187,11 +194,11 @@ func (m *Metrics) Render() string {
 	var b strings.Builder
 	row := func(k, v string) { fmt.Fprintf(&b, "  %-18s %s\n", k, v) }
 	fmt.Fprintf(&b, "load %s via %s (heap %s, RAM %s, %d CPU(s))\n",
-		m.Scenario, m.Strategy, humanBytes(m.HeapBytes), humanBytes(m.RAMBytes), m.NumCPUs)
+		m.Scenario, m.Strategy, HumanBytes(m.HeapBytes), HumanBytes(m.RAMBytes), m.NumCPUs)
 	row("requests", fmt.Sprintf("%d (%.0f/virt-s)", m.Requests, m.RequestsPerVSec))
 	row("creations", fmt.Sprintf("%d (%.0f/virt-s)", m.Creations, m.CreationsPerVSec))
 	row("virtual time", fmt.Sprintf("%.3fms", float64(m.VirtualNanos)/1e6))
-	row("peak RSS", humanBytes(m.PeakRSSBytes))
+	row("peak RSS", HumanBytes(m.PeakRSSBytes))
 	row("page faults", fmt.Sprint(m.PageFaults))
 	row("page copies", fmt.Sprintf("%d (COW tax)", m.PageCopies))
 	row("PTE copies", fmt.Sprint(m.PTECopies))
@@ -212,7 +219,10 @@ func (m *Metrics) Render() string {
 	return b.String()
 }
 
-func humanBytes(n uint64) string {
+// HumanBytes renders an exact power-of-two byte count with its
+// largest unit (1GiB, 64MiB, 4KiB); other values render as raw bytes.
+// Shared by the load and fleet CLI renderers.
+func HumanBytes(n uint64) string {
 	switch {
 	case n >= 1<<30 && n%(1<<30) == 0:
 		return fmt.Sprintf("%dGiB", n>>30)
@@ -249,20 +259,41 @@ func (d *driver) sample() {
 	}
 }
 
-// Run executes one scenario and reports its metrics. The machine is
-// booted fresh, the server heap is dirtied, counters are zeroed, and
-// only then does the measured loop start — boot cost is excluded.
-func Run(cfg Config) (*Metrics, error) {
-	cfg = cfg.withDefaults()
-	sys, err := sim.NewSystem(
-		sim.WithRAM(cfg.RAMBytes),
-		sim.WithCPUs(cfg.CPUs),
-		sim.WithUserland("true", "echo", "cat", "hog", "smpspin"),
-	)
-	if err != nil {
-		return nil, err
+// DefaultWindow reports a scenario's steady-state in-flight request
+// window at the given CPU count — the value Config.Window overrides
+// (and the baseline sim/fleet's traffic surge multiplies). Zero for
+// scenarios without a window knob.
+func DefaultWindow(s Scenario, cpus int) int {
+	if cpus < 1 {
+		cpus = 1
 	}
-	d := &driver{cfg: cfg, sys: sys, k: sys.Kernel()}
+	switch s {
+	case Prefork:
+		return cpus
+	case BuildFarm:
+		return 2 * cpus
+	}
+	return 0
+}
+
+// Prepared is a machine warmed for a measured run: the server's
+// resident dirty heap is mapped and touched, and the resolved Config
+// is pinned. The warm-up's virtual-time cost is the caller's to
+// account; Run measures only the scenario loop.
+type Prepared struct {
+	cfg       Config
+	sys       *sim.System
+	heapStart uint64
+	heapBytes uint64
+}
+
+// Prepare warms an existing machine for cfg's scenario — the step
+// between boot and the measured loop. sim/fleet's rolling-restart
+// driver calls it directly so a replacement instance's warm-up cost
+// (heap dirtying, pool creation) can be measured separately from its
+// serve phase.
+func Prepare(sys *sim.System, cfg Config) (*Prepared, error) {
+	cfg = cfg.withDefaults()
 
 	// The server's resident, dirty heap — what fork must duplicate
 	// page-table entries for on every creation.
@@ -281,7 +312,36 @@ func Run(cfg Config) (*Metrics, error) {
 	if err := host.Space().Touch(vma.Start, heap, addrspace.AccessWrite); err != nil {
 		return nil, fmt.Errorf("load: dirty heap: %w", err)
 	}
-	d.heapStart = vma.Start
+	return &Prepared{cfg: cfg, sys: sys, heapStart: vma.Start, heapBytes: heap}, nil
+}
+
+// Run boots a fresh machine, warms it, and executes one scenario,
+// reporting its metrics. Counters are zeroed after the warm-up, so
+// boot and heap-dirtying cost is excluded from the measured loop.
+func Run(cfg Config) (*Metrics, error) {
+	cfg = cfg.withDefaults()
+	sys, err := sim.NewSystem(
+		sim.WithRAM(cfg.RAMBytes),
+		sim.WithCPUs(cfg.CPUs),
+		sim.WithUserland("true", "echo", "cat", "hog", "smpspin"),
+	)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Prepare(sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run()
+}
+
+// Run executes the prepared scenario once, measuring from the current
+// virtual instant: counters are zeroed, the loop runs, and the
+// metrics are assembled. Call it once per Prepare.
+func (p *Prepared) Run() (*Metrics, error) {
+	cfg := p.cfg
+	d := &driver{cfg: cfg, sys: p.sys, k: p.sys.Kernel(), heapStart: p.heapStart}
+	heap := p.heapBytes
 
 	meter := d.k.Meter()
 	meter.ResetCounters()
@@ -295,6 +355,7 @@ func Run(cfg Config) (*Metrics, error) {
 	t0 := d.k.Elapsed()
 	d.sample()
 
+	var err error
 	switch cfg.Scenario {
 	case Prefork:
 		err = d.prefork()

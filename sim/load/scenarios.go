@@ -18,9 +18,9 @@ import (
 // grows; under spawn or the builder it is flat. This is §5's server
 // claim as a workload.
 func (d *driver) prefork() error {
-	window := d.cfg.CPUs
+	window := d.cfg.Window
 	if window < 1 {
-		window = 1
+		window = DefaultWindow(Prefork, d.cfg.CPUs)
 	}
 	var inflight []*sim.Cmd
 	launched := 0
@@ -233,9 +233,9 @@ func (d *driver) smpserver() error {
 // creation strategy decides whether job launch serializes on the
 // parent's page tables (fork) or stays flat (spawn/builder).
 func (d *driver) buildfarm() error {
-	window := 2 * d.cfg.CPUs
+	window := d.cfg.Window
 	if window < 1 {
-		window = 1
+		window = DefaultWindow(BuildFarm, d.cfg.CPUs)
 	}
 	var inflight []*sim.Cmd
 	launched := 0
