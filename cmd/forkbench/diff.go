@@ -4,11 +4,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/sim/load"
 )
+
+// diffOut receives the diff report (stdout; swapped by the CLI tests).
+var diffOut io.Writer = os.Stdout
 
 // runDiff is the `forkbench diff <old.json> <new.json>` subcommand:
 // the bench-drift gate. Both files are sweep outputs (JSON arrays of
@@ -41,7 +46,7 @@ func runDiff(args []string) error {
 
 	drift := 0
 	report := func(format string, a ...any) {
-		fmt.Printf(format+"\n", a...)
+		fmt.Fprintf(diffOut, format+"\n", a...)
 		drift++
 	}
 	var keys []string
@@ -59,16 +64,27 @@ func runDiff(args []string) error {
 		n, inNew := newRuns[k]
 		switch {
 		case !inNew:
+			// A run config present in only one file is a gate
+			// failure like any metric drift — a machine-shape or
+			// matrix change must be acknowledged, not skipped — and
+			// the lone run's metrics are summarized so the report
+			// shows what the other file is missing.
 			report("missing: %s (in %s only)", k, fs.Arg(0))
+			for _, line := range summarizeMetrics(o) {
+				fmt.Fprintf(diffOut, "         %s\n", line)
+			}
 		case !inOld:
 			report("added:   %s (in %s only)", k, fs.Arg(1))
+			for _, line := range summarizeMetrics(n) {
+				fmt.Fprintf(diffOut, "         %s\n", line)
+			}
 		default:
 			for _, d := range diffMetrics(o, n) {
 				report("drift:   %s: %s", k, d)
 			}
 		}
 	}
-	fmt.Printf("%d run(s) compared, %d difference(s)\n", len(keys), drift)
+	fmt.Fprintf(diffOut, "%d run(s) compared, %d difference(s)\n", len(keys), drift)
 	if drift > 0 {
 		return fmt.Errorf("diff: %s and %s disagree on %d point(s); if the cost-model change is intended, regenerate the baseline (see README)",
 			fs.Arg(0), fs.Arg(1), drift)
@@ -110,26 +126,55 @@ func runKey(m *load.Metrics) string {
 		m.Scenario, m.Strategy, m.HeapBytes, m.RAMBytes, m.NumCPUs, m.Requests)
 }
 
+// metricFields is the comparison schema shared by diffMetrics and
+// summarizeMetrics: every scalar virtual-time metric a run reports,
+// in a fixed order.
+var metricFields = []struct {
+	name string
+	get  func(*load.Metrics) uint64
+}{
+	{"requests", func(m *load.Metrics) uint64 { return m.Requests }},
+	{"failed_requests", func(m *load.Metrics) uint64 { return m.FailedRequests }},
+	{"oom_kills", func(m *load.Metrics) uint64 { return m.OOMKills }},
+	{"creations", func(m *load.Metrics) uint64 { return m.Creations }},
+	{"virtual_ns", func(m *load.Metrics) uint64 { return m.VirtualNanos }},
+	{"peak_rss_bytes", func(m *load.Metrics) uint64 { return m.PeakRSSBytes }},
+	{"page_faults", func(m *load.Metrics) uint64 { return m.PageFaults }},
+	{"page_copies", func(m *load.Metrics) uint64 { return m.PageCopies }},
+	{"page_zeroes", func(m *load.Metrics) uint64 { return m.PageZeroes }},
+	{"pte_copies", func(m *load.Metrics) uint64 { return m.PTECopies }},
+	{"tlb_shootdowns", func(m *load.Metrics) uint64 { return m.TLBShootdowns }},
+	{"context_switches", func(m *load.Metrics) uint64 { return m.ContextSwitches }},
+	{"syscalls", func(m *load.Metrics) uint64 { return m.Syscalls }},
+	{"instructions", func(m *load.Metrics) uint64 { return m.Instructions }},
+	{"server_cpu_ns", func(m *load.Metrics) uint64 { return m.ServerCPUNanos }},
+}
+
+// summarizeMetrics renders a lone run's per-metric values (for runs
+// present in only one file, where there is nothing to diff against),
+// five metrics per line.
+func summarizeMetrics(m *load.Metrics) []string {
+	fields := make([]string, len(metricFields))
+	for i, f := range metricFields {
+		fields[i] = fmt.Sprintf("%s=%d", f.name, f.get(m))
+	}
+	var out []string
+	for len(fields) > 0 {
+		n := min(5, len(fields))
+		out = append(out, strings.Join(fields[:n], " "))
+		fields = fields[n:]
+	}
+	return out
+}
+
 // diffMetrics compares every virtual-time metric of one run exactly.
 func diffMetrics(o, n *load.Metrics) []string {
 	var out []string
-	cmp := func(name string, a, b uint64) {
-		if a != b {
-			out = append(out, fmt.Sprintf("%s %d -> %d", name, a, b))
+	for _, f := range metricFields {
+		if a, b := f.get(o), f.get(n); a != b {
+			out = append(out, fmt.Sprintf("%s %d -> %d", f.name, a, b))
 		}
 	}
-	cmp("creations", o.Creations, n.Creations)
-	cmp("virtual_ns", o.VirtualNanos, n.VirtualNanos)
-	cmp("peak_rss_bytes", o.PeakRSSBytes, n.PeakRSSBytes)
-	cmp("page_faults", o.PageFaults, n.PageFaults)
-	cmp("page_copies", o.PageCopies, n.PageCopies)
-	cmp("page_zeroes", o.PageZeroes, n.PageZeroes)
-	cmp("pte_copies", o.PTECopies, n.PTECopies)
-	cmp("tlb_shootdowns", o.TLBShootdowns, n.TLBShootdowns)
-	cmp("context_switches", o.ContextSwitches, n.ContextSwitches)
-	cmp("syscalls", o.Syscalls, n.Syscalls)
-	cmp("instructions", o.Instructions, n.Instructions)
-	cmp("server_cpu_ns", o.ServerCPUNanos, n.ServerCPUNanos)
 	// Per-CPU busy fractions are deterministic too, and not derivable
 	// from the totals above: a scheduler change that redistributes
 	// busy time across CPUs must not slip past the gate. Floats

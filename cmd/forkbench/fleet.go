@@ -21,13 +21,14 @@ import (
 func runFleet(args []string) error {
 	fs := flag.NewFlagSet("forkbench fleet", flag.ExitOnError)
 	machines := fs.Int("machines", 4, "fleet size")
-	scenario := fs.String("scenario", "rolling", "uniform|rolling|hetero|surge")
+	scenario := fs.String("scenario", "rolling", "uniform|rolling|hetero|surge|chaos")
 	loadName := fs.String("load", "prefork", "per-machine workload (prefork|pipeline|checkpoint|forkstorm|smpserver|buildfarm)")
 	via := fs.String("via", "fork", "spawn|fork|vfork|builder|emufork|eager")
 	cpus := fs.Int("cpus", 0, "CPUs per machine (0 = 2; hetero cycles 1/2/4/8)")
 	n := fs.Int("n", 0, "requests per machine per serve phase (0 = 24)")
 	workers := fs.Int("workers", 0, "rolling warm-pool size (0 = 2*cpus)")
 	surge := fs.Int("surge", 0, "surge-phase window/volume multiplier (0 = 4)")
+	seed := fs.Uint64("seed", 0, "chaos fault-wave seed (0 = 1)")
 	heap := fs.String("heap", "64MiB", "per-machine server heap size")
 	parallel := fs.Int("parallel", 0, "host worker bound (0 = GOMAXPROCS)")
 	jsonPath := fs.String("json", "", "write the fleet report to FILE as byte-stable JSON")
@@ -67,6 +68,7 @@ func runFleet(args []string) error {
 		Requests:    *n,
 		Workers:     *workers,
 		SurgeFactor: *surge,
+		FaultSeed:   *seed,
 		HeapBytes:   heapBytes,
 		Parallelism: *parallel,
 	})

@@ -8,10 +8,12 @@
 //	forkbench [flags] <experiment>
 //	forkbench load [load flags]
 //	forkbench fleet [fleet flags]
+//	forkbench trace [trace flags] [prog arg...]
 //	forkbench diff <old.json> <new.json>
 //
 //	experiments: fig1 table1 cowtax hugepages overcommit compose scale
-//	             ablations strategies server cpusweep fleetclaim all
+//	             ablations strategies server cpusweep fleetclaim chaos
+//	             all
 //
 //	-max SIZE     largest parent for sweeps (default 1GiB for fig1)
 //	-reps N       repetitions per fig1 point (default 5)
@@ -24,7 +26,23 @@
 // experiment: fork's snapshot tax versus core count (E9).
 // "fleetclaim" is E10: the rolling-restart wave over growing fleet
 // sizes — each replacement machine repays its warm-up tax, Θ(heap)
-// page-table duplication per pool worker under fork.
+// page-table duplication per pool worker under fork. "chaos" is E11:
+// the prefork server under identical deterministic memory-pressure
+// fault waves (sim/fault), fork vs spawn — fork's Θ(heap) commit
+// reservations are what the waves refuse, so the fork server drops
+// traffic the spawn server serves (§4.6's overcommit argument made
+// measurable).
+//
+// The trace subcommand runs one command with the structured event
+// trace enabled and renders it (sim.WithTrace): syscall enter/exit
+// with errno, scheduler dispatches, TLB-shootdown rounds, process
+// lifecycle, and — with -seed — injected faults:
+//
+//	forkbench trace [-via STRATEGY] [-heap SIZE] [-cpus N]
+//	                [-seed N] [-o FILE] [prog arg...]
+//
+// Its output is a pure function of its flags; the golden-trace tests
+// in sim freeze one trace per creation strategy the same way.
 //
 // The load subcommand drives the sim/load workload scenarios:
 //
@@ -47,13 +65,16 @@
 //
 // The fleet subcommand runs many machines at once (sim/fleet):
 //
-//	forkbench fleet [-machines N] [-scenario uniform|rolling|hetero|surge]
+//	forkbench fleet [-machines N]
+//	                [-scenario uniform|rolling|hetero|surge|chaos]
 //	                [-load SCENARIO] [-via STRATEGY] [-cpus N] [-n REQUESTS]
-//	                [-workers N] [-surge K] [-heap SIZE] [-parallel N]
-//	                [-json FILE]
+//	                [-workers N] [-surge K] [-seed N] [-heap SIZE]
+//	                [-parallel N] [-json FILE]
 //
 // Its stdout is byte-identical at every GOMAXPROCS setting — host
-// wall-clock goes to stderr.
+// wall-clock goes to stderr. The chaos scenario derives each
+// machine's fault schedule from (-seed, machine id); the CI chaos
+// determinism gate byte-compares its JSON at GOMAXPROCS 1 vs 4.
 //
 // The diff subcommand is the bench-drift gate: it compares two sweep
 // JSON files metric by metric and fails on any difference, so silent
@@ -104,9 +125,10 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per fig1 point")
 	eager := flag.Bool("eager", false, "include eager-copy fork line in fig1")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|strategies|server|cpusweep|fleetclaim|all\n")
+		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|strategies|server|cpusweep|fleetclaim|chaos|all\n")
 		fmt.Fprintf(os.Stderr, "       forkbench load [load flags]    (see forkbench load -h)\n")
 		fmt.Fprintf(os.Stderr, "       forkbench fleet [fleet flags]  (see forkbench fleet -h)\n")
+		fmt.Fprintf(os.Stderr, "       forkbench trace [trace flags]  (see forkbench trace -h)\n")
 		fmt.Fprintf(os.Stderr, "       forkbench diff <old.json> <new.json>\n")
 		flag.PrintDefaults()
 	}
@@ -119,6 +141,11 @@ func main() {
 		return
 	case "fleet":
 		if err := runFleet(flag.Args()[1:]); err != nil {
+			fatal(err)
+		}
+		return
+	case "trace":
+		if err := runTrace(flag.Args()[1:]); err != nil {
 			fatal(err)
 		}
 		return
@@ -253,6 +280,18 @@ func main() {
 			fmax = 64 * experiments.MiB
 		}
 		res, err := experiments.FleetClaim(experiments.FleetClaimConfig{HeapBytes: fmax})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if runAll || what == "chaos" {
+		ran = true
+		cmax := maxBytes
+		if cmax > 64*experiments.MiB {
+			cmax = 64 * experiments.MiB
+		}
+		res, err := experiments.ChaosClaim(experiments.ChaosClaimConfig{HeapBytes: cmax})
 		if err != nil {
 			fatal(err)
 		}

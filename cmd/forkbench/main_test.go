@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -117,6 +118,9 @@ func TestRunFleetRejectsJunk(t *testing.T) {
 		{"-heap", "xMiB"},
 		{"-machines", "0"},
 		{"extra-positional"},
+		// Chaos needs the failure-tolerant prefork driver; the
+		// report must never claim a load that did not run.
+		{"-scenario", "chaos", "-load", "buildfarm"},
 	} {
 		if err := runFleet(args); err == nil {
 			t.Errorf("runFleet(%v) succeeded, want error", args)
@@ -210,6 +214,106 @@ func TestSweepConfigsCoverEveryScenario(t *testing.T) {
 	for _, c := range sweepConfigs(4) {
 		if c.CPUs != 4 {
 			t.Fatalf("pinned sweep left %s at %d CPUs", c.Scenario, c.CPUs)
+		}
+	}
+}
+
+// TestRunDiffLoneRunSummary pins the gate's behaviour when a run
+// config exists in only one file: non-zero exit AND a per-metric
+// summary of the lone run, so the report shows exactly what the other
+// sweep is missing instead of silently skipping the cell.
+func TestRunDiffLoneRunSummary(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, ms []*load.Metrics) string {
+		t.Helper()
+		data, err := json.MarshalIndent(ms, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	both := []*load.Metrics{
+		{Scenario: "prefork", Strategy: "fork+exec", HeapBytes: 1 << 20, NumCPUs: 1, Requests: 4, VirtualNanos: 1000, PTECopies: 50},
+		{Scenario: "prefork", Strategy: "posix_spawn", HeapBytes: 1 << 20, NumCPUs: 1, Requests: 4, VirtualNanos: 77, Syscalls: 9},
+	}
+	old := write("old.json", both)
+	short := write("short.json", both[:1])
+
+	var buf bytes.Buffer
+	prev := diffOut
+	diffOut = &buf
+	defer func() { diffOut = prev }()
+
+	if err := runDiff([]string{old, short}); err == nil {
+		t.Fatal("lone run did not fail the gate")
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"missing: prefork/posix_spawn",
+		"virtual_ns=77",
+		"syscalls=9",
+		"1 difference(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The added direction summarizes too.
+	buf.Reset()
+	if err := runDiff([]string{short, old}); err == nil {
+		t.Fatal("added run did not fail the gate")
+	}
+	if out := buf.String(); !strings.Contains(out, "added:   prefork/posix_spawn") || !strings.Contains(out, "virtual_ns=77") {
+		t.Errorf("added-run summary missing:\n%s", out)
+	}
+}
+
+// TestRunTraceWritesRenderedTrace drives the trace subcommand end to
+// end: the emitted file must hold the structured trace (process
+// lifecycle, syscall enter/exit), and two runs of the same invocation
+// must be byte-identical.
+func TestRunTraceWritesRenderedTrace(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.trace")
+	p2 := filepath.Join(dir, "b.trace")
+	args := []string{"-via", "fork", "-heap", "64KiB", "-o"}
+	if err := runTrace(append(args, p1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTrace(append(args, p2)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two identical trace invocations differ")
+	}
+	for _, want := range []string{"proc+", "enter write", "exec", "proc-"} {
+		if !strings.Contains(string(a), want) {
+			t.Errorf("trace missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// TestRunTraceRejectsJunk pins the trace flag error paths.
+func TestRunTraceRejectsJunk(t *testing.T) {
+	for _, args := range [][]string{
+		{"-via", "bogus"},
+		{"-heap", "xMiB"},
+	} {
+		if err := runTrace(args); err == nil {
+			t.Errorf("runTrace(%v) succeeded, want error", args)
 		}
 	}
 }

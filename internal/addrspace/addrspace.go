@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/errno"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/pagetable"
 )
@@ -509,6 +510,12 @@ func (s *Space) demandFault(v *VMA, base uint64, access Access) error {
 // path); anything else is a protection violation (the VMA-level check
 // already passed, so this only triggers for stale per-page state).
 func (s *Space) cowBreak(v *VMA, base uint64, pte pagetable.PTE) error {
+	// Injection point: a schedulable failure before any state is
+	// touched, so an injected ENOMEM leaves the page exactly as the
+	// fault found it (the write retries or the OOM killer fires).
+	if e := s.phys.Injector().Fail(fault.PointCOWBreak, pte.Frame().Pages()); e != errno.OK {
+		return e
+	}
 	if !pte.COW() {
 		if s.phys.Refs(pte.Frame()) == 1 {
 			// Permission widening, same frame: no remote
@@ -637,6 +644,12 @@ func (s *Space) Touch(va, length uint64, access Access) error {
 // COW-cloned. The child's RSS equals the parent's: all resident pages
 // are shared until written.
 func (s *Space) CloneCOW() (*Space, error) {
+	// Injection point: the entry into fork's Θ(mapped pages) walk,
+	// before the commit reservation — a scheduled failure here is
+	// "the kernel could not mirror the page tables".
+	if e := s.phys.Injector().Fail(fault.PointPTClone, uint64(s.pt.Entries())); e != errno.OK {
+		return nil, e
+	}
 	if err := s.phys.Reserve(s.commitPages); err != nil {
 		return nil, err
 	}
@@ -671,6 +684,9 @@ func (s *Space) CloneCOW() (*Space, error) {
 // immediately. Used by the EagerFork ablation. On ENOMEM the partial
 // child is torn down and nil returned.
 func (s *Space) CloneEager() (*Space, error) {
+	if e := s.phys.Injector().Fail(fault.PointPTClone, uint64(s.pt.Entries())); e != errno.OK {
+		return nil, e
+	}
 	if err := s.phys.Reserve(s.commitPages); err != nil {
 		return nil, err
 	}
@@ -689,6 +705,16 @@ func (s *Space) CloneEager() (*Space, error) {
 	pt, err := s.pt.CloneEager()
 	c.pt = pt
 	if err != nil {
+		// The partial child holds only the frames copied before the
+		// failure, not the parent's full resident set the optimistic
+		// pre-assignment above claimed: recount before Destroy's
+		// leak check tallies the releases.
+		var pages uint64
+		c.pt.Visit(func(_ uint64, e pagetable.PTE) pagetable.PTE {
+			pages += e.Frame().Pages()
+			return e
+		})
+		c.rssPages = pages
 		c.Destroy()
 		return nil, err
 	}

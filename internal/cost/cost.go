@@ -171,6 +171,11 @@ type Meter struct {
 	Syscalls      uint64
 	Instructions  uint64
 	TLBShootdowns uint64 // remote-CPU IPIs sent (one per remote CPU per event)
+
+	// OnShootdown, when non-nil, observes every shootdown round (the
+	// kernel's trace recorder hooks in here; the meter itself cannot
+	// import the trace package without a cycle).
+	OnShootdown func(remotes int)
 }
 
 // NewMeter returns a single-CPU meter using the given model.
@@ -252,6 +257,9 @@ func (mt *Meter) ChargeShootdown(remotes int) {
 	}
 	mt.Charge(Ticks(remotes) * mt.Model.TLBShootIPI)
 	mt.TLBShootdowns += uint64(remotes)
+	if mt.OnShootdown != nil {
+		mt.OnShootdown(remotes)
+	}
 }
 
 // ResetCounters zeroes the event counters (not the clocks).

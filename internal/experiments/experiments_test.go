@@ -383,3 +383,50 @@ func TestCPUSweep(t *testing.T) {
 		t.Error("empty render")
 	}
 }
+
+// TestChaosClaimShape checks E11's qualitative claim on a reduced
+// config: under identical deterministic fault waves the fork server
+// loses a larger share of its traffic than the spawn server (fork's
+// Θ(heap) commit reservations are what the pressure windows refuse),
+// both servers survive to the end of the run, and the experiment is
+// deterministic.
+func TestChaosClaimShape(t *testing.T) {
+	cfg := ChaosClaimConfig{HeapBytes: 16 * MiB, Requests: 48}
+	res, err := ChaosClaim(cfg)
+	if err != nil {
+		t.Fatalf("ChaosClaim: %v", err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points, want fork and spawn", len(res.Points))
+	}
+	fork, spawn := res.Points[0], res.Points[1]
+	if fork.Strategy != "fork+exec" || spawn.Strategy != "posix_spawn" {
+		t.Fatalf("unexpected strategy order: %q, %q", fork.Strategy, spawn.Strategy)
+	}
+	for _, p := range res.Points {
+		if p.Clean.FailedRequests != 0 {
+			t.Errorf("%s clean run lost %d requests", p.Strategy, p.Clean.FailedRequests)
+		}
+		if got := p.Chaos.Requests + p.Chaos.FailedRequests; got != uint64(cfg.Requests) {
+			t.Errorf("%s chaos run accounted %d requests, want %d", p.Strategy, got, cfg.Requests)
+		}
+	}
+	if fork.Chaos.FailedRequests == 0 {
+		t.Error("fault waves never hit the fork server")
+	}
+	if fork.Survival() >= spawn.Survival() {
+		t.Errorf("fork survival %.2f >= spawn survival %.2f; the overcommit asymmetry is gone",
+			fork.Survival(), spawn.Survival())
+	}
+	// Deterministic: the whole table is a pure function of the config.
+	again, err := ChaosClaim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Render() != again.Render() {
+		t.Error("two identical ChaosClaim runs rendered differently")
+	}
+	if len(res.Render()) == 0 {
+		t.Error("empty render")
+	}
+}

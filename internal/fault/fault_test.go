@@ -1,0 +1,239 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/errno"
+)
+
+// TestPointNames pins every point's render name: the sweep tests and
+// trace golden files key on these strings.
+func TestPointNames(t *testing.T) {
+	want := []string{
+		"frame.alloc", "commit.reserve", "pagetable.clone", "cow.break",
+		"fdtable.clone", "exec.image", "thread.create", "request.kill",
+	}
+	pts := Points()
+	if len(pts) != len(want) {
+		t.Fatalf("Points() has %d entries, want %d", len(pts), len(want))
+	}
+	for i, p := range pts {
+		if p.String() != want[i] {
+			t.Errorf("point %d renders %q, want %q", i, p, want[i])
+		}
+	}
+	if got := Point(200).String(); got != "point(200)" {
+		t.Errorf("out-of-range point renders %q", got)
+	}
+}
+
+// TestFailOpTargetsExactlyOneOp: the sweep primitive fires on its
+// (point, seq) pair and nothing else.
+func TestFailOpTargetsExactlyOneOp(t *testing.T) {
+	s := FailOp(PointCommit, 3, errno.ENOMEM)
+	for seq := uint64(1); seq <= 5; seq++ {
+		for _, p := range Points() {
+			got := s.Decide(Op{Point: p, Seq: seq})
+			want := errno.OK
+			if p == PointCommit && seq == 3 {
+				want = errno.ENOMEM
+			}
+			if got != want {
+				t.Errorf("Decide(%v seq=%d) = %v, want %v", p, seq, got, want)
+			}
+		}
+	}
+}
+
+// TestInjectorCountsAndNilSafety: a nil injector neither counts nor
+// fails; a live one counts every call and injects per the schedule.
+func TestInjectorCountsAndNilSafety(t *testing.T) {
+	var nilInj *Injector
+	if e := nilInj.Fail(PointFrameAlloc, 1); e != errno.OK {
+		t.Fatalf("nil injector injected %v", e)
+	}
+	if nilInj.Count(PointFrameAlloc) != 0 || nilInj.Injected() != 0 {
+		t.Fatal("nil injector reported nonzero counts")
+	}
+
+	m := cost.NewMeter(cost.DefaultModel())
+	inj := NewInjector(m, FailOp(PointFrameAlloc, 2, errno.ENOMEM))
+	if e := inj.Fail(PointFrameAlloc, 1); e != errno.OK {
+		t.Fatalf("op 1 failed: %v", e)
+	}
+	if e := inj.Fail(PointFrameAlloc, 1); e != errno.ENOMEM {
+		t.Fatalf("op 2 = %v, want ENOMEM", e)
+	}
+	if e := inj.Fail(PointFrameAlloc, 1); e != errno.OK {
+		t.Fatalf("op 3 failed: %v", e)
+	}
+	if got := inj.Count(PointFrameAlloc); got != 3 {
+		t.Errorf("count = %d, want 3", got)
+	}
+	if got := inj.Injected(); got != 1 {
+		t.Errorf("injected = %d, want 1", got)
+	}
+
+	// Swapping the schedule preserves counts (ops are identified
+	// since boot).
+	inj.SetSchedule(Observe())
+	if e := inj.Fail(PointFrameAlloc, 1); e != errno.OK {
+		t.Fatalf("observe failed: %v", e)
+	}
+	if got := inj.Count(PointFrameAlloc); got != 4 {
+		t.Errorf("count after swap = %d, want 4", got)
+	}
+}
+
+// TestPressureWaveMagnitudeAsymmetry is the §4.6 asymmetry in schedule
+// form: inside the duty window a Θ(heap)-sized request must fail and a
+// tiny one must almost always pass; outside the window nothing fails.
+func TestPressureWaveMagnitudeAsymmetry(t *testing.T) {
+	w := PressureWave{
+		Seed: 42, Period: 1000, Duty: 500, Scale: 4096, Err: errno.ENOMEM,
+		Points: []Point{PointCommit},
+	}
+	// Find an in-window and an out-of-window instant for this seed's
+	// phase by probing: decisions are pure, so probing is harmless.
+	inWindow, outWindow := cost.Ticks(0), cost.Ticks(0)
+	foundIn, foundOut := false, false
+	for ti := cost.Ticks(0); ti < 1000; ti++ {
+		huge := w.Decide(Op{Point: PointCommit, Seq: 1, Time: ti, Mag: 1 << 20})
+		if huge != errno.OK && !foundIn {
+			inWindow, foundIn = ti, true
+		}
+		if huge == errno.OK && !foundOut {
+			outWindow, foundOut = ti, true
+		}
+	}
+	if !foundIn || !foundOut {
+		t.Fatal("wave has no window edge within one period")
+	}
+	// In-window: a max-magnitude op always fails, ops fail more the
+	// bigger they are, and the failure rate of tiny ops is low.
+	tinyFails, hugeFails := 0, 0
+	const tries = 2000
+	for seq := uint64(1); seq <= tries; seq++ {
+		if w.Decide(Op{Point: PointCommit, Seq: seq, Time: inWindow, Mag: 4}) != errno.OK {
+			tinyFails++
+		}
+		if w.Decide(Op{Point: PointCommit, Seq: seq, Time: inWindow, Mag: 4096}) != errno.OK {
+			hugeFails++
+		}
+	}
+	if hugeFails != tries {
+		t.Errorf("mag-4096 ops failed %d/%d in-window, want all (threshold <= scale)", hugeFails, tries)
+	}
+	// Expected tiny failure rate is 4/4096 ≈ 0.1%; allow generous slack.
+	if tinyFails > tries/50 {
+		t.Errorf("mag-4 ops failed %d/%d in-window; pressure is not magnitude-selective", tinyFails, tries)
+	}
+	// Out of window: nothing fails, whatever the magnitude.
+	if e := w.Decide(Op{Point: PointCommit, Seq: 1, Time: outWindow, Mag: 1 << 30}); e != errno.OK {
+		t.Errorf("out-of-window op failed: %v", e)
+	}
+	// Untargeted points never fail.
+	if e := w.Decide(Op{Point: PointFrameAlloc, Seq: 1, Time: inWindow, Mag: 1 << 30}); e != errno.OK {
+		t.Errorf("untargeted point failed: %v", e)
+	}
+}
+
+// TestSchedulePurity: every schedule constructor yields a pure
+// function — identical ops decide identically, forever.
+func TestSchedulePurity(t *testing.T) {
+	scheds := []Schedule{
+		Observe(),
+		FailOp(PointCOWBreak, 7, errno.ENOMEM),
+		PressureWave{Seed: 9, Machine: 3, Period: 500, Duty: 100, Scale: 64, Err: errno.ENOMEM, Points: Points()},
+		KillEvery(11, 2, 4),
+		Random(13, 1, 250, errno.EAGAIN),
+		Chaos(17, 5),
+	}
+	ops := []Op{
+		{Point: PointFrameAlloc, Seq: 1, Time: 0, Mag: 1},
+		{Point: PointCommit, Seq: 9, Time: 123456, Mag: 4096},
+		{Point: PointKill, Seq: 4, Time: 999999, Mag: 1},
+		{Point: PointPTClone, Seq: 2, Time: 4_000_000, Mag: 512},
+	}
+	for si, s := range scheds {
+		for _, op := range ops {
+			first := s.Decide(op)
+			for i := 0; i < 100; i++ {
+				if got := s.Decide(op); got != first {
+					t.Fatalf("schedule %d impure on %+v: %v then %v", si, op, first, got)
+				}
+			}
+		}
+	}
+}
+
+// TestKillEveryRate: roughly one in n decisions fires, and only at the
+// kill point.
+func TestKillEveryRate(t *testing.T) {
+	s := KillEvery(1, 0, 8)
+	fired := 0
+	const tries = 8000
+	for seq := uint64(1); seq <= tries; seq++ {
+		if s.Decide(Op{Point: PointKill, Seq: seq}) != errno.OK {
+			fired++
+		}
+		if e := s.Decide(Op{Point: PointFrameAlloc, Seq: seq}); e != errno.OK {
+			t.Fatalf("kill wave fired at %v", PointFrameAlloc)
+		}
+	}
+	if fired < tries/16 || fired > tries/4 {
+		t.Errorf("kill wave fired %d/%d times, want about 1/8", fired, tries)
+	}
+}
+
+// TestRecorder: events render one per line in order, the capacity
+// bound drops instead of growing, and nil recorders are no-ops.
+func TestRecorder(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.Record(Event{}) // must not panic
+	if nilRec.Render() != "" || nilRec.Events() != nil {
+		t.Fatal("nil recorder not empty")
+	}
+
+	r := NewRecorder()
+	r.Record(Event{Time: 10, CPU: 0, Kind: EvSysEnter, Pid: 2, Tid: 0, Num: 2})
+	r.Record(Event{Time: 20, CPU: 1, Kind: EvSysExit, Pid: 2, Tid: 0, Num: 2, Aux: 5})
+	r.Record(Event{Time: 30, CPU: 0, Kind: EvFault, Pid: -1, Num: uint64(PointCommit), Aux: 3, Err: errno.ENOMEM})
+	out := r.Render()
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rendered %d lines, want 3:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"enter write", "exit  write = 5", "inject commit.reserve seq=3 err=ENOMEM", "cpu1", "pid2/t0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Fatal("Reset left events behind")
+	}
+
+	small := &Recorder{cap: 2}
+	for i := 0; i < 5; i++ {
+		small.Record(Event{Time: cost.Ticks(i)})
+	}
+	if len(small.Events()) != 2 || small.Dropped() != 3 {
+		t.Errorf("cap 2: kept %d dropped %d, want 2/3", len(small.Events()), small.Dropped())
+	}
+	if !strings.Contains(small.Render(), "3 event(s) dropped") {
+		t.Error("drop marker missing from render")
+	}
+}
+
+// TestSyscallName covers the name table and the unknown fallback.
+func TestSyscallName(t *testing.T) {
+	if got := SyscallName(9); got != "fork" {
+		t.Errorf("SyscallName(9) = %q, want fork", got)
+	}
+	if got := SyscallName(9999); got != "sys9999" {
+		t.Errorf("unknown syscall renders %q", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/addrspace"
 	"repro/internal/errno"
+	"repro/internal/fault"
 	"repro/internal/image"
 	"repro/internal/mem"
 	"repro/internal/vfs"
@@ -29,6 +30,12 @@ func (k *Kernel) resolveExecutable(cwd *vfs.Inode, path string) (*vfs.Inode, ima
 	}
 	if ino.Type != vfs.TypeFile {
 		return nil, image.Header{}, errno.EACCES
+	}
+	// Injection point: the image exists but cannot be loaded (I/O
+	// error, corrupt header) — every exec, spawn, and builder
+	// LoadImage funnels through here.
+	if e := k.faults.Fail(fault.PointExecImage, 1); e != errno.OK {
+		return nil, image.Header{}, e
 	}
 	k.meter.Charge(k.meter.Model.ImageHeader)
 	hdr, err := image.DecodeHeader(ino.Data())
@@ -160,6 +167,9 @@ func (k *Kernel) doExec(caller *Thread, path string, argv []string) error {
 
 	caller.regs = ctx.regs
 	caller.pc = ctx.pc
+	if k.tracer != nil {
+		k.trace(fault.Event{Kind: fault.EvExec, Pid: int(p.Pid), Tid: caller.TID, Name: p.Name})
+	}
 	return nil
 }
 

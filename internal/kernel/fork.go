@@ -3,6 +3,7 @@ package kernel
 import (
 	"repro/internal/cost"
 	"repro/internal/errno"
+	"repro/internal/fault"
 )
 
 // ForkMode selects the duplication strategy.
@@ -78,6 +79,10 @@ func (k *Kernel) doFork(caller *Thread, opts forkOpts) (*Process, error) {
 
 	// Descriptors: every open slot gains a reference; offsets stay
 	// shared (POSIX).
+	if e := k.faults.Fail(fault.PointFDClone, uint64(parent.fds.OpenCount())); e != errno.OK {
+		k.abortForkChild(child)
+		return nil, e
+	}
 	var nfds int
 	child.fds, nfds = parent.fds.Clone()
 	k.meter.Charge(cost.Ticks(nfds) * k.meter.Model.FDClone)
@@ -85,6 +90,12 @@ func (k *Kernel) doFork(caller *Thread, opts forkOpts) (*Process, error) {
 	// Signals: dispositions copy; pending signals do NOT (POSIX).
 	child.sigs = parent.sigs.Clone()
 	k.meter.Charge(k.meter.Model.SigClone)
+
+	if e := k.faults.Fail(fault.PointThreadCreate, 1); e != errno.OK {
+		child.fds.CloseAll()
+		k.abortForkChild(child)
+		return nil, e
+	}
 
 	// Exactly one thread survives into the child: the caller. This
 	// is the composability trap of §4.2 — other threads' stacks
@@ -106,6 +117,18 @@ func (k *Kernel) doFork(caller *Thread, opts forkOpts) (*Process, error) {
 		k.block(caller, nil, "vfork")
 	}
 	return child, nil
+}
+
+// abortForkChild unwinds a child whose address space is already in
+// place: the owned space is destroyed (a vfork child borrowing the
+// parent's space just drops the reference) before the process-table
+// entry goes.
+func (k *Kernel) abortForkChild(child *Process) {
+	if child.space != nil && child.spaceOwned {
+		child.space.Destroy()
+	}
+	child.space = nil
+	k.abortFork(child)
 }
 
 // abortFork unwinds a half-created child.

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/addrspace"
 	"repro/internal/cost"
+	"repro/internal/fault"
 	"repro/internal/image"
 	"repro/internal/mem"
 	"repro/internal/vfs"
@@ -69,6 +70,16 @@ type Options struct {
 	ConsoleOut io.Writer
 	// ConsoleIn supplies /dev/console reads (default: EOF).
 	ConsoleIn io.Reader
+	// Faults installs a deterministic fault-injection schedule at
+	// boot: every fallible boundary (frame allocation, commit
+	// reservation, page-table clone, COW break, descriptor-table
+	// copy, exec image load, thread creation) consults it. nil
+	// disables injection entirely (zero overhead on the hot paths).
+	Faults fault.Schedule
+	// Trace enables the structured event trace: syscall enter/exit,
+	// scheduler dispatches, TLB-shootdown rounds, injected faults,
+	// and process lifecycle, readable via Tracer.
+	Trace bool
 }
 
 // DefaultQuantum is the timeslice used when Options.Quantum is zero.
@@ -129,6 +140,12 @@ type Kernel struct {
 	sleepers []*Thread // blocked in nanosleep, unordered
 
 	futexes map[futexKey]*WaitQueue
+
+	// faults is the fault-injection engine (nil = injection off; all
+	// Fail call sites are nil-safe). tracer is the structured event
+	// trace (nil = tracing off).
+	faults *fault.Injector
+	tracer *fault.Recorder
 
 	// Diagnostics.
 	OOMKills        int
@@ -230,7 +247,50 @@ func New(opts Options) (*Kernel, error) {
 	if _, err := k.fs.Mknod("/dev/console", console); err != nil {
 		panic(err)
 	}
+	if opts.Trace {
+		k.tracer = fault.NewRecorder()
+		k.meter.OnShootdown = func(remotes int) {
+			k.trace(fault.Event{Kind: fault.EvShootdown, Pid: -1, Num: uint64(remotes)})
+		}
+	}
+	if opts.Faults != nil {
+		k.SetFaultSchedule(opts.Faults)
+	}
 	return k, nil
+}
+
+// SetFaultSchedule installs (or replaces) the machine's fault
+// schedule. The injector's per-point op counters persist across
+// schedule swaps — they identify operations since boot, which is what
+// lets a clean Observe run enumerate the targets for a later sweep.
+func (k *Kernel) SetFaultSchedule(s fault.Schedule) {
+	if k.faults == nil {
+		k.faults = fault.NewInjector(k.meter, s)
+		k.faults.SetRecorder(k.tracer)
+		k.phys.SetInjector(k.faults)
+		return
+	}
+	k.faults.SetSchedule(s)
+}
+
+// Faults returns the fault-injection engine (nil when injection is
+// off). The load drivers consult workload-level points through it.
+func (k *Kernel) Faults() *fault.Injector { return k.faults }
+
+// Tracer returns the structured event trace (nil unless Options.Trace
+// was set).
+func (k *Kernel) Tracer() *fault.Recorder { return k.tracer }
+
+// trace records one event, filling in time and CPU from the meter.
+// It is cheap to call unconditionally guarded (tracer nil-checks are
+// at the hot call sites).
+func (k *Kernel) trace(e fault.Event) {
+	if k.tracer == nil {
+		return
+	}
+	e.Time = k.meter.Now()
+	e.CPU = k.meter.ActiveCPU()
+	k.tracer.Record(e)
 }
 
 // Meter exposes the cost meter (experiments read the clock and event
@@ -492,7 +552,7 @@ func (k *Kernel) Run(limits RunLimits) error {
 		if stolen {
 			c.steals++
 		}
-		k.dispatch(c, t, limits, startInstr, deadline)
+		k.dispatch(c, t, stolen, limits, startInstr, deadline)
 	}
 }
 
@@ -557,8 +617,15 @@ func (k *Kernel) idleSync() {
 }
 
 // dispatch runs t on c for up to one quantum.
-func (k *Kernel) dispatch(c *cpu, t *Thread, limits RunLimits, startInstr uint64, deadline cost.Ticks) {
+func (k *Kernel) dispatch(c *cpu, t *Thread, stolen bool, limits RunLimits, startInstr uint64, deadline cost.Ticks) {
 	k.meter.SetActiveCPU(c.id)
+	if k.tracer != nil {
+		var aux uint64
+		if stolen {
+			aux = 1
+		}
+		k.trace(fault.Event{Kind: fault.EvSched, Pid: int(t.proc.Pid), Tid: t.TID, Aux: aux})
+	}
 	t.cpu = c.id
 	t.state = TRunning
 	t.dispatches++

@@ -3,6 +3,7 @@ package kernel
 import (
 	"repro/internal/abi"
 	"repro/internal/errno"
+	"repro/internal/fault"
 	"repro/internal/sig"
 	"repro/internal/vfs"
 )
@@ -31,6 +32,9 @@ func (k *Kernel) detachThread(t *Thread) {
 func (k *Kernel) ExitProcess(p *Process, status uint64) {
 	if p.state != ProcAlive {
 		return
+	}
+	if k.tracer != nil {
+		k.trace(fault.Event{Kind: fault.EvProcExit, Pid: int(p.Pid), Aux: status, Name: p.Name})
 	}
 	// Collect pipes before closing so their waiters can be woken
 	// (a reader blocked on a pipe must see EOF when the last writer

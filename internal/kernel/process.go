@@ -6,6 +6,7 @@ import (
 	"repro/internal/addrspace"
 	"repro/internal/cost"
 	"repro/internal/errno"
+	"repro/internal/fault"
 	"repro/internal/sig"
 	"repro/internal/vfs"
 )
@@ -289,6 +290,13 @@ func (k *Kernel) newProcess(name string, parent *Process) *Process {
 	}
 	k.procs[p.Pid] = p
 	k.meter.Charge(k.meter.Model.ProcAlloc)
+	if k.tracer != nil {
+		ppid := PID(0)
+		if parent != nil {
+			ppid = parent.Pid
+		}
+		k.trace(fault.Event{Kind: fault.EvProcNew, Pid: int(p.Pid), Num: uint64(ppid), Name: name})
+	}
 	return p
 }
 

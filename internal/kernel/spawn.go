@@ -4,6 +4,7 @@ import (
 	"repro/internal/abi"
 	"repro/internal/cost"
 	"repro/internal/errno"
+	"repro/internal/fault"
 	"repro/internal/sig"
 	"repro/internal/vfs"
 )
@@ -57,6 +58,9 @@ func (k *Kernel) doSpawn(parent *Process, callerMask sig.Set, path string, argv 
 	// order, with FAChdir affecting subsequent relative FAOpens,
 	// matching posix_spawn_file_actions_addchdir), then
 	// close-on-exec.
+	if e := k.faults.Fail(fault.PointFDClone, uint64(parent.fds.OpenCount())); e != errno.OK {
+		return fail(e)
+	}
 	var nfds int
 	child.fds, nfds = parent.fds.Clone()
 	k.meter.Charge(cost.Ticks(nfds) * k.meter.Model.FDClone)
@@ -109,6 +113,13 @@ func (k *Kernel) doSpawn(parent *Process, callerMask sig.Set, path string, argv 
 	}
 	child.space = space
 	child.spaceOwned = true
+
+	if e := k.faults.Fail(fault.PointThreadCreate, 1); e != errno.OK {
+		child.space.Destroy()
+		child.space = nil
+		child.spaceOwned = false
+		return fail(e)
+	}
 
 	state := TParked
 	if start {

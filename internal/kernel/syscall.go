@@ -7,6 +7,7 @@ import (
 	"repro/internal/addrspace"
 	"repro/internal/cost"
 	"repro/internal/errno"
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/sig"
 	"repro/internal/vfs"
@@ -29,18 +30,31 @@ const maxXfer = 1 << 20
 func (k *Kernel) syscall(t *Thread, num uint64) {
 	k.meter.Charge(k.meter.Model.SyscallEntry)
 	k.meter.Syscalls++
+	if k.tracer != nil {
+		k.trace(fault.Event{Kind: fault.EvSysEnter, Pid: int(t.proc.Pid), Tid: t.TID, Num: num})
+	}
 
 	ret, err := k.sysEnter(t, num)
 	switch err {
 	case errBlocked:
+		// The instruction restarts on wakeup; a fresh enter event
+		// will record the retry. No exit event.
 		return
 	case errNoReturn:
+		// exit/exec/sigreturn never return to the call site; the
+		// proc/exec lifecycle events tell the story instead.
 		return
 	case nil:
 		t.regs[0] = ret
+		if k.tracer != nil {
+			k.trace(fault.Event{Kind: fault.EvSysExit, Pid: int(t.proc.Pid), Tid: t.TID, Num: num, Aux: ret})
+		}
 	default:
 		e := errno.Of(err, errno.EINVAL)
 		t.regs[0] = uint64(-int64(e))
+		if k.tracer != nil {
+			k.trace(fault.Event{Kind: fault.EvSysExit, Pid: int(t.proc.Pid), Tid: t.TID, Num: num, Err: e})
+		}
 	}
 	t.pc += isa.InstrSize
 	k.meter.Charge(k.meter.Model.SyscallExit)
@@ -246,6 +260,9 @@ func (k *Kernel) sysEnter(t *Thread, num uint64) (uint64, error) {
 		return 0, errNoReturn
 
 	case abi.SysThreadCreate:
+		if e := k.faults.Fail(fault.PointThreadCreate, 1); e != errno.OK {
+			return 0, e
+		}
 		nt := k.newThread(p, TRunnable)
 		nt.regs[0] = a[1]
 		nt.regs[14] = a[2]

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/errno"
+	"repro/internal/fault"
 )
 
 // Page geometry. These mirror x86-64 4 KiB base pages and 2 MiB huge
@@ -116,6 +117,11 @@ type Physical struct {
 	policy      CommitPolicy
 	commitLimit uint64 // pages (RAM + swap)
 	committed   uint64 // pages currently reserved
+
+	// inj, when set, is the machine's fault injector: frame
+	// allocations and commit reservations become schedulable failure
+	// points (nil = never inject; the Fail calls are nil-safe).
+	inj *fault.Injector
 }
 
 // NewPhysical creates physical memory of ramBytes plus swapBytes of
@@ -154,11 +160,22 @@ func (p *Physical) Policy() CommitPolicy { return p.policy }
 // SetPolicy changes the overcommit policy (used by experiments).
 func (p *Physical) SetPolicy(pol CommitPolicy) { p.policy = pol }
 
+// SetInjector installs the machine's fault injector (kernel boot).
+func (p *Physical) SetInjector(i *fault.Injector) { p.inj = i }
+
+// Injector returns the machine's fault injector (nil when fault
+// injection is off; the address-space layer consults its own points
+// through here).
+func (p *Physical) Injector() *fault.Injector { return p.inj }
+
 // Reserve requests commit for n pages of private writable memory.
 // Under CommitStrict it fails with ENOMEM when the commit limit would
 // be exceeded; under CommitHeuristic it fails only for single requests
 // larger than the limit; CommitAlways never fails.
 func (p *Physical) Reserve(n uint64) error {
+	if e := p.inj.Fail(fault.PointCommit, n); e != errno.OK {
+		return e
+	}
 	switch p.policy {
 	case CommitStrict:
 		if p.committed+n > p.commitLimit {
@@ -213,6 +230,9 @@ func (p *Physical) live(f FrameID) *frame {
 // warm); otherwise the next never-touched frame is taken in ascending
 // id order, growing the frame table on demand.
 func (p *Physical) Alloc() (FrameID, error) {
+	if e := p.inj.Fail(fault.PointFrameAlloc, 1); e != errno.OK {
+		return NoFrame, e
+	}
 	if p.allocatedPages+1 > p.totalPages {
 		return NoFrame, errno.ENOMEM
 	}
@@ -239,6 +259,9 @@ func (p *Physical) Alloc() (FrameID, error) {
 // AllocHuge hands out one 2 MiB frame with refcount 1. The 512-page
 // budget is charged against the same RAM pool as base frames.
 func (p *Physical) AllocHuge() (FrameID, error) {
+	if e := p.inj.Fail(fault.PointFrameAlloc, FramesPerHuge); e != errno.OK {
+		return NoFrame, e
+	}
 	if p.allocatedPages+FramesPerHuge > p.totalPages {
 		return NoFrame, errno.ENOMEM
 	}

@@ -40,6 +40,20 @@
 // order; sim/load's regression suite asserts byte-identical metrics
 // across repeated runs at 1, 2, 4, and 8 CPUs.
 //
+// Failure is a schedulable input: sim.WithFaults installs a
+// deterministic fault-injection schedule from the sim/fault
+// subpackage — a pure function of (machine id, virtual time, op
+// counter) consulted at every fallible kernel boundary (frame
+// allocation, commit reservation, page-table clone, COW break,
+// descriptor-table copy, exec image load, thread creation) — and
+// sim.WithTrace records a structured event trace (syscall enter/exit,
+// scheduling decisions, shootdown IPIs, injected faults, process
+// lifecycle) rendered by `forkbench trace` and frozen as golden files
+// by the sim tests. The same schedule and seed replay bit-for-bit, so
+// any failure found once is a regression test forever; sim/fault's
+// exhaustive sweep injects a fault at every operation a clean run
+// enumerates and holds the kernel to well-typed errors and zero leaks.
+//
 // The sim/load subpackage drives high-scale workloads over a System —
 // a prefork server, pipeline farm, snapshot checkpointer, fork storm,
 // a multithreaded SMP server snapshotting mid-traffic, and a parallel

@@ -1,0 +1,128 @@
+package fault_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/sim"
+	"repro/sim/fault"
+	"repro/sim/load"
+)
+
+// TestChaosRunsDeterministic is the schedule-determinism regression
+// for the acceptance criterion: an identical fault schedule and seed
+// produces byte-identical metrics — served and failed requests, OOM
+// kills, every virtual-time counter — on repeated runs at 1, 2, and 8
+// simulated CPUs. The schedule sees only (virtual time, op counter,
+// magnitude), so nothing host-side can perturb which operations fail.
+func TestChaosRunsDeterministic(t *testing.T) {
+	for _, cpus := range []int{1, 2, 8} {
+		for _, via := range []sim.Strategy{sim.ForkExec, sim.Spawn} {
+			cpus, via := cpus, via
+			t.Run(fmt.Sprintf("%dcpu-%v", cpus, via), func(t *testing.T) {
+				cfg := load.Config{
+					Scenario:  load.Prefork,
+					Via:       via,
+					CPUs:      cpus,
+					Requests:  24,
+					HeapBytes: 8 << 20,
+					Faults:    fault.Chaos(5, 0),
+				}
+				a, err := load.Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := load.Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(a, b) {
+					aj, _ := json.MarshalIndent(a, "", "  ")
+					bj, _ := json.MarshalIndent(b, "", "  ")
+					t.Errorf("two identical chaos runs diverged:\nfirst:  %s\nsecond: %s", aj, bj)
+				}
+				if a.Requests+a.FailedRequests != 24 {
+					t.Errorf("served %d + failed %d != 24 requests", a.Requests, a.FailedRequests)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosActuallyInjects guards against the chaos mode rotting into
+// a no-op: under the standard wave schedule the fork-based server must
+// lose requests (its Θ(heap) reservations are the waves' prey), and a
+// clean run of the same config must lose none.
+func TestChaosActuallyInjects(t *testing.T) {
+	cfg := load.Config{
+		Scenario:  load.Prefork,
+		Via:       sim.ForkExec,
+		Requests:  32,
+		HeapBytes: 16 << 20,
+		Faults:    fault.Chaos(1, 0),
+	}
+	chaos, err := load.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chaos.FailedRequests == 0 {
+		t.Error("chaos run lost no requests; the wave schedule never fired")
+	}
+	clean := cfg
+	clean.Faults = nil
+	m, err := load.Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FailedRequests != 0 || m.Requests != 32 {
+		t.Errorf("clean run reported failures: served %d, failed %d", m.Requests, m.FailedRequests)
+	}
+}
+
+// TestChaosRejectsUnsupportedScenario pins the Config.Faults contract:
+// only the failure-tolerant scenarios accept a schedule.
+func TestChaosRejectsUnsupportedScenario(t *testing.T) {
+	_, err := load.Run(load.Config{
+		Scenario: load.Pipeline,
+		Faults:   fault.Chaos(1, 0),
+	})
+	if err == nil {
+		t.Fatal("pipeline accepted a fault schedule")
+	}
+}
+
+// TestTraceDeterministicWithFaults: the rendered trace of a traced,
+// fault-injected run is byte-identical across runs — the trace is the
+// replay log the golden files freeze.
+func TestTraceDeterministicWithFaults(t *testing.T) {
+	run := func() string {
+		sys, err := sim.NewSystem(
+			sim.WithRAM(sweepRAM),
+			sim.WithUserland("true"),
+			sim.WithTrace(),
+			sim.WithFaults(fault.FailOp(fault.PointPTClone, 1, fault.ENOMEM)),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.DirtyHost(sweepHeap, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Command("true").Via(sim.ForkExec).Run(); err == nil {
+			t.Fatal("injected PTClone fault did not surface")
+		}
+		if err := sys.Command("true").Via(sim.ForkExec).Run(); err != nil {
+			t.Fatalf("second request failed after the single fault was spent: %v", err)
+		}
+		return sys.Trace().Render()
+	}
+	first := run()
+	if second := run(); first != second {
+		t.Errorf("fault-injected trace not deterministic:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+	if first == "" {
+		t.Error("trace is empty")
+	}
+}

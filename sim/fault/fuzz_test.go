@@ -1,0 +1,101 @@
+package fault_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/addrspace"
+	"repro/sim"
+	"repro/sim/fault"
+)
+
+// chaosEpisode boots the sweep machine cleanly, arms a pseudo-random
+// fault schedule derived from (seed, perMille), and drives a short
+// prefork-style loop through fork+exec, logging every request's
+// outcome. It enforces the chaos invariants as it goes: every failure
+// well-typed (no panics), all resources back at baseline afterwards,
+// and the machine still serving once the schedule is disarmed. The
+// returned transcript is the deterministic-replay witness: the same
+// schedule must produce the same transcript, byte for byte.
+func chaosEpisode(seed, perMille uint64) (string, error) {
+	sys, err := sim.NewSystem(sim.WithRAM(sweepRAM), sim.WithUserland("true"))
+	if err != nil {
+		return "", err
+	}
+	if err := sys.DirtyHost(sweepHeap, false); err != nil {
+		return "", err
+	}
+	var hs, hl uint64
+	for _, v := range sys.Host().Space().VMAs() {
+		if v.Name == "workset" {
+			hs, hl = v.Start, v.Len()
+		}
+	}
+	base := snapshot(sys)
+
+	// Arm after the clean warm-up, exactly like load's chaos mode.
+	sys.SetFaultSchedule(fault.Random(seed, 0, perMille, fault.ENOMEM))
+	var out strings.Builder
+	for i := 0; i < 6; i++ {
+		cmd := sys.Command("true").Via(sim.ForkExec)
+		if err := cmd.Start(); err != nil {
+			if !wellTyped(err) {
+				return "", fmt.Errorf("request %d: untyped start error: %w", i, err)
+			}
+			fmt.Fprintf(&out, "req%d start err: %v\n", i, err)
+			continue
+		}
+		terr := sys.Host().Space().Touch(hs, hl, addrspace.AccessWrite)
+		if terr != nil && !wellTyped(terr) {
+			return "", fmt.Errorf("request %d: untyped touch error: %w", i, terr)
+		}
+		werr := cmd.Wait()
+		if werr != nil && !wellTyped(werr) {
+			return "", fmt.Errorf("request %d: untyped wait error: %w", i, werr)
+		}
+		fmt.Fprintf(&out, "req%d touch=%v wait=%v\n", i, terr, werr)
+	}
+
+	// Disarm; everything must be back at baseline and the machine
+	// must still serve.
+	sys.SetFaultSchedule(fault.Observe())
+	if got := snapshot(sys); got != base {
+		return "", fmt.Errorf("chaos leaked: %+v, baseline %+v\ntranscript:\n%s", got, base, out.String())
+	}
+	if err := workload(sys, sim.ForkExec, hs, hl); err != nil {
+		return "", fmt.Errorf("machine wedged after chaos: %w\ntranscript:\n%s", err, out.String())
+	}
+	if got := snapshot(sys); got != base {
+		return "", fmt.Errorf("post-chaos request leaked: %+v, baseline %+v", got, base)
+	}
+	fmt.Fprintf(&out, "injected=%d\n", sys.Faults().Injected())
+	return out.String(), nil
+}
+
+// FuzzFaultSchedule throws random fault schedules at the prefork
+// workload: whatever (seed, rate) the fuzzer invents, the kernel must
+// not panic, must not leak a process/frame/commit-page/descriptor, and
+// must replay the schedule deterministically — the failing schedule IS
+// its own reproducer. Runs in the CI fuzz-smoke job.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add(uint64(1), uint64(100))
+	f.Add(uint64(42), uint64(500))
+	f.Add(uint64(7), uint64(20))
+	f.Add(uint64(0xdeadbeef), uint64(950))
+	f.Fuzz(func(t *testing.T, seed, perMille uint64) {
+		perMille %= 1001
+		first, err := chaosEpisode(seed, perMille)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := chaosEpisode(seed, perMille)
+		if err != nil {
+			t.Fatalf("replay failed where first run passed: %v", err)
+		}
+		if first != second {
+			t.Fatalf("schedule (seed=%d rate=%d‰) did not replay deterministically:\nfirst:\n%s\nsecond:\n%s",
+				seed, perMille, first, second)
+		}
+	})
+}

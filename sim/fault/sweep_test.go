@@ -1,0 +1,202 @@
+package fault_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/addrspace"
+	"repro/internal/errno"
+	"repro/sim"
+	"repro/sim/fault"
+)
+
+// The sweep's workload machine: a small dirty parent so the fork
+// family exercises page-table clones and COW state without making the
+// exhaustive sweep slow.
+const (
+	sweepRAM  = 64 << 20
+	sweepHeap = 256 << 10 // 64 pages of COW-able parent heap
+)
+
+// allStrategies is every creation API including the eager ablation.
+func allStrategies() []sim.Strategy {
+	return append(sim.Strategies(), sim.EagerForkExec)
+}
+
+// resources is the leak-invariant snapshot: process-table entries,
+// allocated frames, commit charge, and the host's open descriptors.
+type resources struct {
+	procs     int
+	pages     uint64
+	committed uint64
+	hostFDs   int
+}
+
+func snapshot(sys *sim.System) resources {
+	k := sys.Kernel()
+	return resources{
+		procs:     k.ProcessCount(),
+		pages:     k.Phys().AllocatedPages(),
+		committed: k.Phys().Committed(),
+		hostFDs:   sys.Host().FDs().OpenCount(),
+	}
+}
+
+// bootSweepSystem boots the sweep machine under the given schedule,
+// with the host's dirty heap mapped. It returns the heap VMA bounds so
+// the workload can rewrite it (COW traffic for the fork family).
+func bootSweepSystem(t *testing.T, sched fault.Schedule) (*sim.System, uint64, uint64) {
+	t.Helper()
+	sys, err := sim.NewSystem(
+		sim.WithRAM(sweepRAM),
+		sim.WithUserland("true"),
+		sim.WithFaults(sched),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DirtyHost(sweepHeap, false); err != nil {
+		t.Fatal(err)
+	}
+	var start, length uint64
+	for _, v := range sys.Host().Space().VMAs() {
+		if v.Name == "workset" {
+			start, length = v.Start, v.Len()
+		}
+	}
+	if length == 0 {
+		t.Fatal("host workset VMA not found")
+	}
+	return sys, start, length
+}
+
+// workload is one prefork-style request from a dirty parent: create a
+// child through the strategy, rewrite the parent's heap while the
+// request is in flight (the COW tax), and reap. It returns the first
+// error, which under injection must be well-typed.
+func workload(sys *sim.System, st sim.Strategy, heapStart, heapLen uint64) error {
+	cmd := sys.Command("true").Via(st)
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	terr := sys.Host().Space().Touch(heapStart, heapLen, addrspace.AccessWrite)
+	werr := cmd.Wait()
+	if terr != nil {
+		return terr
+	}
+	return werr
+}
+
+// wellTyped reports whether err is an error the public API contracts
+// allow a fault to surface as: a kernel errno (possibly wrapped) or a
+// decoded ExitError (the worker died to an injected kill/OOM). A
+// panic, or an untyped error, fails the sweep.
+func wellTyped(err error) bool {
+	var e errno.Errno
+	if errors.As(err, &e) {
+		return true
+	}
+	return sim.AsExitError(err) != nil
+}
+
+// TestExhaustiveSingleFaultSweep is the schedule-sweeping invariant
+// test: for every creation strategy, a clean Observe() run enumerates
+// every injection-point operation the workload performs (the compact
+// trace of fallible boundaries), and then the sweep re-runs the
+// workload once per enumerated operation with exactly that operation
+// failing. Whatever single fault fires, the kernel must (a) return a
+// well-typed error — never panic, never wedge — (b) release every
+// process, frame, commit page, and descriptor back to baseline, and
+// (c) keep serving: a follow-up clean request on the same machine must
+// succeed and also return to baseline.
+func TestExhaustiveSingleFaultSweep(t *testing.T) {
+	for _, st := range allStrategies() {
+		st := st
+		t.Run(st.String(), func(t *testing.T) {
+			// Clean run: count operations at every point, from the
+			// same machine state the fault runs will replay.
+			sys, hs, hl := bootSweepSystem(t, fault.Observe())
+			before := sys.Faults().Counts()
+			base := snapshot(sys)
+			if err := workload(sys, st, hs, hl); err != nil {
+				t.Fatalf("clean run failed: %v", err)
+			}
+			if got := snapshot(sys); got != base {
+				t.Fatalf("clean run leaked: %+v, baseline %+v", got, base)
+			}
+			after := sys.Faults().Counts()
+
+			total := 0
+			for _, p := range fault.Points() {
+				for seq := before[p] + 1; seq <= after[p]; seq++ {
+					total++
+					t.Run(fmt.Sprintf("%v-%d", p, seq), func(t *testing.T) {
+						fsys, fhs, fhl := bootSweepSystem(t, fault.FailOp(p, seq, fault.ENOMEM))
+						fbase := snapshot(fsys)
+						err := workload(fsys, st, fhs, fhl)
+						if err != nil && !wellTyped(err) {
+							t.Fatalf("fault at %v op %d surfaced untyped: %v", p, seq, err)
+						}
+						if fsys.Faults().Injected() == 0 {
+							t.Fatalf("fault at %v op %d never fired (clean run counted it)", p, seq)
+						}
+						if got := snapshot(fsys); got != fbase {
+							t.Fatalf("fault at %v op %d leaked: %+v, baseline %+v (workload err: %v)",
+								p, seq, got, fbase, err)
+						}
+						// The machine must have survived: the single
+						// fault is spent, so a clean request works.
+						if err := workload(fsys, st, fhs, fhl); err != nil {
+							t.Fatalf("machine wedged after fault at %v op %d: %v", p, seq, err)
+						}
+						if got := snapshot(fsys); got != fbase {
+							t.Fatalf("post-fault request leaked: %+v, baseline %+v", got, fbase)
+						}
+					})
+				}
+			}
+			if total == 0 {
+				t.Fatal("clean run enumerated no injection-point operations")
+			}
+			t.Logf("%v: swept %d single-fault schedules", st, total)
+		})
+	}
+}
+
+// TestFaultSweepCoversTheTentpolePoints pins that the workload's clean
+// enumeration actually reaches the boundaries the subsystem exists to
+// test — a refactor that silently stops exercising, say, the COW-break
+// point would otherwise hollow the sweep out.
+func TestFaultSweepCoversTheTentpolePoints(t *testing.T) {
+	cases := []struct {
+		st   sim.Strategy
+		pts  []fault.Point
+		name string
+	}{
+		{sim.ForkExec, []fault.Point{
+			fault.PointPTClone, fault.PointCOWBreak, fault.PointFDClone,
+			fault.PointExecImage, fault.PointThreadCreate, fault.PointCommit,
+			fault.PointFrameAlloc,
+		}, "fork"},
+		{sim.Spawn, []fault.Point{
+			fault.PointFDClone, fault.PointExecImage, fault.PointThreadCreate,
+			fault.PointCommit, fault.PointFrameAlloc,
+		}, "spawn"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sys, hs, hl := bootSweepSystem(t, fault.Observe())
+			before := sys.Faults().Counts()
+			if err := workload(sys, c.st, hs, hl); err != nil {
+				t.Fatal(err)
+			}
+			after := sys.Faults().Counts()
+			for _, p := range c.pts {
+				if after[p] == before[p] {
+					t.Errorf("%v workload never crossed %v", c.st, p)
+				}
+			}
+		})
+	}
+}

@@ -40,6 +40,12 @@ func TestFleetDeterministicAcrossGOMAXPROCS(t *testing.T) {
 		{Machines: 8, Scenario: fleet.RollingRestart, Via: sim.Spawn, Requests: 4, HeapBytes: 8 << 20},
 		{Machines: 6, Scenario: fleet.Heterogeneous, Via: sim.ForkExec, Requests: 3, HeapBytes: 4 << 20},
 		{Machines: 4, Scenario: fleet.Surge, Via: sim.Spawn, Requests: 4, HeapBytes: 4 << 20, SurgeFactor: 3},
+		// Chaos: injected fault waves are pure functions of
+		// (FaultSeed, machine id, virtual time, op counter), so the
+		// report — losses included — inherits the byte-stability
+		// guarantee at any host parallelism.
+		{Machines: 6, Scenario: fleet.Chaos, Via: sim.ForkExec, Requests: 8, HeapBytes: 8 << 20, FaultSeed: 3},
+		{Machines: 6, Scenario: fleet.Chaos, Via: sim.Spawn, Requests: 8, HeapBytes: 8 << 20, FaultSeed: 3},
 	}
 	for _, spec := range specs {
 		spec := spec

@@ -20,7 +20,7 @@
 //	})
 //	data, _ := res.JSON() // byte-stable: same Spec, same bytes
 //
-// Four fleet scenarios express behaviour one machine cannot:
+// Five fleet scenarios express behaviour one machine cannot:
 //
 //	Uniform        — N identical machines each driving a sim/load
 //	                 scenario; the parallel substrate the forkbench
@@ -36,6 +36,15 @@
 //	Surge          — a baseline phase, then a traffic spike that
 //	                 multiplies the in-flight window and request
 //	                 volume on every machine at once.
+//	Chaos          — the fault-injection wave: every machine serves
+//	                 prefork traffic under a sim/fault schedule
+//	                 derived from (Spec.FaultSeed, machine id) —
+//	                 ENOMEM pressure waves that prey on fork's
+//	                 Θ(heap) reservations, plus worker kill waves.
+//	                 Lost requests land in Aggregate.FailedRequests,
+//	                 and because schedules are pure functions of the
+//	                 machine's virtual execution the report — losses
+//	                 included — keeps the byte-stability guarantee.
 //
 // RunAll is the lower-level primitive: an order-preserving parallel
 // map over arbitrary load.Configs, used by `forkbench load -sweep`

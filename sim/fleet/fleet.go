@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/sim"
+	"repro/sim/fault"
 	"repro/sim/load"
 )
 
@@ -38,11 +39,18 @@ const (
 	// for the windowed loads (prefork, buildfarm), the in-flight
 	// request window too.
 	Surge Scenario = "surge"
+	// Chaos is the fault-injection wave: every machine serves
+	// prefork traffic while suffering injected ENOMEM pressure waves
+	// and worker kill waves mid-traffic, under a fault schedule
+	// derived deterministically from (FaultSeed, machine id). Lost
+	// requests are counted, not fatal, and the aggregate report —
+	// failures included — stays byte-stable at any host parallelism.
+	Chaos Scenario = "chaos"
 )
 
 // Scenarios lists every fleet scenario, in a fixed order.
 func Scenarios() []Scenario {
-	return []Scenario{Uniform, RollingRestart, Heterogeneous, Surge}
+	return []Scenario{Uniform, RollingRestart, Heterogeneous, Surge, Chaos}
 }
 
 // ParseScenario maps a CLI name to its Scenario.
@@ -52,7 +60,7 @@ func ParseScenario(name string) (Scenario, error) {
 			return s, nil
 		}
 	}
-	return "", fmt.Errorf("fleet: unknown scenario %q (uniform|rolling|hetero|surge)", name)
+	return "", fmt.Errorf("fleet: unknown scenario %q (uniform|rolling|hetero|surge|chaos)", name)
 }
 
 // heteroLadder is the machine-shape cycle of the Heterogeneous
@@ -101,6 +109,12 @@ type Spec struct {
 	// during Surge's spike phase (default 4).
 	SurgeFactor int
 
+	// FaultSeed seeds the Chaos scenario's fault schedules (default
+	// 1). Each machine's schedule is fault.Chaos(FaultSeed, id): a
+	// pure function, so the same seed replays the same waves on
+	// every run at any host parallelism.
+	FaultSeed uint64
+
 	// Parallelism bounds the host worker pool that multiplexes the
 	// fleet's machines across host goroutines (default and ceiling:
 	// GOMAXPROCS). It affects host wall-clock time only, never the
@@ -134,6 +148,9 @@ func (s Spec) withDefaults() Spec {
 	if s.SurgeFactor == 0 {
 		s.SurgeFactor = 4
 	}
+	if s.FaultSeed == 0 {
+		s.FaultSeed = 1
+	}
 	return s
 }
 
@@ -153,6 +170,12 @@ func (s Spec) validate() error {
 	}
 	if s.SurgeFactor < 1 {
 		return fmt.Errorf("fleet: surge factor %d (want >= 1)", s.SurgeFactor)
+	}
+	if s.Scenario == Chaos && s.Load != load.Prefork {
+		// Chaos needs the failure-tolerant driver; anything else
+		// would silently serve different traffic than the report
+		// claims.
+		return fmt.Errorf("fleet: chaos requires the prefork load (got %s)", s.Load)
 	}
 	if _, err := load.ParseScenario(string(s.Load)); err != nil {
 		return err
@@ -257,6 +280,12 @@ type Aggregate struct {
 	Machines       int    `json:"machines"`
 	TotalRequests  uint64 `json:"total_requests"`
 	TotalCreations uint64 `json:"total_creations"`
+
+	// FailedRequests and OOMKills total the fleet's chaos losses:
+	// requests lost to injected faults and workers the OOM killer
+	// reaped (zero outside the Chaos scenario).
+	FailedRequests uint64 `json:"failed_requests,omitempty"`
+	OOMKills       uint64 `json:"oom_kills,omitempty"`
 
 	// RequestsPerVSec is fleet throughput: the sum of every
 	// machine's requests-per-virtual-second.
@@ -368,6 +397,16 @@ func runMachine(spec Spec, id int) (*MachineMetrics, *restartDebug, error) {
 		mm.RestartNanos = rr.RestartNanos
 		mm.RestartPTECopies = rr.RestartPTECopies
 		dbg = d
+	case Chaos:
+		// Chaos serves prefork traffic (validate pinned Spec.Load
+		// to it) under this machine's derived wave schedule.
+		cfg := ms.loadConfig()
+		cfg.Faults = fault.Chaos(spec.FaultSeed, ms.ID)
+		m, err := load.Run(cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("chaos phase: %w", err)
+		}
+		mm.Phases = []*load.Metrics{m}
 	case Surge:
 		base, err := load.Run(ms.loadConfig())
 		if err != nil {
@@ -409,6 +448,8 @@ func aggregate(machines []MachineMetrics) Aggregate {
 		for _, p := range mm.Phases {
 			agg.TotalRequests += p.Requests
 			agg.TotalCreations += p.Creations
+			agg.FailedRequests += p.FailedRequests
+			agg.OOMKills += p.OOMKills
 			machineNanos += p.VirtualNanos
 			if p.PeakRSSBytes > machinePeak {
 				machinePeak = p.PeakRSSBytes
@@ -457,6 +498,9 @@ func (r *Result) Render() string {
 		r.Scenario, a.Machines, r.Strategy, r.Load, load.HumanBytes(r.HeapBytes))
 	row := func(k, v string) { fmt.Fprintf(&b, "  %-18s %s\n", k, v) }
 	row("requests", fmt.Sprintf("%d (%.0f/virt-s fleet-wide)", a.TotalRequests, a.RequestsPerVSec))
+	if a.FailedRequests > 0 || r.Scenario == string(Chaos) {
+		row("failed", fmt.Sprintf("%d (injected faults; %d oom-killed)", a.FailedRequests, a.OOMKills))
+	}
 	row("creations", fmt.Sprint(a.TotalCreations))
 	row("makespan", fmt.Sprintf("%.3fms (fleet total %.3fms)",
 		float64(a.MaxVirtualNanos)/1e6, float64(a.TotalVirtualNanos)/1e6))

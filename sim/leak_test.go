@@ -29,6 +29,14 @@ func snapshot(sys *sim.System) counts {
 // strategy, the kernel's process table and physical memory must be
 // exactly back at baseline — a server that creates thousands of
 // processes cannot afford a page per failed creation.
+//
+// These are the *organic* failure paths (bad path, genuinely
+// exhausted RAM, strict commit). The schedule-sweeping generalization
+// lives in sim/fault: TestExhaustiveSingleFaultSweep enumerates every
+// injection-point operation from a clean run's op counters and
+// re-runs the workload with each one failing in turn, holding the
+// same invariant at every fallible boundary instead of these
+// hand-picked ones.
 func TestStartFailureLeaksNothing(t *testing.T) {
 	t.Run("bad-path", func(t *testing.T) {
 		for _, st := range allStrategies() {

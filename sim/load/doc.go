@@ -56,6 +56,15 @@
 //		HeapBytes: 256 << 20,
 //	})
 //
+// Config.Faults turns a run into a chaos run: a deterministic fault
+// schedule from sim/fault is armed after warm-up, per-request
+// failures (refused creations, OOM-killed or crash-waved workers) are
+// counted in Metrics.FailedRequests instead of aborting, and the run
+// stays exactly as reproducible as a clean one — the schedule is a
+// pure function of the machine's virtual execution. Prefork is the
+// failure-tolerant scenario; experiments.ChaosClaim (E11, `forkbench
+// chaos`) and the fleet chaos scenario build on it.
+//
 // The forkbench CLI fronts this package (`forkbench load`), and
 // internal/experiments uses it to regenerate the §5 server-claim
 // table. The sim/fleet package runs many of these machines at once —

@@ -8,6 +8,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mem"
 	"repro/sim"
+	"repro/sim/fault"
 )
 
 // Scenario names a workload shape. The string form is the CLI name.
@@ -88,6 +89,17 @@ type Config struct {
 
 	// HugePages backs the heap with 2 MiB mappings.
 	HugePages bool
+
+	// Faults, when non-nil, runs the measured loop in chaos mode:
+	// the schedule is installed after warm-up (so setup stays
+	// clean), per-request failures are tolerated and counted in
+	// Metrics.FailedRequests instead of aborting the run, and the
+	// driver consults fault.PointKill once per request so kill-wave
+	// schedules can crash in-flight workers. Only the failure-
+	// tolerant scenarios (currently Prefork) accept it. Schedules
+	// are pure functions, so a chaos run is exactly as deterministic
+	// as a clean one.
+	Faults fault.Schedule
 }
 
 // withDefaults returns cfg with every zero field resolved.
@@ -154,6 +166,12 @@ type Metrics struct {
 	Requests  uint64 `json:"requests"`
 	Creations uint64 `json:"creations"`
 
+	// FailedRequests counts requests lost to injected faults (chaos
+	// mode only — a clean run aborts on the first failure instead).
+	// OOMKills counts workers the OOM killer reaped during the loop.
+	FailedRequests uint64 `json:"failed_requests,omitempty"`
+	OOMKills       uint64 `json:"oom_kills,omitempty"`
+
 	// VirtualNanos is the virtual time the loop took; the *PerVSec
 	// rates are per virtual second — the paper's throughput axis.
 	VirtualNanos     uint64  `json:"virtual_ns"`
@@ -196,6 +214,9 @@ func (m *Metrics) Render() string {
 	fmt.Fprintf(&b, "load %s via %s (heap %s, RAM %s, %d CPU(s))\n",
 		m.Scenario, m.Strategy, HumanBytes(m.HeapBytes), HumanBytes(m.RAMBytes), m.NumCPUs)
 	row("requests", fmt.Sprintf("%d (%.0f/virt-s)", m.Requests, m.RequestsPerVSec))
+	if m.FailedRequests > 0 || m.OOMKills > 0 {
+		row("failed", fmt.Sprintf("%d (injected faults; %d oom-killed)", m.FailedRequests, m.OOMKills))
+	}
 	row("creations", fmt.Sprintf("%d (%.0f/virt-s)", m.Creations, m.CreationsPerVSec))
 	row("virtual time", fmt.Sprintf("%.3fms", float64(m.VirtualNanos)/1e6))
 	row("peak RSS", HumanBytes(m.PeakRSSBytes))
@@ -244,6 +265,7 @@ type driver struct {
 
 	requests  uint64
 	creations uint64
+	failed    uint64
 	peakPages uint64
 
 	// serverCPU is the virtual CPU time the SMPServer scenario's
@@ -320,6 +342,9 @@ func Prepare(sys *sim.System, cfg Config) (*Prepared, error) {
 // boot and heap-dirtying cost is excluded from the measured loop.
 func Run(cfg Config) (*Metrics, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Faults != nil && cfg.Scenario != Prefork {
+		return nil, fmt.Errorf("load: scenario %s does not support fault injection (only prefork is failure-tolerant)", cfg.Scenario)
+	}
 	sys, err := sim.NewSystem(
 		sim.WithRAM(cfg.RAMBytes),
 		sim.WithCPUs(cfg.CPUs),
@@ -331,6 +356,11 @@ func Run(cfg Config) (*Metrics, error) {
 	p, err := Prepare(sys, cfg)
 	if err != nil {
 		return nil, err
+	}
+	// Chaos arms only now: warm-up (boot, heap dirtying) stays clean,
+	// the measured loop runs under the schedule.
+	if cfg.Faults != nil {
+		sys.SetFaultSchedule(cfg.Faults)
 	}
 	return p.Run()
 }
@@ -346,6 +376,7 @@ func (p *Prepared) Run() (*Metrics, error) {
 	meter := d.k.Meter()
 	meter.ResetCounters()
 	cswBase := d.k.ContextSwitches()
+	oomBase := d.k.OOMKills
 	busyBase := make([]uint64, cfg.CPUs)
 	clockBase := make([]uint64, cfg.CPUs)
 	for _, cs := range d.k.CPUStates() {
@@ -385,6 +416,9 @@ func (p *Prepared) Run() (*Metrics, error) {
 		NumCPUs:   cfg.CPUs,
 		Requests:  d.requests,
 		Creations: d.creations,
+
+		FailedRequests: d.failed,
+		OOMKills:       uint64(d.k.OOMKills - oomBase),
 
 		VirtualNanos: elapsed,
 		PeakRSSBytes: d.peakPages * uint64(mem.PageSize),

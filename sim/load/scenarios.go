@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/sim"
+	"repro/sim/fault"
 )
 
 // prefork is the fork-per-request web server: every synthetic request
@@ -17,11 +18,18 @@ import (
 // server's page tables — Θ(heap) — so throughput falls as the server
 // grows; under spawn or the builder it is flat. This is §5's server
 // claim as a workload.
+//
+// With Config.Faults installed the loop runs in chaos mode: a failed
+// creation or a worker lost to an injected fault (ENOMEM, OOM kill, a
+// kill-wave crash via fault.PointKill) counts against FailedRequests
+// and the server keeps serving — the survival metric E11 reports —
+// instead of aborting the run.
 func (d *driver) prefork() error {
 	window := d.cfg.Window
 	if window < 1 {
 		window = DefaultWindow(Prefork, d.cfg.CPUs)
 	}
+	chaos := d.cfg.Faults != nil
 	var inflight []*sim.Cmd
 	launched := 0
 	abort := func(err error) error {
@@ -31,15 +39,22 @@ func (d *driver) prefork() error {
 		}
 		return err
 	}
-	for d.requests < uint64(d.cfg.Requests) {
+	for launched < d.cfg.Requests || len(inflight) > 0 {
 		for len(inflight) < window && launched < d.cfg.Requests {
 			cmd := d.sys.Command("true").Via(d.cfg.Via)
+			launched++
 			if err := cmd.Start(); err != nil {
+				if chaos {
+					d.failed++ // creation refused: the request is lost, the server survives
+					continue
+				}
 				return abort(err)
 			}
 			d.creations++
-			launched++
 			inflight = append(inflight, cmd)
+		}
+		if len(inflight) == 0 {
+			continue // every launch in this window failed under chaos
 		}
 		// Sample while workers are live, so the peak reflects the
 		// per-request footprint (stack, image, mirrored page table),
@@ -47,10 +62,18 @@ func (d *driver) prefork() error {
 		d.sample()
 		cmd := inflight[0]
 		inflight = inflight[1:]
-		if err := cmd.Wait(); err != nil {
+		if chaos && d.k.Faults().Fail(fault.PointKill, 1) != 0 {
+			// Kill wave: the worker crashes mid-request.
+			cmd.Process.Kill()
+		}
+		switch err := cmd.Wait(); {
+		case err == nil:
+			d.requests++
+		case chaos:
+			d.failed++ // worker died (injected ENOMEM, OOM kill, crash)
+		default:
 			return abort(err)
 		}
-		d.requests++
 	}
 	return nil
 }

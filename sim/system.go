@@ -13,6 +13,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/ulib"
 	"repro/internal/vfs"
+	"repro/sim/fault"
 )
 
 // CommitPolicy selects the machine's overcommit accounting
@@ -110,6 +111,26 @@ func WithCPUs(n int) Option {
 // to deprecating fork.
 func WithDenyMultithreadedFork() Option {
 	return func(c *config) { c.opts.DenyMultithreadedFork = true }
+}
+
+// WithFaults installs a deterministic fault-injection schedule at
+// boot: every fallible kernel boundary (frame allocation, commit
+// reservation, page-table clone, COW break, descriptor-table copy,
+// exec image load, thread creation) consults it before proceeding. A
+// schedule is a pure function of the operation's identity, so the same
+// schedule replays bit-for-bit. Use fault.Observe() to count
+// operations without failing any — the enumeration a fault sweep
+// targets. See repro/sim/fault.
+func WithFaults(s fault.Schedule) Option {
+	return func(c *config) { c.opts.Faults = s }
+}
+
+// WithTrace enables the structured event trace: syscall enter/exit,
+// scheduler dispatches, TLB-shootdown rounds, injected faults, and
+// process lifecycle. Read it back with System.Trace; `forkbench
+// trace` renders it from the command line.
+func WithTrace() Option {
+	return func(c *config) { c.opts.Trace = true }
 }
 
 // WithConsole wires the machine's /dev/console output to w.
@@ -240,6 +261,20 @@ func (s *System) VirtualTime() time.Duration {
 
 // NumCPUs reports the machine's simulated CPU count.
 func (s *System) NumCPUs() int { return s.k.NumCPUs() }
+
+// Trace returns the machine's structured event trace, or nil when the
+// system was booted without WithTrace.
+func (s *System) Trace() *fault.Recorder { return s.k.Tracer() }
+
+// Faults returns the machine's fault-injection engine — per-point
+// operation counts plus the installed schedule — or nil when no
+// schedule was ever installed.
+func (s *System) Faults() *fault.Injector { return s.k.Faults() }
+
+// SetFaultSchedule installs (or replaces) the fault schedule on a
+// running machine. Installing after setup lets a harness warm a
+// machine cleanly and then subject only the measured phase to chaos.
+func (s *System) SetFaultSchedule(sched fault.Schedule) { s.k.SetFaultSchedule(sched) }
 
 // Stats is a snapshot of the machine's counters.
 type Stats struct {

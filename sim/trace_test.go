@@ -1,0 +1,89 @@
+package sim_test
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/sim"
+)
+
+// -update regenerates the golden trace files instead of comparing:
+//
+//	go test ./sim -run TestGoldenTraces -update
+var update = flag.Bool("update", false, "rewrite testdata/trace/*.golden from the current traces")
+
+// goldenStrategies maps each creation strategy to its golden file
+// name (the CLI short names; Strategy.String contains '/' and '+').
+var goldenStrategies = []struct {
+	name string
+	via  sim.Strategy
+}{
+	{"fork", sim.ForkExec},
+	{"vfork", sim.VforkExec},
+	{"spawn", sim.Spawn},
+	{"builder", sim.Builder},
+	{"emufork", sim.EmulatedFork},
+}
+
+// goldenTrace runs the reference program (echo from a 64 KiB dirty
+// parent) under the given strategy with tracing on and returns the
+// rendered trace. Everything in it is virtual-time deterministic.
+func goldenTrace(t *testing.T, via sim.Strategy) string {
+	t.Helper()
+	sys, err := sim.NewSystem(
+		sim.WithRAM(64<<20),
+		sim.WithUserland("echo"),
+		sim.WithTrace(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DirtyHost(64<<10, false); err != nil {
+		t.Fatal(err)
+	}
+	cmd := sys.Command("echo", "trace", "me").Via(via)
+	cmd.Stdout = io.Discard
+	if err := cmd.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sys.Trace().Render()
+}
+
+// TestGoldenTraces is the trace-format regression gate: one small
+// program per creation strategy, traced, rendered, and byte-compared
+// against the checked-in golden file. The trace is a pure function of
+// the machine's virtual execution, so any diff is a real behavioural
+// or cost-model change — acknowledge it by regenerating with -update,
+// never by hand-editing.
+func TestGoldenTraces(t *testing.T) {
+	for _, g := range goldenStrategies {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			got := goldenTrace(t, g.via)
+			if again := goldenTrace(t, g.via); again != got {
+				t.Fatalf("trace is not deterministic across runs:\nfirst:\n%s\nsecond:\n%s", got, again)
+			}
+			path := filepath.Join("testdata", "trace", g.name+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with `go test ./sim -run TestGoldenTraces -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("trace diverged from %s (if intended, regenerate with -update):\ngot:\n%s\nwant:\n%s",
+					path, got, want)
+			}
+		})
+	}
+}
