@@ -24,8 +24,9 @@ var diffOut io.Writer = os.Stdout
 // baseline, not silently absorbed.
 func runDiff(args []string) error {
 	fs := flag.NewFlagSet("forkbench diff", flag.ExitOnError)
+	summary := fs.Bool("summary", false, "print one line per differing run (changed metric names only)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: forkbench diff <old.json> <new.json>\n")
+		fmt.Fprintf(os.Stderr, "usage: forkbench diff [-summary] <old.json> <new.json>\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -70,16 +71,31 @@ func runDiff(args []string) error {
 			// the lone run's metrics are summarized so the report
 			// shows what the other file is missing.
 			report("missing: %s (in %s only)", k, fs.Arg(0))
-			for _, line := range summarizeMetrics(o) {
-				fmt.Fprintf(diffOut, "         %s\n", line)
+			if !*summary {
+				for _, line := range summarizeMetrics(o) {
+					fmt.Fprintf(diffOut, "         %s\n", line)
+				}
 			}
 		case !inOld:
 			report("added:   %s (in %s only)", k, fs.Arg(1))
-			for _, line := range summarizeMetrics(n) {
-				fmt.Fprintf(diffOut, "         %s\n", line)
+			if !*summary {
+				for _, line := range summarizeMetrics(n) {
+					fmt.Fprintf(diffOut, "         %s\n", line)
+				}
 			}
 		default:
-			for _, d := range diffMetrics(o, n) {
+			ds := diffMetrics(o, n)
+			if *summary && len(ds) > 0 {
+				// One line per differing run: just the metric names,
+				// so a full-sweep drift stays readable in CI logs.
+				names := make([]string, len(ds))
+				for i, d := range ds {
+					names[i] = strings.SplitN(d, " ", 2)[0]
+				}
+				report("drift:   %s: %d metric(s): %s", k, len(ds), strings.Join(names, " "))
+				continue
+			}
+			for _, d := range ds {
 				report("drift:   %s: %s", k, d)
 			}
 		}

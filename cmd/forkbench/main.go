@@ -8,12 +8,13 @@
 //	forkbench [flags] <experiment>
 //	forkbench load [load flags]
 //	forkbench fleet [fleet flags]
+//	forkbench cluster [cluster flags]
 //	forkbench trace [trace flags] [prog arg...]
-//	forkbench diff <old.json> <new.json>
+//	forkbench diff [-summary] <old.json> <new.json>
 //
 //	experiments: fig1 table1 cowtax hugepages overcommit compose scale
 //	             ablations strategies server cpusweep fleetclaim chaos
-//	             all
+//	             scaleout all
 //
 //	-max SIZE     largest parent for sweeps (default 1GiB for fig1)
 //	-reps N       repetitions per fig1 point (default 5)
@@ -31,7 +32,10 @@
 // fault waves (sim/fault), fork vs spawn — fork's Θ(heap) commit
 // reservations are what the waves refuse, so the fork server drops
 // traffic the spawn server serves (§4.6's overcommit argument made
-// measurable).
+// measurable). "scaleout" is E12: identical fork and spawn node pools
+// racing the same traffic surge through sim/cluster's autoscaler —
+// scale-out latency is Θ(heap) under fork, flat under spawn, and the
+// gap is missed surge SLOs.
 //
 // The trace subcommand runs one command with the structured event
 // trace enabled and renders it (sim.WithTrace): syscall enter/exit
@@ -76,10 +80,22 @@
 // machine's fault schedule from (-seed, machine id); the CI chaos
 // determinism gate byte-compares its JSON at GOMAXPROCS 1 vs 4.
 //
+// The cluster subcommand runs the autoscaling orchestrator
+// (sim/cluster): named node pools scaled by a virtual-time reconcile
+// loop against a traffic plan:
+//
+//	forkbench cluster [-scenario surge|zoneoutage|heteropools]
+//	                  [-heap SIZE] [-parallel N] [-json FILE]
+//
+// Its stdout — pool table plus reconcile trace — is byte-identical at
+// every GOMAXPROCS; the CI cluster determinism gate byte-compares the
+// zoneoutage JSON at GOMAXPROCS 1 vs 4.
+//
 // The diff subcommand is the bench-drift gate: it compares two sweep
 // JSON files metric by metric and fails on any difference, so silent
 // cost-model changes fail CI instead of rotting the BENCH_*.json
-// trajectory.
+// trajectory. -summary prints one line per differing run (the changed
+// metric names only) for readable CI logs.
 package main
 
 import (
@@ -125,11 +141,12 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per fig1 point")
 	eager := flag.Bool("eager", false, "include eager-copy fork line in fig1")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|strategies|server|cpusweep|fleetclaim|chaos|all\n")
-		fmt.Fprintf(os.Stderr, "       forkbench load [load flags]    (see forkbench load -h)\n")
-		fmt.Fprintf(os.Stderr, "       forkbench fleet [fleet flags]  (see forkbench fleet -h)\n")
-		fmt.Fprintf(os.Stderr, "       forkbench trace [trace flags]  (see forkbench trace -h)\n")
-		fmt.Fprintf(os.Stderr, "       forkbench diff <old.json> <new.json>\n")
+		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|strategies|server|cpusweep|fleetclaim|chaos|scaleout|all\n")
+		fmt.Fprintf(os.Stderr, "       forkbench load [load flags]        (see forkbench load -h)\n")
+		fmt.Fprintf(os.Stderr, "       forkbench fleet [fleet flags]      (see forkbench fleet -h)\n")
+		fmt.Fprintf(os.Stderr, "       forkbench cluster [cluster flags]  (see forkbench cluster -h)\n")
+		fmt.Fprintf(os.Stderr, "       forkbench trace [trace flags]      (see forkbench trace -h)\n")
+		fmt.Fprintf(os.Stderr, "       forkbench diff [-summary] <old.json> <new.json>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -141,6 +158,11 @@ func main() {
 		return
 	case "fleet":
 		if err := runFleet(flag.Args()[1:]); err != nil {
+			fatal(err)
+		}
+		return
+	case "cluster":
+		if err := runCluster(flag.Args()[1:]); err != nil {
 			fatal(err)
 		}
 		return
@@ -292,6 +314,27 @@ func main() {
 			cmax = 64 * experiments.MiB
 		}
 		res, err := experiments.ChaosClaim(experiments.ChaosClaimConfig{HeapBytes: cmax})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if runAll || what == "scaleout" {
+		ran = true
+		smax := maxBytes
+		if smax > 64*experiments.MiB {
+			smax = 64 * experiments.MiB
+		}
+		var ladder []uint64
+		for _, h := range []uint64{4 * experiments.MiB, 16 * experiments.MiB, 64 * experiments.MiB} {
+			if h <= smax {
+				ladder = append(ladder, h)
+			}
+		}
+		if len(ladder) == 0 {
+			ladder = []uint64{smax}
+		}
+		res, err := experiments.ScaleOutClaim(experiments.ScaleOutConfig{HeapSizes: ladder})
 		if err != nil {
 			fatal(err)
 		}

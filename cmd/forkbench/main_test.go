@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/sim/cluster"
 	"repro/sim/fleet"
 	"repro/sim/load"
 )
@@ -314,6 +315,89 @@ func TestRunTraceRejectsJunk(t *testing.T) {
 	} {
 		if err := runTrace(args); err == nil {
 			t.Errorf("runTrace(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestRunClusterWritesJSON drives the cluster subcommand end to end at
+// a small heap and checks the emitted report parses back.
+func TestRunClusterWritesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	err := runCluster([]string{"-scenario", "surge", "-heap", "4MiB", "-json", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep cluster.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rep.Pools) != 2 || rep.Pools[0].Served == 0 || len(rep.Trace) == 0 {
+		t.Errorf("unexpected cluster report: %+v", rep)
+	}
+}
+
+// TestRunClusterRejectsJunk pins the cluster flag error paths.
+func TestRunClusterRejectsJunk(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scenario", "bogus"},
+		{"-heap", "xMiB"},
+		{"extra-positional"},
+	} {
+		if err := runCluster(args); err == nil {
+			t.Errorf("runCluster(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestRunDiffSummary pins -summary: still a gate failure, but one line
+// per differing run naming the changed metrics, and no per-metric dump
+// for lone runs.
+func TestRunDiffSummary(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, ms []*load.Metrics) string {
+		t.Helper()
+		data, err := json.MarshalIndent(ms, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	old := write("old.json", []*load.Metrics{
+		{Scenario: "prefork", Strategy: "fork+exec", HeapBytes: 1 << 20, NumCPUs: 1, Requests: 4, VirtualNanos: 1000, PTECopies: 50},
+		{Scenario: "prefork", Strategy: "posix_spawn", HeapBytes: 1 << 20, NumCPUs: 1, Requests: 4, VirtualNanos: 77, Syscalls: 9},
+	})
+	drifted := write("new.json", []*load.Metrics{
+		{Scenario: "prefork", Strategy: "fork+exec", HeapBytes: 1 << 20, NumCPUs: 1, Requests: 4, VirtualNanos: 1001, PTECopies: 51},
+	})
+
+	var buf bytes.Buffer
+	prev := diffOut
+	diffOut = &buf
+	defer func() { diffOut = prev }()
+
+	if err := runDiff([]string{"-summary", old, drifted}); err == nil {
+		t.Fatal("summary mode swallowed the drift")
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"drift:   prefork/fork+exec heap=1048576 ram=0 cpus=1 req=4: 2 metric(s): virtual_ns pte_copies",
+		"missing: prefork/posix_spawn",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary output missing %q:\n%s", want, out)
+		}
+	}
+	for _, reject := range []string{"1000 -> 1001", "syscalls=9"} {
+		if strings.Contains(out, reject) {
+			t.Errorf("summary output leaks detail %q:\n%s", reject, out)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -428,5 +429,46 @@ func TestChaosClaimShape(t *testing.T) {
 	}
 	if len(res.Render()) == 0 {
 		t.Error("empty render")
+	}
+}
+
+// TestScaleOutClaimShape pins E12's headline: identical pools chasing
+// the same surge, and the fork pool's measured scale-out latency at a
+// 64 MiB heap is at least twice the spawn pool's — growing with the
+// heap, while spawn's stays flat.
+func TestScaleOutClaimShape(t *testing.T) {
+	cfg := ScaleOutConfig{HeapSizes: []uint64{4 * MiB, 64 * MiB}}
+	res, err := ScaleOutClaim(cfg)
+	if err != nil {
+		t.Fatalf("ScaleOutClaim: %v", err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points, want one per heap size", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if len(p.Fork.ScaleOuts) == 0 || len(p.Spawn.ScaleOuts) == 0 {
+			t.Fatalf("heap %s: a pool never scaled out", HumanBytes(p.HeapBytes))
+		}
+		if p.Fork.Served != p.Spawn.Served || p.Fork.Failed != 0 {
+			t.Errorf("heap %s: pools saw different demand (%d vs %d served, %d failed)",
+				HumanBytes(p.HeapBytes), p.Fork.Served, p.Spawn.Served, p.Fork.Failed)
+		}
+	}
+	small, big := res.Points[0], res.Points[1]
+	if big.Ratio() < 2 {
+		t.Errorf("64 MiB fork:spawn scale-out ratio %.2fx, want >= 2x", big.Ratio())
+	}
+	if big.Fork.MeanScaleOutNanos <= small.Fork.MeanScaleOutNanos {
+		t.Errorf("fork scale-out did not grow with the heap: %d -> %d",
+			small.Fork.MeanScaleOutNanos, big.Fork.MeanScaleOutNanos)
+	}
+	if big.Fork.SLORate >= big.Spawn.SLORate {
+		t.Errorf("fork pool SLO %.2f not below spawn %.2f at 64 MiB",
+			big.Fork.SLORate, big.Spawn.SLORate)
+	}
+	for _, want := range []string{"E12", "fork scale-out", "spawn scale-out", "64MiB"} {
+		if r := res.Render(); !strings.Contains(r, want) {
+			t.Errorf("render missing %q", want)
+		}
 	}
 }

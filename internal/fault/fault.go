@@ -60,6 +60,15 @@ const (
 	// non-OK decision kills the in-flight worker (the chaos "kill
 	// wave"). Magnitude: 1.
 	PointKill
+	// PointMachineKill is a cluster-level machine-loss decision,
+	// consulted by the sim/cluster reconcile loop once per live
+	// machine per reconcile step (in machine-id order, on the
+	// cluster's virtual clock): a non-OK decision kills the whole
+	// machine, losing its queued requests. Magnitude: the machine's
+	// zone index, which is what lets a schedule take out exactly one
+	// availability zone. Magnitude-scoped, not kernel-wired: the
+	// orchestrator constructs these ops itself.
+	PointMachineKill
 
 	// NumPoints bounds the Point space (array sizing).
 	NumPoints
@@ -74,6 +83,7 @@ var pointNames = [NumPoints]string{
 	"exec.image",
 	"thread.create",
 	"request.kill",
+	"machine.kill",
 }
 
 func (p Point) String() string {
@@ -241,6 +251,36 @@ func (k killEvery) Decide(op Op) errno.Errno {
 // mid-traffic.
 func KillEvery(seed uint64, machine int, n uint64) Schedule {
 	return killEvery{seed: seed, machine: machine, n: n}
+}
+
+// ZoneOutage is the datacenter failure domain as a schedule: every
+// machine-kill decision whose magnitude names the target zone fails
+// during [From, Until). The sim/cluster orchestrator consults it once
+// per live machine per reconcile step (op magnitude = zone index), so
+// installing one takes out an entire availability zone mid-run while
+// machines in other zones keep serving — and, like every schedule, it
+// is a pure function of the op, so the outage replays bit-for-bit.
+//
+// Placement probes use the same function: a zone whose machines would
+// die right now is no place to schedule a replacement, so the
+// orchestrator backfills in surviving zones by construction.
+type ZoneOutage struct {
+	Zone        uint64     // target zone index (Op.Mag)
+	From, Until cost.Ticks // outage window: kills fire in [From, Until)
+}
+
+// Decide implements Schedule.
+func (z ZoneOutage) Decide(op Op) errno.Errno {
+	if op.Point == PointMachineKill && op.Mag == z.Zone && op.Time >= z.From && op.Time < z.Until {
+		return errno.EIO
+	}
+	return errno.OK
+}
+
+// KillZone returns the zone-outage schedule: machines in zone die
+// while From <= t < Until on the orchestrator's virtual clock.
+func KillZone(zone uint64, from, until cost.Ticks) Schedule {
+	return ZoneOutage{Zone: zone, From: from, Until: until}
 }
 
 // random fails each targeted operation with probability perMille/1000,

@@ -14,6 +14,7 @@ func TestPointNames(t *testing.T) {
 	want := []string{
 		"frame.alloc", "commit.reserve", "pagetable.clone", "cow.break",
 		"fdtable.clone", "exec.image", "thread.create", "request.kill",
+		"machine.kill",
 	}
 	pts := Points()
 	if len(pts) != len(want) {
@@ -235,5 +236,49 @@ func TestSyscallName(t *testing.T) {
 	}
 	if got := SyscallName(9999); got != "sys9999" {
 		t.Errorf("unknown syscall renders %q", got)
+	}
+}
+
+// TestZoneOutage pins the zone-scoped kill schedule: machine-kill
+// decisions for the target zone fail exactly inside the window, other
+// zones and other points never fail, and the decision is a pure
+// function of the op (replays identically).
+func TestZoneOutage(t *testing.T) {
+	sched := KillZone(1, 100, 200)
+	cases := []struct {
+		op   Op
+		dead bool
+	}{
+		{Op{Point: PointMachineKill, Seq: 1, Time: 100, Mag: 1}, true},
+		{Op{Point: PointMachineKill, Seq: 2, Time: 199, Mag: 1}, true},
+		{Op{Point: PointMachineKill, Seq: 3, Time: 99, Mag: 1}, false},  // before the window
+		{Op{Point: PointMachineKill, Seq: 4, Time: 200, Mag: 1}, false}, // window is half-open
+		{Op{Point: PointMachineKill, Seq: 5, Time: 150, Mag: 0}, false}, // other zone
+		{Op{Point: PointMachineKill, Seq: 6, Time: 150, Mag: 2}, false},
+		{Op{Point: PointCommit, Seq: 7, Time: 150, Mag: 1}, false}, // other point
+		{Op{Point: PointKill, Seq: 8, Time: 150, Mag: 1}, false},
+	}
+	for _, c := range cases {
+		got := sched.Decide(c.op)
+		if c.dead && got == errno.OK {
+			t.Errorf("op %+v survived, want kill", c.op)
+		}
+		if !c.dead && got != errno.OK {
+			t.Errorf("op %+v killed with %v, want survive", c.op, got)
+		}
+		if again := sched.Decide(c.op); again != got {
+			t.Errorf("op %+v not deterministic: %v then %v", c.op, got, again)
+		}
+	}
+}
+
+// TestMachineKillPointName keeps the trace rendering of the new point
+// stable.
+func TestMachineKillPointName(t *testing.T) {
+	if got := PointMachineKill.String(); got != "machine.kill" {
+		t.Errorf("PointMachineKill renders %q, want machine.kill", got)
+	}
+	if n := len(Points()); n != int(NumPoints) {
+		t.Errorf("Points() lists %d points, want %d", n, NumPoints)
 	}
 }

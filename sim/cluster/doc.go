@@ -1,0 +1,34 @@
+// Package cluster is a deterministic autoscaling control loop above
+// sim/fleet: named node pools of simulated machines, scaled between
+// declared bounds by a reconcile loop that watches per-machine load
+// and boots or retires capacity — fork()'s costs at the layer where
+// clouds actually feel them.
+//
+// "A fork() in the road" prices process creation per call: fork is
+// Θ(parent heap), spawn is flat. This package asks what that does to
+// *elasticity*. A new machine is not useful when it boots; it is
+// useful when it is warm — heap dirtied, worker pool pre-created
+// through the pool's strategy. Under fork every warm worker duplicates
+// the freshly dirtied heap's page tables, so a fork pool's scale-out
+// latency grows with the heap while a spawn pool's stays flat; during
+// a traffic surge that latency is backlog, and backlog is missed SLOs
+// (experiment E12, `forkbench cluster`).
+//
+// The reconcile loop advances a cluster-wide virtual clock in
+// ReconcileEvery steps. Each step, in a fixed order: machine-kill
+// faults (fault.PointMachineKill — fault.KillZone gives zone-scoped
+// outages with cordon-and-backfill), request arrivals from the traffic
+// plan, deterministic balancing (seeded power-of-two-choices, CPU-
+// weighted, machine-id tie-broken), host-parallel serving (each
+// machine a sim.System on its own clock, budgeted to the step), then
+// per-pool autoscaling against TargetUtilization. Machines boot
+// *inside* virtual time: a scale-out decided at step s takes traffic
+// only after its measured warm-up elapses, so scale-out latency is a
+// first-class, strategy-dependent output. Every cross-machine decision
+// happens at a step barrier in (pool, machine-id) order, so the Report
+// — trace included — is byte-identical at any GOMAXPROCS.
+//
+// Scenarios: Surge (fork pool vs spawn pool racing the same spike),
+// ZoneOutage (zone-scoped kills, backfill in surviving zones), and
+// HeteroPools (one stream bin-packed across a 1/2/4/8-CPU ladder).
+package cluster

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"repro/sim"
+	"repro/sim/fleet"
+)
+
+// TestSpecValidate drives cluster.Spec validation through every typed
+// failure: each bad spec must yield a *fleet.SpecError naming the
+// cluster spec and the offending field.
+func TestSpecValidate(t *testing.T) {
+	pool := func(mutate func(*PoolSpec)) []PoolSpec {
+		p := PoolSpec{Name: "web", Via: sim.Spawn, CPUs: 2, HeapBytes: 1 << 20}
+		if mutate != nil {
+			mutate(&p)
+		}
+		return []PoolSpec{p}
+	}
+	cases := []struct {
+		name  string
+		spec  Spec
+		field string // "" means valid
+	}{
+		{"zero pool list", Spec{}, "Pools"},
+		{"minimal valid", Spec{Pools: pool(nil)}, ""},
+		{"negative zones", Spec{Pools: pool(nil), Zones: -1}, "Zones"},
+		{"too many zones", Spec{Pools: pool(nil), Zones: 17}, "Zones"},
+		{"negative target", Spec{Pools: pool(nil), TargetUtilization: -0.5}, "TargetUtilization"},
+		{"target above one", Spec{Pools: pool(nil), TargetUtilization: 1.5}, "TargetUtilization"},
+		{"negative scale-down window", Spec{Pools: pool(nil), ScaleDownAfter: -1}, "ScaleDownAfter"},
+		{"negative cordon", Spec{Pools: pool(nil), CordonSteps: -1}, "CordonSteps"},
+		{"negative request work", Spec{Pools: pool(nil), RequestWorkMiB: -1}, "RequestWorkMiB"},
+		{"empty traffic phase", Spec{Pools: pool(nil), Traffic: []Phase{{Steps: 0, PerStep: 1}}}, "Traffic[0].Steps"},
+		{"negative per-step", Spec{Pools: pool(nil), Traffic: []Phase{{Steps: 1, PerStep: -1}}}, "Traffic[0].PerStep"},
+		{"unnamed pool", Spec{Pools: pool(func(p *PoolSpec) { p.Name = "" })}, "Pools[0].Name"},
+		{"duplicate pool name", Spec{Pools: append(pool(nil), pool(nil)...)}, "Pools[web].Name"},
+		{"unknown strategy", Spec{Pools: pool(func(p *PoolSpec) { p.Via = sim.Strategy(99) })}, "Pools[web].Via"},
+		{"negative cpus", Spec{Pools: pool(func(p *PoolSpec) { p.CPUs = -2 })}, "Pools[web].CPUs"},
+		{"too many cpus", Spec{Pools: pool(func(p *PoolSpec) { p.CPUs = 65 })}, "Pools[web].CPUs"},
+		{"negative workers", Spec{Pools: pool(func(p *PoolSpec) { p.Workers = -1 })}, "Pools[web].Workers"},
+		{"zero min machines", Spec{Pools: pool(func(p *PoolSpec) { p.MinMachines = -3 })}, "Pools[web].MinMachines"},
+		{"min above max", Spec{Pools: pool(func(p *PoolSpec) { p.MinMachines = 5; p.MaxMachines = 2 })}, "Pools[web].MinMachines"},
+		{"machine cap", Spec{Pools: pool(func(p *PoolSpec) { p.MaxMachines = 65 })}, "Pools[web].MaxMachines"},
+		{"negative surge", Spec{Pools: pool(func(p *PoolSpec) { p.MaxSurge = -1 })}, "Pools[web].MaxSurge"},
+		{"zone out of range", Spec{Pools: pool(func(p *PoolSpec) { p.Zones = []int{0, 7} })}, "Pools[web].Zones"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("valid spec rejected: %v", err)
+				}
+				return
+			}
+			var se *fleet.SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("Validate() = %v, want *fleet.SpecError", err)
+			}
+			if se.Spec != "cluster.Spec" {
+				t.Errorf("Spec = %q, want cluster.Spec", se.Spec)
+			}
+			if se.Field != tc.field {
+				t.Errorf("Field = %q, want %q (err: %v)", se.Field, tc.field, err)
+			}
+		})
+	}
+}
+
+// TestRunRejectsInvalidSpec: Run validates before touching any
+// machine and surfaces the same typed error.
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	_, err := Run(Spec{})
+	var se *fleet.SpecError
+	if !errors.As(err, &se) || se.Field != "Pools" {
+		t.Fatalf("Run(zero spec) = %v, want SpecError on Pools", err)
+	}
+}
+
+// TestWithDefaults pins the derived values the scenarios rely on.
+func TestWithDefaults(t *testing.T) {
+	s := Spec{Pools: []PoolSpec{{Name: "p", Via: sim.ForkExec}}}.withDefaults()
+	if s.Zones != 3 || s.TargetUtilization != 0.70 || s.ReconcileEveryNanos != 2_000_000 {
+		t.Errorf("cluster defaults wrong: zones=%d target=%v step=%d", s.Zones, s.TargetUtilization, s.ReconcileEveryNanos)
+	}
+	if s.SLONanos != 3*s.ReconcileEveryNanos {
+		t.Errorf("SLO default %d, want 3 steps", s.SLONanos)
+	}
+	p := s.Pools[0]
+	if p.CPUs != 2 || p.HeapBytes != 64<<20 || p.MinMachines != 1 || p.MaxMachines != 4 || p.MaxSurge != 2 {
+		t.Errorf("pool defaults wrong: %+v", p)
+	}
+	if len(s.Traffic) == 0 || s.MaxSteps == 0 {
+		t.Errorf("traffic/max-steps defaults missing: %+v", s)
+	}
+}

@@ -63,7 +63,11 @@
 // that to a fleet: N independent machines multiplexed across host
 // cores with results merged in machine-id order, so the aggregate
 // report inherits the bit-for-bit determinism guarantee at any host
-// parallelism (see `forkbench fleet`).
+// parallelism (see `forkbench fleet`). The sim/cluster subpackage
+// adds the elasticity layer above that: named node pools scaled by a
+// deterministic virtual-time reconcile loop, where a new machine's
+// warm-up — Θ(heap) per pool worker under fork — becomes measured
+// scale-out latency (see `forkbench cluster`).
 //
 // The internal packages remain the substrate: internal/kernel is the
 // simulated OS, internal/core holds the paper's spawn/cross-process

@@ -61,6 +61,9 @@ type (
 	// PressureWave is the periodic magnitude-thresholded ENOMEM
 	// schedule (see the package comment).
 	PressureWave = ifault.PressureWave
+	// ZoneOutage is the zone-scoped machine-kill schedule (see
+	// KillZone).
+	ZoneOutage = ifault.ZoneOutage
 	// Errno is the simulated kernel's error number type.
 	Errno = errno.Errno
 	// Ticks is virtual time (1 tick = 1 simulated nanosecond).
@@ -77,11 +80,14 @@ const (
 	PointExecImage    = ifault.PointExecImage
 	PointThreadCreate = ifault.PointThreadCreate
 	PointKill         = ifault.PointKill
+	PointMachineKill  = ifault.PointMachineKill
 	NumPoints         = ifault.NumPoints
 )
 
-// Errnos a schedule typically injects.
+// Errnos a schedule typically injects. OK is the no-fault decision a
+// direct Schedule consumer (sim/cluster's kill check) compares against.
 const (
+	OK     = errno.OK
 	ENOMEM = errno.ENOMEM
 	EAGAIN = errno.EAGAIN
 	EINTR  = errno.EINTR
@@ -109,6 +115,14 @@ func FailOp(point Point, seq uint64, err Errno) Schedule {
 // KillEvery crashes about one in n workload requests.
 func KillEvery(seed uint64, machine int, n uint64) Schedule {
 	return ifault.KillEvery(seed, machine, n)
+}
+
+// KillZone is the zone-outage schedule: every machine in the target
+// availability zone dies while from <= t < until on the cluster's
+// virtual clock (sim/cluster consults it once per live machine per
+// reconcile step, with the machine's zone index as the op magnitude).
+func KillZone(zone uint64, from, until Ticks) Schedule {
+	return ifault.KillZone(zone, from, until)
 }
 
 // Random fails each targeted operation with probability perMille/1000,

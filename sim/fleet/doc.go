@@ -57,4 +57,10 @@
 // The forkbench CLI fronts this package (`forkbench fleet`), and
 // internal/experiments extends the §5 server-claim table to fleet
 // scale with it (experiments.FleetClaim, `forkbench fleetclaim`).
+//
+// The sim/cluster subpackage builds the autoscaling layer on top:
+// Machine wraps one persistent load.Server as a cluster node, and
+// cluster's reconcile loop boots and retires Machines between pool
+// bounds in virtual time (experiments.ScaleOutClaim, `forkbench
+// cluster`).
 package fleet

@@ -154,34 +154,66 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
-// validate rejects specs the runner cannot honour.
+// SpecError is a typed validation failure: which Spec field is wrong
+// and why. Callers that build specs programmatically (sim/cluster, the
+// CLI) can branch on Field instead of parsing messages.
+type SpecError struct {
+	// Spec names the offending spec type ("fleet.Spec"; sim/cluster
+	// reuses the type with its own names).
+	Spec string
+	// Field is the offending field, dotted for nested specs
+	// ("Pools[web].MinMachines").
+	Field string
+	// Reason says what about the value is unacceptable.
+	Reason string
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("%s: invalid %s: %s", e.Spec, e.Field, e.Reason)
+}
+
+// specErr builds a fleet.Spec validation failure.
+func specErr(field, format string, args ...any) *SpecError {
+	return &SpecError{Spec: "fleet.Spec", Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Validate reports whether the spec, after defaulting, is one Run can
+// honour. Every failure is a *SpecError. The zero Spec is valid (all
+// defaults).
+func (s Spec) Validate() error {
+	return s.withDefaults().validate()
+}
+
+// validate rejects specs the runner cannot honour. Called after
+// withDefaults, so zero fields have already been resolved; what it
+// sees wrong, the caller wrote wrong.
 func (s Spec) validate() error {
 	if s.Machines < 1 || s.Machines > 4096 {
-		return fmt.Errorf("fleet: %d machines (want 1..4096)", s.Machines)
+		return specErr("Machines", "%d machines (want 1..4096)", s.Machines)
 	}
 	if s.CPUs < 1 || s.CPUs > 64 {
-		return fmt.Errorf("fleet: %d CPUs per machine (want 1..64)", s.CPUs)
+		return specErr("CPUs", "%d CPUs per machine (want 1..64)", s.CPUs)
 	}
 	if s.Requests < 1 {
-		return fmt.Errorf("fleet: %d requests (want >= 1)", s.Requests)
+		return specErr("Requests", "%d requests (want >= 1)", s.Requests)
 	}
 	if s.Workers < 0 {
-		return fmt.Errorf("fleet: %d pool workers (want >= 0; 0 selects the default)", s.Workers)
+		return specErr("Workers", "%d pool workers (want >= 0; 0 selects the default)", s.Workers)
 	}
 	if s.SurgeFactor < 1 {
-		return fmt.Errorf("fleet: surge factor %d (want >= 1)", s.SurgeFactor)
+		return specErr("SurgeFactor", "surge factor %d (want >= 1)", s.SurgeFactor)
 	}
 	if s.Scenario == Chaos && s.Load != load.Prefork {
 		// Chaos needs the failure-tolerant driver; anything else
 		// would silently serve different traffic than the report
 		// claims.
-		return fmt.Errorf("fleet: chaos requires the prefork load (got %s)", s.Load)
+		return specErr("Load", "chaos requires the prefork load (got %s)", s.Load)
 	}
 	if _, err := load.ParseScenario(string(s.Load)); err != nil {
-		return err
+		return specErr("Load", "unknown load scenario %q", s.Load)
 	}
 	if _, err := ParseScenario(string(s.Scenario)); err != nil {
-		return err
+		return specErr("Scenario", "unknown fleet scenario %q", s.Scenario)
 	}
 	return nil
 }
@@ -573,6 +605,16 @@ func poolSize(parallelism, n int) int {
 		workers = 1
 	}
 	return workers
+}
+
+// ForEach runs f(0..n-1) on a pool of host goroutines — the fleet's
+// deterministic parallel-for, exported for sim/cluster's reconcile
+// loop (each step serves every live machine host-parallel, then merges
+// in machine-id order). Indices are claimed in increasing order; after
+// a failure no new indices start and the lowest failing index's error
+// is returned, so the outcome is identical at any worker count.
+func ForEach(workers, n int, f func(i int) error) error {
+	return forEach(workers, n, f)
 }
 
 // forEach runs f(0..n-1) on a pool of host goroutines. Once any index

@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+
+	"repro/sim/load"
+)
+
+// TestSpecValidate is the table over fleet.Spec validation: every
+// rejection is a *SpecError naming the offending field, defaults keep
+// the zero Spec valid, and in-range values pass.
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name      string
+		spec      Spec
+		wantField string // "" = valid
+	}{
+		{"zero spec defaults valid", Spec{}, ""},
+		{"full valid", Spec{Machines: 8, Scenario: Surge, Load: load.BuildFarm, CPUs: 4, Requests: 10, Workers: 3, SurgeFactor: 2}, ""},
+		{"negative machines", Spec{Machines: -1}, "Machines"},
+		{"too many machines", Spec{Machines: 5000}, "Machines"},
+		{"negative cpus", Spec{CPUs: -2}, "CPUs"},
+		{"too many cpus", Spec{CPUs: 65}, "CPUs"},
+		{"negative requests", Spec{Requests: -1}, "Requests"},
+		{"negative workers", Spec{Workers: -1}, "Workers"},
+		{"negative surge factor", Spec{SurgeFactor: -1}, "SurgeFactor"},
+		{"unknown load", Spec{Load: "webscale"}, "Load"},
+		{"unknown scenario", Spec{Scenario: "cloudburst"}, "Scenario"},
+		{"chaos needs prefork", Spec{Scenario: Chaos, Load: load.Pipeline}, "Load"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.spec.Validate()
+			if c.wantField == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want ok", err)
+				}
+				return
+			}
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("Validate() = %v (%T), want *SpecError", err, err)
+			}
+			if se.Field != c.wantField {
+				t.Errorf("SpecError.Field = %q, want %q (err: %v)", se.Field, c.wantField, se)
+			}
+			if se.Spec != "fleet.Spec" || se.Reason == "" {
+				t.Errorf("SpecError incomplete: %+v", se)
+			}
+		})
+	}
+}
+
+// TestSpecErrorMessage pins the rendered form branching-averse callers
+// (the CLI) print.
+func TestSpecErrorMessage(t *testing.T) {
+	e := &SpecError{Spec: "fleet.Spec", Field: "Machines", Reason: "-1 machines (want 1..4096)"}
+	want := "fleet.Spec: invalid Machines: -1 machines (want 1..4096)"
+	if e.Error() != want {
+		t.Errorf("Error() = %q, want %q", e.Error(), want)
+	}
+}
+
+// TestRunRejectsInvalidSpec: Run surfaces the typed error.
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	_, err := Run(Spec{Machines: -3})
+	var se *SpecError
+	if !errors.As(err, &se) || se.Field != "Machines" {
+		t.Fatalf("Run(-3 machines) = %v, want *SpecError{Field: Machines}", err)
+	}
+}

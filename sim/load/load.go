@@ -90,6 +90,22 @@ type Config struct {
 	// HugePages backs the heap with 2 MiB mappings.
 	HugePages bool
 
+	// RequestWorkMiB gives every request served by a Server a private
+	// working set: the worker allocates and write-touches this many
+	// MiB (the hog program) before exiting, so a request costs CPU
+	// and memory beyond its creation. Used by Server/ServeBatch
+	// (sim/cluster's per-request body); the scenario drivers ignore
+	// it. 0 = no per-request working set.
+	RequestWorkMiB int
+
+	// OnSample, when non-nil, receives a mid-run metric Snapshot at
+	// every driver sample point — the peak-occupancy instants the
+	// scenarios already probe for the RSS high-water mark. The hook
+	// runs on the driver's goroutine inside virtual time; it must not
+	// mutate the machine. sim/cluster's autoscaler watches machines
+	// through it.
+	OnSample func(Snapshot)
+
 	// Faults, when non-nil, runs the measured loop in chaos mode:
 	// the schedule is installed after warm-up (so setup stays
 	// clean), per-request failures are tolerated and counted in
@@ -255,6 +271,24 @@ func HumanBytes(n uint64) string {
 	return fmt.Sprintf("%dB", n)
 }
 
+// Snapshot is one mid-run metric sample: the machine's live state at a
+// driver sample point, on its own virtual clock. Deterministic — the
+// same Config produces the same sequence of Snapshots.
+type Snapshot struct {
+	// VirtualNanos is the machine's virtual time at the sample
+	// (since boot, warm-up included).
+	VirtualNanos uint64
+	// Requests/FailedRequests/Creations are the loop's running
+	// totals at the sample.
+	Requests       uint64
+	FailedRequests uint64
+	Creations      uint64
+	// InFlight is how many requests the driver currently holds live.
+	InFlight int
+	// RSSBytes is the machine's current resident physical memory.
+	RSSBytes uint64
+}
+
 // driver carries one run's state: the booted machine, the server heap
 // VMA, and the counters accumulated by the scenario loop.
 type driver struct {
@@ -267,17 +301,30 @@ type driver struct {
 	creations uint64
 	failed    uint64
 	peakPages uint64
+	inflight  int
 
 	// serverCPU is the virtual CPU time the SMPServer scenario's
 	// server process executed during the loop.
 	serverCPU uint64
 }
 
-// sample records the physical-memory high-water mark; scenarios call
-// it at their peak-occupancy points.
+// sample records the physical-memory high-water mark and feeds the
+// mid-run sampling hook; scenarios call it at their peak-occupancy
+// points (with driver.inflight set to the live request count).
 func (d *driver) sample() {
-	if a := d.k.Phys().AllocatedPages(); a > d.peakPages {
+	a := d.k.Phys().AllocatedPages()
+	if a > d.peakPages {
 		d.peakPages = a
+	}
+	if d.cfg.OnSample != nil {
+		d.cfg.OnSample(Snapshot{
+			VirtualNanos:   uint64(d.k.Elapsed()),
+			Requests:       d.requests,
+			FailedRequests: d.failed,
+			Creations:      d.creations,
+			InFlight:       d.inflight,
+			RSSBytes:       a * uint64(mem.PageSize),
+		})
 	}
 }
 

@@ -59,6 +59,7 @@ func (d *driver) prefork() error {
 		// Sample while workers are live, so the peak reflects the
 		// per-request footprint (stack, image, mirrored page table),
 		// not just the server heap.
+		d.inflight = len(inflight)
 		d.sample()
 		cmd := inflight[0]
 		inflight = inflight[1:]
@@ -120,6 +121,7 @@ func (d *driver) pipeline() error {
 		}
 		// Drop the host's pipe ends so EOF propagates stage to stage.
 		closeAll()
+		d.inflight = depth
 		d.sample()
 		for j := range cmds {
 			if err := cmds[j].Wait(); err != nil {
@@ -279,6 +281,7 @@ func (d *driver) buildfarm() error {
 			launched++
 			inflight = append(inflight, cmd)
 		}
+		d.inflight = len(inflight)
 		d.sample()
 		cmd := inflight[0]
 		inflight = inflight[1:]
@@ -309,6 +312,7 @@ func (d *driver) forkstorm() error {
 			cmds = append(cmds, cmd)
 			d.creations++
 		}
+		d.inflight = len(cmds)
 		d.sample()
 		for _, cmd := range cmds {
 			if err := cmd.Wait(); err != nil {
