@@ -32,6 +32,7 @@ func runFleet(args []string) error {
 	heap := fs.String("heap", "64MiB", "per-machine server heap size")
 	parallel := fs.Int("parallel", 0, "host worker bound (0 = GOMAXPROCS)")
 	jsonPath := fs.String("json", "", "write the fleet report to FILE as byte-stable JSON")
+	cold := fs.Bool("cold", false, "cold-boot every machine instead of stamping from templates (host cost only; the report is byte-identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +72,7 @@ func runFleet(args []string) error {
 		FaultSeed:   *seed,
 		HeapBytes:   heapBytes,
 		Parallelism: *parallel,
+		ColdBoot:    *cold,
 	})
 	if err != nil {
 		return err

@@ -14,7 +14,7 @@
 //
 //	experiments: fig1 table1 cowtax hugepages overcommit compose scale
 //	             ablations strategies server cpusweep fleetclaim chaos
-//	             scaleout all
+//	             scaleout clonebench all
 //
 //	-max SIZE     largest parent for sweeps (default 1GiB for fig1)
 //	-reps N       repetitions per fig1 point (default 5)
@@ -35,7 +35,11 @@
 // measurable). "scaleout" is E12: identical fork and spawn node pools
 // racing the same traffic surge through sim/cluster's autoscaler —
 // scale-out latency is Θ(heap) under fork, flat under spawn, and the
-// gap is missed surge SLOs.
+// gap is missed surge SLOs. "clonebench" is E13, the only host-timed
+// experiment: cold boot+warm per machine vs snapshot-once-then-clone
+// (sim.System.Snapshot / sim.Template.Clone) over a heap ladder, plus
+// the measured break-even heap size below which templating stops
+// paying — the harness's own answer to Θ(heap) process creation.
 //
 // The trace subcommand runs one command with the structured event
 // trace enabled and renders it (sim.WithTrace): syscall enter/exit
@@ -141,7 +145,7 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per fig1 point")
 	eager := flag.Bool("eager", false, "include eager-copy fork line in fig1")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|strategies|server|cpusweep|fleetclaim|chaos|scaleout|all\n")
+		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|strategies|server|cpusweep|fleetclaim|chaos|scaleout|clonebench|all\n")
 		fmt.Fprintf(os.Stderr, "       forkbench load [load flags]        (see forkbench load -h)\n")
 		fmt.Fprintf(os.Stderr, "       forkbench fleet [fleet flags]      (see forkbench fleet -h)\n")
 		fmt.Fprintf(os.Stderr, "       forkbench cluster [cluster flags]  (see forkbench cluster -h)\n")
@@ -335,6 +339,27 @@ func main() {
 			ladder = []uint64{smax}
 		}
 		res, err := experiments.ScaleOutClaim(experiments.ScaleOutConfig{HeapSizes: ladder})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if runAll || what == "clonebench" {
+		ran = true
+		cmax := maxBytes
+		if cmax > 64*experiments.MiB {
+			cmax = 64 * experiments.MiB
+		}
+		var ladder []uint64
+		for _, h := range []uint64{4 * experiments.MiB, 16 * experiments.MiB, 64 * experiments.MiB} {
+			if h <= cmax {
+				ladder = append(ladder, h)
+			}
+		}
+		if len(ladder) == 0 {
+			ladder = []uint64{cmax}
+		}
+		res, err := experiments.CloneClaim(experiments.CloneConfig{HeapSizes: ladder})
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,44 @@
+package addrspace
+
+import (
+	"repro/internal/cost"
+	"repro/internal/mem"
+)
+
+// CloneHost duplicates the space's entire logical state — VMAs, heap
+// bounds, RSS and commit books, and the whole page-table tree — into a
+// new Space backed by the clone machine's physical memory and meter.
+// Unlike CloneCOW this is a host-side operation: no cost is charged, no
+// commit is re-reserved (the commit charge travels inside the cloned
+// Physical), and no refcounts move (likewise). The source is read, not
+// written, so a frozen template space can be cloned concurrently.
+//
+// remapBacking maps each VMA's Backing to its counterpart in the clone
+// machine (file-backed VMAs point at vfs inodes, which the kernel's
+// clone rewrites wholesale; addrspace cannot know about them). A nil
+// remapBacking shares Backing pointers verbatim. CPU residency is
+// deliberately dropped: the clone starts with no CPU executing in it.
+//
+// markSrc is pagetable.Table.CloneHost's: true when snapshotting a
+// live space into a template (the source must break node sharing
+// before in-place writes), false when stamping from a frozen one.
+func (s *Space) CloneHost(phys *mem.Physical, meter *cost.Meter, markSrc bool, remapBacking func(Backing) Backing) *Space {
+	c := &Space{
+		phys:        phys,
+		meter:       meter,
+		pt:          s.pt.CloneHost(phys, meter, markSrc),
+		rssPages:    s.rssPages,
+		commitPages: s.commitPages,
+		brkBase:     s.brkBase,
+		brk:         s.brk,
+	}
+	c.vmas = make([]*VMA, len(s.vmas))
+	for i, v := range s.vmas {
+		nv := *v
+		if nv.Backing != nil && remapBacking != nil {
+			nv.Backing = remapBacking(nv.Backing)
+		}
+		c.vmas[i] = &nv
+	}
+	return c
+}

@@ -1,0 +1,16 @@
+package cost
+
+// Clone returns an independent meter with identical model, per-CPU
+// clocks, idle accounting, active CPU, and counters. The clone
+// continues from the same virtual instant as the source — cloning is a
+// host-side operation and charges nothing — but subsequent charges on
+// either meter never affect the other. OnShootdown is deliberately not
+// carried over: it closes over the source machine's trace recorder, and
+// the cloning kernel rebinds it to the clone's own recorder.
+func (mt *Meter) Clone() *Meter {
+	nm := *mt
+	nm.clocks = append([]Ticks(nil), mt.clocks...)
+	nm.idle = append([]Ticks(nil), mt.idle...)
+	nm.OnShootdown = nil
+	return &nm
+}

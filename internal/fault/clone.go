@@ -1,0 +1,36 @@
+package fault
+
+import "repro/internal/cost"
+
+// Clone duplicates the injector for a template-cloned machine: the
+// schedule is shared (schedules are immutable pure functions), the
+// per-point op counters and injected tally are copied so the clone's
+// op sequence numbers continue exactly where the template's stopped,
+// and virtual time / recording rebind to the clone's meter and trace.
+// Nil-safe: cloning a machine with no injector yields no injector.
+func (i *Injector) Clone(meter *cost.Meter, rec *Recorder) *Injector {
+	if i == nil {
+		return nil
+	}
+	return &Injector{
+		meter:    meter,
+		sched:    i.sched,
+		rec:      rec,
+		counts:   i.counts,
+		injected: i.injected,
+	}
+}
+
+// Clone duplicates the recorder — events, drop count, capacity — so a
+// template-cloned machine's trace continues from the snapshot point
+// without perturbing the template's. Nil-safe.
+func (r *Recorder) Clone() *Recorder {
+	if r == nil {
+		return nil
+	}
+	return &Recorder{
+		events:  append([]Event(nil), r.events...),
+		dropped: r.dropped,
+		cap:     r.cap,
+	}
+}

@@ -1,0 +1,65 @@
+package mem
+
+import "repro/internal/cost"
+
+// CloneHost duplicates the physical memory's entire logical state —
+// frame table, free lists, allocation watermark, commit books — into a
+// new Physical charging against meter, without copying any frame
+// contents: materialised frames alias the source's byte arrays, marked
+// shared so the first in-place write on either side copies the bytes
+// out (see Write). The clone is logically an exact deep copy (reads,
+// refcounts, commit charge, and every metered cost behave identically),
+// but the host pays one pointer-free memmove of the frame table plus
+// O(materialised frames) — not Θ(resident bytes), and most resident
+// pages are lazy zeroes with no materialised entry at all.
+//
+// markSrc selects whether the *source's* materialised frames are also
+// flagged shared. A snapshot into an immutable template passes true
+// (the live machine keeps running and must not scribble on bytes the
+// template now aliases); stamping a machine out of a frozen template
+// passes false, so concurrent stamps only read the template — never
+// write it — and remain race-free without locks.
+//
+// The fault injector is deliberately not carried over: injectors are
+// bound to a meter and recorder, and the cloning kernel installs the
+// clone's own (see kernel.Kernel.Clone).
+func (p *Physical) CloneHost(meter *cost.Meter, markSrc bool) *Physical {
+	np := &Physical{
+		meter:          meter,
+		frames:         append([]frame(nil), p.frames...),
+		nextFree:       p.nextFree,
+		freeHead:       p.freeHead,
+		hframes:        append([]frame(nil), p.hframes...),
+		hfree:          append([]FrameID(nil), p.hfree...),
+		totalPages:     p.totalPages,
+		allocatedPages: p.allocatedPages,
+		policy:         p.policy,
+		commitLimit:    p.commitLimit,
+		committed:      p.committed,
+	}
+	if len(p.data) > 0 {
+		np.data = make(map[FrameID]*frameData, len(p.data))
+		for f, fd := range p.data {
+			np.data[f] = &frameData{bytes: fd.bytes, shared: true}
+			if markSrc {
+				fd.shared = true
+			}
+		}
+	}
+	return np
+}
+
+// SharedFrames counts live frames whose byte arrays are still host-COW
+// shared with a template or clone. On a frozen template it must never
+// decrease: a drop means some clone's write reached the template's
+// frames instead of breaking the sharing (the independence tests assert
+// on this).
+func (p *Physical) SharedFrames() int {
+	n := 0
+	for f, fd := range p.data {
+		if fd.shared && p.slot(f).refs > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -57,10 +57,22 @@ func (f FrameID) Pages() uint64 {
 	return 1
 }
 
+// frame is one frame's allocator state. Deliberately pointer-free (8
+// bytes): machine cloning copies the whole table with one memmove, and
+// the garbage collector never scans it. Contents live out-of-line in
+// Physical.data — most frames are lazy zeroes and have none.
 type frame struct {
 	refs int32
 	next FrameID // intrusive free-list link, meaningful only while free
-	data []byte  // nil ⇒ logically zero-filled
+}
+
+// frameData is one materialised frame's contents. shared marks bytes
+// host-COW-aliased with a template or clone machine (see CloneHost):
+// they must be copied out before the first in-place write. Purely
+// host-side — it never affects refcounts, commit, or any metered cost.
+type frameData struct {
+	bytes  []byte
+	shared bool
 }
 
 // CommitPolicy selects how commit (reservation) accounting behaves.
@@ -107,6 +119,12 @@ type Physical struct {
 	frames   []frame
 	nextFree uint64  // bump watermark: ids below this have been handed out
 	freeHead FrameID // head of the intrusive free list (NoFrame = empty)
+
+	// data holds materialised frame contents, base and huge alike
+	// (huge ids keep their tag bit). A live frame with no entry reads
+	// as zeroes; entries are deleted when the frame is freed or
+	// zeroed, so every entry belongs to a live frame.
+	data map[FrameID]*frameData
 
 	hframes []frame   // huge (2 MiB) frames, grown on demand
 	hfree   []FrameID // LIFO free stack of huge frames (few; a slice is fine)
@@ -316,6 +334,7 @@ func (p *Physical) DecRef(f FrameID) bool {
 	if fr.refs > 0 {
 		return false
 	}
+	delete(p.data, f)
 	if f.IsHuge() {
 		*fr = frame{}
 		p.hfree = append(p.hfree, f)
@@ -337,26 +356,28 @@ func (p *Physical) Refs(f FrameID) int32 {
 // Read copies frame contents at off into buf. Unmaterialised frames
 // read as zeroes.
 func (p *Physical) Read(f FrameID, off int, buf []byte) {
-	fr := p.live(f)
+	p.live(f)
 	if off < 0 || off+len(buf) > f.Size() {
 		panic(fmt.Sprintf("mem: read off=%d len=%d beyond frame size %d", off, len(buf), f.Size()))
 	}
-	if fr.data == nil {
+	fd := p.data[f]
+	if fd == nil {
 		clear(buf)
 		return
 	}
-	copy(buf, fr.data[off:off+len(buf)])
+	copy(buf, fd.bytes[off:off+len(buf)])
 }
 
 // Write stores data into frame f at off, materialising the frame's
 // backing store only if the write changes its contents (an all-zero
 // write to a zero frame stays lazy).
 func (p *Physical) Write(f FrameID, off int, data []byte) {
-	fr := p.live(f)
+	p.live(f)
 	if off < 0 || off+len(data) > f.Size() {
 		panic(fmt.Sprintf("mem: write off=%d len=%d beyond frame size %d", off, len(data), f.Size()))
 	}
-	if fr.data == nil {
+	fd := p.data[f]
+	if fd == nil {
 		allZero := true
 		for _, b := range data {
 			if b != 0 {
@@ -367,25 +388,40 @@ func (p *Physical) Write(f FrameID, off int, data []byte) {
 		if allZero {
 			return
 		}
-		fr.data = make([]byte, f.Size())
+		fd = &frameData{bytes: make([]byte, f.Size())}
+		if p.data == nil {
+			p.data = map[FrameID]*frameData{}
+		}
+		p.data[f] = fd
+	} else if fd.shared {
+		// First write to a template-shared frame: break the host-side
+		// sharing by copying the bytes out. Free — the simulated
+		// machine already paid its COW break (or owns the frame
+		// exclusively); only the host representation was shared.
+		nd := make([]byte, f.Size())
+		copy(nd, fd.bytes)
+		fd.bytes = nd
+		fd.shared = false
 	}
-	copy(fr.data[off:], data)
+	copy(fd.bytes[off:], data)
 }
 
 // Materialised reports whether f has real backing storage (false ⇒
 // it is a lazy zero frame). Used by tests and memory accounting.
 func (p *Physical) Materialised(f FrameID) bool {
-	return p.live(f).data != nil
+	p.live(f)
+	return p.data[f] != nil
 }
 
 // CopyFrame duplicates src into a newly allocated frame of the same
 // size, charging the copy cost (the COW-break path). The new frame has
 // refcount 1.
 func (p *Physical) CopyFrame(src FrameID) (FrameID, error) {
-	// Take the source's data slice by value before allocating: Alloc
-	// can grow the lazily-sized frame table and relocate the frame
-	// structs, so a *frame held across it would go stale.
-	srcData := p.live(src).data
+	p.live(src)
+	var srcData []byte
+	if fd := p.data[src]; fd != nil {
+		srcData = fd.bytes
+	}
 	var dst FrameID
 	var err error
 	if src.IsHuge() {
@@ -407,7 +443,10 @@ func (p *Physical) CopyFrame(src FrameID) (FrameID, error) {
 	if srcData != nil {
 		nd := make([]byte, src.Size())
 		copy(nd, srcData)
-		p.slot(dst).data = nd
+		if p.data == nil {
+			p.data = map[FrameID]*frameData{}
+		}
+		p.data[dst] = &frameData{bytes: nd}
 	}
 	return dst, nil
 }
@@ -415,8 +454,8 @@ func (p *Physical) CopyFrame(src FrameID) (FrameID, error) {
 // ZeroFrame resets f's contents to zero (used when recycling pages
 // within an address space, e.g. exec tearing down the old image).
 func (p *Physical) ZeroFrame(f FrameID) {
-	fr := p.live(f)
-	fr.data = nil
+	p.live(f)
+	delete(p.data, f)
 	if f.IsHuge() {
 		p.meter.Charge(p.meter.Model.HugeZero)
 		p.meter.PageZeroes += FramesPerHuge

@@ -118,6 +118,24 @@ type node struct {
 	// huge PTE, never both).
 	kids [entriesPerNode]*node
 	ptes [entriesPerNode]PTE
+
+	// shared marks a node host-COW-aliased by a frozen template and
+	// its clones (see CloneHost): it is immutable, referenced by any
+	// number of tables, and never returned to the pool. Writers copy
+	// a shared node out of the way first (ownedCopy) — a host-only
+	// operation that charges nothing, because logically the clone
+	// already owned the node.
+	shared bool
+}
+
+// ownedCopy returns a private, writable copy of a template-shared
+// node. The copy's kids still point at shared children; they get their
+// own copies if and when they are written.
+func ownedCopy(n *node) *node {
+	c := newNode()
+	c.ptes = n.ptes
+	c.kids = n.kids
+	return c
 }
 
 // nodePool recycles radix nodes between tables. Fork-heavy workloads
@@ -202,19 +220,28 @@ func (t *Table) Map(va uint64, e PTE) {
 	if va&(mem.PageSize-1) != 0 {
 		panic(fmt.Sprintf("pagetable: unaligned map %#x", va))
 	}
+	if t.root.shared {
+		t.root = ownedCopy(t.root)
+	}
 	n := t.root
 	for level := Levels - 1; level > 0; level-- {
 		i := index(va, level)
 		if level == 1 && n.ptes[i].Present() && n.ptes[i].Huge() {
 			panic(fmt.Sprintf("pagetable: 4K map %#x overlaps huge mapping", va))
 		}
-		if n.kids[i] == nil {
-			n.kids[i] = newNode()
+		kid := n.kids[i]
+		switch {
+		case kid == nil:
+			kid = newNode()
+			n.kids[i] = kid
 			t.nodes++
 			t.meter.Charge(t.meter.Model.PTNodeAlloc)
 			t.meter.PTNodes++
+		case kid.shared:
+			kid = ownedCopy(kid)
+			n.kids[i] = kid
 		}
-		n = n.kids[i]
+		n = kid
 	}
 	i := index(va, 0)
 	if !n.ptes[i].Present() {
@@ -231,16 +258,25 @@ func (t *Table) MapHuge(va uint64, e PTE) {
 	if va&(mem.HugeSize-1) != 0 {
 		panic(fmt.Sprintf("pagetable: unaligned huge map %#x", va))
 	}
+	if t.root.shared {
+		t.root = ownedCopy(t.root)
+	}
 	n := t.root
 	for level := Levels - 1; level > 1; level-- {
 		i := index(va, level)
-		if n.kids[i] == nil {
-			n.kids[i] = newNode()
+		kid := n.kids[i]
+		switch {
+		case kid == nil:
+			kid = newNode()
+			n.kids[i] = kid
 			t.nodes++
 			t.meter.Charge(t.meter.Model.PTNodeAlloc)
 			t.meter.PTNodes++
+		case kid.shared:
+			kid = ownedCopy(kid)
+			n.kids[i] = kid
 		}
-		n = n.kids[i]
+		n = kid
 	}
 	i := index(va, 1)
 	if n.kids[i] != nil {
@@ -279,6 +315,37 @@ func (t *Table) lookupSlot(va uint64) (slot *PTE, huge bool) {
 	return &n.ptes[i], false
 }
 
+// lookupSlotOwn is lookupSlot for writers: every node on the returned
+// slot's path is owned by this table, with template-shared nodes
+// copied out of the way (host-only; charges nothing — logically the
+// clone owned them all along).
+func (t *Table) lookupSlotOwn(va uint64) (slot *PTE, huge bool) {
+	if t.root.shared {
+		t.root = ownedCopy(t.root)
+	}
+	n := t.root
+	for level := Levels - 1; level > 0; level-- {
+		i := index(va, level)
+		if level == 1 && n.ptes[i].Present() && n.ptes[i].Huge() {
+			return &n.ptes[i], true
+		}
+		kid := n.kids[i]
+		if kid == nil {
+			return nil, false
+		}
+		if kid.shared {
+			kid = ownedCopy(kid)
+			n.kids[i] = kid
+		}
+		n = kid
+	}
+	i := index(va, 0)
+	if !n.ptes[i].Present() {
+		return nil, false
+	}
+	return &n.ptes[i], false
+}
+
 // Lookup translates va. The TLB is consulted first; a miss charges the
 // software-walk cost. The boolean reports whether a mapping exists.
 func (t *Table) Lookup(va uint64) (PTE, bool) {
@@ -300,7 +367,7 @@ func (t *Table) Lookup(va uint64) (PTE, bool) {
 // accessed bits). It panics if va is unmapped.
 func (t *Table) Update(va uint64, e PTE) {
 	checkVA(va)
-	slot, huge := t.lookupSlot(va)
+	slot, huge := t.lookupSlotOwn(va)
 	if slot == nil {
 		panic(fmt.Sprintf("pagetable: update of unmapped va %#x", va))
 	}
@@ -321,7 +388,7 @@ func (t *Table) Update(va uint64, e PTE) {
 // the frame reference.
 func (t *Table) Unmap(va uint64) (PTE, bool) {
 	checkVA(va)
-	slot, huge := t.lookupSlot(va)
+	slot, huge := t.lookupSlotOwn(va)
 	if slot == nil {
 		return 0, false
 	}
@@ -349,13 +416,17 @@ func (t *Table) Unmap(va uint64) (PTE, bool) {
 // Rewrites charge a PTE write; the TLB is flushed afterwards if any
 // entry changed.
 func (t *Table) Visit(fn func(va uint64, e PTE) PTE) {
-	changed := t.visit(t.root, 0, Levels-1, fn)
+	root, changed := t.visit(t.root, 0, Levels-1, fn)
+	t.root = root
 	if changed {
 		t.FlushTLB()
 	}
 }
 
-func (t *Table) visit(n *node, base uint64, level int, fn func(uint64, PTE) PTE) bool {
+// visit returns the node it ended up writing through — n itself, or an
+// owned copy when n was template-shared and a rewrite was needed — so
+// the caller can relink it.
+func (t *Table) visit(n *node, base uint64, level int, fn func(uint64, PTE) PTE) (*node, bool) {
 	changed := false
 	span := uint64(1) << (mem.PageShift + uint(level)*LevelBits)
 	for i := 0; i < entriesPerNode; i++ {
@@ -367,19 +438,29 @@ func (t *Table) visit(n *node, base uint64, level int, fn func(uint64, PTE) PTE)
 			}
 			ne := fn(va, e)
 			if ne != e {
+				if n.shared {
+					n = ownedCopy(n)
+				}
 				n.ptes[i] = ne | FlagPresent
 				t.meter.Charge(t.meter.Model.PTEWrite)
 				changed = true
 			}
 			continue
 		}
-		if n.kids[i] != nil {
-			if t.visit(n.kids[i], va, level-1, fn) {
+		if kid := n.kids[i]; kid != nil {
+			nk, ch := t.visit(kid, va, level-1, fn)
+			if nk != kid {
+				if n.shared {
+					n = ownedCopy(n)
+				}
+				n.kids[i] = nk
+			}
+			if ch {
 				changed = true
 			}
 		}
 	}
-	return changed
+	return n, changed
 }
 
 // cloneCounts accumulates the metered events of a clone walk so the
@@ -416,7 +497,7 @@ func (cc *cloneCounts) charge(m *cost.Meter) {
 func (t *Table) CloneCOW() *Table {
 	child := New(t.phys, t.meter)
 	var cc cloneCounts
-	child.cloneNode(t.root, child.root, Levels-1, &cc)
+	t.root = child.cloneNode(t.root, child.root, Levels-1, &cc)
 	child.nodes = int(cc.nodes)
 	child.entries = t.entries
 	child.hugeEntries = t.hugeEntries
@@ -426,7 +507,10 @@ func (t *Table) CloneCOW() *Table {
 	return child
 }
 
-func (c *Table) cloneNode(pn, cn *node, level int, cc *cloneCounts) {
+// cloneNode returns the parent-side node it downgraded through — pn
+// itself, or an owned copy when pn was template-shared — so the caller
+// (and CloneCOW for the root) can relink it into the parent table.
+func (c *Table) cloneNode(pn, cn *node, level int, cc *cloneCounts) *node {
 	for i := 0; i < entriesPerNode; i++ {
 		if level == 0 || (level == 1 && pn.ptes[i].Present() && pn.ptes[i].Huge()) {
 			e := pn.ptes[i]
@@ -452,6 +536,9 @@ func (c *Table) cloneNode(pn, cn *node, level int, cc *cloneCounts) {
 				shared = shared.With(FlagCOW)
 			}
 			if shared != e {
+				if pn.shared {
+					pn = ownedCopy(pn)
+				}
 				pn.ptes[i] = shared
 				cc.writes++
 			}
@@ -465,8 +552,14 @@ func (c *Table) cloneNode(pn, cn *node, level int, cc *cloneCounts) {
 		}
 		cn.kids[i] = newNode()
 		cc.nodes++
-		c.cloneNode(pn.kids[i], cn.kids[i], level-1, cc)
+		if nk := c.cloneNode(pn.kids[i], cn.kids[i], level-1, cc); nk != pn.kids[i] {
+			if pn.shared {
+				pn = ownedCopy(pn)
+			}
+			pn.kids[i] = nk
+		}
 	}
+	return pn
 }
 
 // CloneEager builds a fully copied table for a child, 1970s-style: a
@@ -528,7 +621,9 @@ func (c *Table) cloneEagerNode(pn, cn *node, level int, cc *cloneCounts) error {
 func (t *Table) Destroy(release func(va uint64, e PTE)) {
 	freed := uint64(1) // the root
 	t.destroyNode(t.root, 0, Levels-1, release, &freed)
-	putNode(t.root)
+	if !t.root.shared {
+		putNode(t.root)
+	}
 	t.root = nil
 	t.meter.Charge(cost.Ticks(freed) * t.meter.Model.PTNodeFree)
 	t.entries, t.nodes, t.hugeEntries = 0, 0, 0
@@ -540,7 +635,10 @@ func (t *Table) Destroy(release func(va uint64, e PTE)) {
 // destroyNode zeroes every slot as it walks, so each node goes back to
 // the pool fully cleared and newNode needs no re-initialisation. The
 // per-node free cost is accumulated into freed and charged in one batch
-// by Destroy.
+// by Destroy. Template-shared nodes are left untouched and unpooled —
+// other tables still alias them — but their frees are still counted:
+// the clone logically owned and freed them, and the cold machine it
+// must stay metric-identical to charges for every one.
 func (t *Table) destroyNode(n *node, base uint64, level int, release func(uint64, PTE), freed *uint64) {
 	span := uint64(1) << (mem.PageShift + uint(level)*LevelBits)
 	for i := 0; i < entriesPerNode; i++ {
@@ -549,13 +647,19 @@ func (t *Table) destroyNode(n *node, base uint64, level int, release func(uint64
 			if n.ptes[i].Present() && release != nil {
 				release(va, n.ptes[i])
 			}
-			n.ptes[i] = 0
+			if !n.shared {
+				n.ptes[i] = 0
+			}
 			continue
 		}
-		if n.kids[i] != nil {
-			t.destroyNode(n.kids[i], va, level-1, release, freed)
-			putNode(n.kids[i])
-			n.kids[i] = nil
+		if kid := n.kids[i]; kid != nil {
+			t.destroyNode(kid, va, level-1, release, freed)
+			if !kid.shared {
+				putNode(kid)
+			}
+			if !n.shared {
+				n.kids[i] = nil
+			}
 			*freed++
 		}
 	}

@@ -1,0 +1,142 @@
+package vfs
+
+// Cloner duplicates a filesystem graph — inodes, open-file
+// descriptions, and pipes — for template snapshot/clone machinery. It
+// memoises every object it copies so that aliasing is preserved
+// exactly: two descriptors dup'd onto one description stay dup'd in
+// the clone, a file reachable both by path and by an open description
+// is copied once, and the root directory's self-parent loop
+// terminates. File contents are not copied; clone inodes alias the
+// source's data arrays, marked shared so the first in-place write
+// (OpenFile.Write's non-growing path) copies the bytes out.
+//
+// MarkSrc mirrors mem.Physical.CloneHost: snapshotting a live machine
+// into a template passes true (the live side must also break sharing
+// before writing in place); stamping machines out of a frozen template
+// passes false so concurrent stamps never write the template.
+//
+// RemapQueue translates the kernel-owned wait queues hanging off pipes
+// (Pipe.ReadQ/WriteQ, opaque `any` here) into the clone kernel's
+// counterparts. The kernel's clone supplies it; nil shares the values
+// verbatim (only safe when no kernel queues are attached).
+type Cloner struct {
+	MarkSrc    bool
+	RemapQueue func(any) any
+
+	inodes map[*Inode]*Inode
+	files  map[*OpenFile]*OpenFile
+	pipes  map[*Pipe]*Pipe
+}
+
+// NewCloner returns an empty cloner.
+func NewCloner(markSrc bool, remapQueue func(any) any) *Cloner {
+	return &Cloner{
+		MarkSrc:    markSrc,
+		RemapQueue: remapQueue,
+		inodes:     map[*Inode]*Inode{},
+		files:      map[*OpenFile]*OpenFile{},
+		pipes:      map[*Pipe]*Pipe{},
+	}
+}
+
+// FS clones a whole filesystem tree.
+func (c *Cloner) FS(fs *FS) *FS {
+	return &FS{root: c.Inode(fs.root)}
+}
+
+// Inode clones one inode (and, for directories, everything beneath
+// it). Repeated calls on the same inode return the same clone.
+func (c *Cloner) Inode(ino *Inode) *Inode {
+	if ino == nil {
+		return nil
+	}
+	if dup, ok := c.inodes[ino]; ok {
+		return dup
+	}
+	dup := &Inode{
+		Type:  ino.Type,
+		dev:   ino.dev, // devices are stateless or host-shared (console)
+		nlink: ino.nlink,
+	}
+	// Register before recursing: directory trees contain cycles
+	// (root.parent == root, child.parent == dir).
+	c.inodes[ino] = dup
+	if ino.data != nil {
+		dup.data = ino.data
+		dup.shared = true
+		if c.MarkSrc {
+			ino.shared = true
+		}
+	}
+	if ino.children != nil {
+		dup.children = make(map[string]*Inode, len(ino.children))
+		for name, ch := range ino.children {
+			dup.children[name] = c.Inode(ch)
+		}
+	}
+	dup.parent = c.Inode(ino.parent)
+	return dup
+}
+
+// OpenFile clones one open-file description, preserving aliasing
+// across dup/fork: the memo guarantees each source description maps to
+// exactly one clone, so reference counts carry over verbatim.
+func (c *Cloner) OpenFile(of *OpenFile) *OpenFile {
+	if of == nil {
+		return nil
+	}
+	if dup, ok := c.files[of]; ok {
+		return dup
+	}
+	dup := &OpenFile{
+		ino:   c.Inode(of.ino),
+		pipe:  c.Pipe(of.pipe),
+		pipeW: of.pipeW,
+		flags: of.flags,
+		pos:   of.pos,
+		refs:  of.refs,
+	}
+	c.files[of] = dup
+	return dup
+}
+
+// Pipe clones a pipe, copying the buffered bytes and end counts and
+// remapping the kernel wait queues via RemapQueue.
+func (c *Cloner) Pipe(p *Pipe) *Pipe {
+	if p == nil {
+		return nil
+	}
+	if dup, ok := c.pipes[p]; ok {
+		return dup
+	}
+	dup := &Pipe{
+		buf:     append([]byte(nil), p.buf...),
+		start:   p.start,
+		length:  p.length,
+		readers: p.readers,
+		writers: p.writers,
+		ReadQ:   p.ReadQ,
+		WriteQ:  p.WriteQ,
+	}
+	if c.RemapQueue != nil {
+		dup.ReadQ = c.RemapQueue(p.ReadQ)
+		dup.WriteQ = c.RemapQueue(p.WriteQ)
+	}
+	c.pipes[p] = dup
+	return dup
+}
+
+// FDTable clones a descriptor table, sharing descriptions through the
+// memo so sibling tables (fork inheritance) still alias in the clone.
+func (c *Cloner) FDTable(t *FDTable) *FDTable {
+	if t == nil {
+		return nil
+	}
+	nt := &FDTable{slots: make([]fdSlot, len(t.slots))}
+	for fd, s := range t.slots {
+		if s.of != nil {
+			nt.slots[fd] = fdSlot{of: c.OpenFile(s.of), cloexec: s.cloexec}
+		}
+	}
+	return nt
+}

@@ -139,6 +139,12 @@ func (of *OpenFile) Write(data []byte) (int, error) {
 		nd := make([]byte, end)
 		copy(nd, of.ino.data)
 		of.ino.data = nd
+		of.ino.shared = false
+	} else if of.ino.shared {
+		// First in-place write to a template-shared file: copy the
+		// bytes out so the template (and sibling clones) keep theirs.
+		of.ino.data = append([]byte(nil), of.ino.data...)
+		of.ino.shared = false
 	}
 	copy(of.ino.data[of.pos:], data)
 	of.pos = end

@@ -51,8 +51,12 @@ type Device interface {
 
 // Inode is one filesystem object.
 type Inode struct {
-	Type     InodeType
-	data     []byte            // TypeFile
+	Type InodeType
+	data []byte // TypeFile
+	// shared marks data as host-COW-aliased by a template or clone
+	// machine (see Cloner): the bytes must be copied out before the
+	// first in-place write. Purely host-side bookkeeping.
+	shared   bool
 	children map[string]*Inode // TypeDir
 	parent   *Inode            // TypeDir: ".."
 	dev      Device            // TypeDevice
@@ -71,6 +75,7 @@ func (ino *Inode) SetData(b []byte) {
 		panic("vfs: SetData on non-file")
 	}
 	ino.data = b
+	ino.shared = false
 }
 
 // ReadAt implements addrspace.Backing-style reads with zero-fill past
@@ -179,6 +184,7 @@ func (fs *FS) Create(cwd *Inode, path string) (*Inode, error) {
 			return nil, errno.EISDIR
 		case TypeFile:
 			ino.data = nil
+			ino.shared = false
 			return ino, nil
 		default:
 			return ino, nil

@@ -31,4 +31,11 @@
 // Scenarios: Surge (fork pool vs spawn pool racing the same spike),
 // ZoneOutage (zone-scoped kills, backfill in surviving zones), and
 // HeteroPools (one stream bin-packed across a 1/2/4/8-CPU ladder).
+//
+// Scale-out machines boot from frozen server templates
+// (load.ServerTemplates over sim.System.Snapshot): the ready-to-serve
+// master is warmed once per shape and host-COW-stamped per node, so
+// the *host* cost of a scale-out stops being Θ(heap) while the
+// *virtual* warm-up latency the autoscaler measures is unchanged (see
+// README "Template machines & O(1) clone").
 package cluster

@@ -69,6 +69,17 @@
 // warm-up — Θ(heap) per pool worker under fork — becomes measured
 // scale-out latency (see `forkbench cluster`).
 //
+// Warmed machines can be frozen and stamped: System.Snapshot freezes
+// the current state into an immutable Template whose page-table
+// nodes, frame contents, and process trees are host-COW-shared into
+// every Template.Clone, so cloning a warmed machine costs O(live
+// structures) host time instead of Θ(heap) while charging zero
+// simulated cost — a clone's metrics and traces are byte-identical to
+// a cold-booted machine's. sim/load, sim/fleet, and sim/cluster all
+// stamp their machines from templates; `forkbench clonebench` (E13)
+// measures the host-side win (see README "Template machines & O(1)
+// clone").
+//
 // The internal packages remain the substrate: internal/kernel is the
 // simulated OS, internal/core holds the paper's spawn/cross-process
 // primitives, and internal/experiments regenerates the figures.

@@ -63,4 +63,11 @@
 // cluster's reconcile loop boots and retires Machines between pool
 // bounds in virtual time (experiments.ScaleOutClaim, `forkbench
 // cluster`).
+//
+// Machines are stamped from frozen templates, not cold-booted: one
+// warmed master per distinct (shape, strategy, workload) is frozen
+// via sim.System.Snapshot and host-COW-cloned per machine, so fleet
+// host cost stops being Θ(heap)×N (Spec.ColdBoot opts out; the report
+// is byte-identical either way, which CI's clone-equivalence gate
+// enforces — see README "Template machines & O(1) clone").
 package fleet

@@ -121,6 +121,14 @@ type Spec struct {
 	// Result: machines are independent simulations merged in
 	// machine-id order.
 	Parallelism int
+
+	// ColdBoot disables the per-shape template cache: every machine
+	// boots and warms from scratch instead of being stamped from a
+	// frozen warmed template. Like Parallelism it affects host cost
+	// only, never the Result — a stamped machine is logically the
+	// warmed machine itself. The CI clone-equivalence gate runs the
+	// same Spec both ways and byte-compares the reports.
+	ColdBoot bool
 }
 
 // withDefaults resolves every zero field.
@@ -384,9 +392,10 @@ func Run(spec Spec) (*Result, error) {
 	}
 	workers := poolSize(spec.Parallelism, spec.Machines)
 	start := time.Now()
+	tpls := newTemplates(spec.ColdBoot)
 	machines := make([]MachineMetrics, spec.Machines)
 	err := forEach(workers, spec.Machines, func(id int) error {
-		mm, _, err := runMachine(spec, id)
+		mm, _, err := runMachine(spec, id, tpls)
 		if err != nil {
 			return fmt.Errorf("fleet: machine %d: %w", id, err)
 		}
@@ -409,19 +418,20 @@ func Run(spec Spec) (*Result, error) {
 	return res, nil
 }
 
-// runMachine executes machine id's phases. The returned debug state
+// runMachine executes machine id's phases, stamping each phase's
+// machine from tpls (nil = cold boots). The returned debug state
 // carries the rolling runner's leak-check counters for the tests.
-func runMachine(spec Spec, id int) (*MachineMetrics, *restartDebug, error) {
+func runMachine(spec Spec, id int, tpls *templates) (*MachineMetrics, *restartDebug, error) {
 	ms := spec.machine(id)
 	mm := &MachineMetrics{Machine: ms.ID, CPUs: ms.CPUs, Strategy: ms.Via.String()}
 	var dbg *restartDebug
 	switch spec.Scenario {
 	case RollingRestart:
-		warm, err := load.Run(ms.loadConfig())
+		warm, err := tpls.run(ms.loadConfig())
 		if err != nil {
 			return nil, nil, fmt.Errorf("warm phase: %w", err)
 		}
-		rr, d, err := runRestartedMachine(ms)
+		rr, d, err := runRestartedMachine(ms, tpls)
 		if err != nil {
 			return nil, nil, fmt.Errorf("restart phase: %w", err)
 		}
@@ -431,29 +441,32 @@ func runMachine(spec Spec, id int) (*MachineMetrics, *restartDebug, error) {
 		dbg = d
 	case Chaos:
 		// Chaos serves prefork traffic (validate pinned Spec.Load
-		// to it) under this machine's derived wave schedule.
+		// to it) under this machine's derived wave schedule. The
+		// template is warmed clean; the schedule installs on the
+		// stamped clone after warm-up, exactly as the cold path
+		// installs it after Prepare.
 		cfg := ms.loadConfig()
 		cfg.Faults = fault.Chaos(spec.FaultSeed, ms.ID)
-		m, err := load.Run(cfg)
+		m, err := tpls.run(cfg)
 		if err != nil {
 			return nil, nil, fmt.Errorf("chaos phase: %w", err)
 		}
 		mm.Phases = []*load.Metrics{m}
 	case Surge:
-		base, err := load.Run(ms.loadConfig())
+		base, err := tpls.run(ms.loadConfig())
 		if err != nil {
 			return nil, nil, fmt.Errorf("baseline phase: %w", err)
 		}
 		spike := ms.loadConfig()
 		spike.Requests = ms.Requests * spec.SurgeFactor
 		spike.Window = ms.baseWindow() * spec.SurgeFactor
-		surge, err := load.Run(spike)
+		surge, err := tpls.run(spike)
 		if err != nil {
 			return nil, nil, fmt.Errorf("surge phase: %w", err)
 		}
 		mm.Phases = []*load.Metrics{base, surge}
 	default: // Uniform, Heterogeneous
-		m, err := load.Run(ms.loadConfig())
+		m, err := tpls.run(ms.loadConfig())
 		if err != nil {
 			return nil, nil, err
 		}
@@ -566,16 +579,18 @@ func (r *Result) Render() string {
 	return b.String()
 }
 
-// RunAll runs every config through load.Run on a host worker pool
-// bounded by GOMAXPROCS (or parallelism if lower), returning metrics
-// in input order — the primitive `forkbench load -sweep` and the
-// experiment tables fan out on. Each config is an independent machine;
-// results are position-merged, so the output is identical to running
-// the configs serially.
+// RunAll runs every config on a host worker pool bounded by GOMAXPROCS
+// (or parallelism if lower), returning metrics in input order — the
+// primitive `forkbench load -sweep` and the experiment tables fan out
+// on. Each config is an independent machine, warmed once per distinct
+// machine shape and stamped per run (see load.Templates); results are
+// position-merged, so the output is identical to running the configs
+// serially through load.Run.
 func RunAll(parallelism int, cfgs []load.Config) ([]*load.Metrics, error) {
+	tc := load.NewTemplates()
 	ms := make([]*load.Metrics, len(cfgs))
 	err := forEach(poolSize(parallelism, len(cfgs)), len(cfgs), func(i int) error {
-		m, err := load.Run(cfgs[i])
+		m, err := tc.Run(cfgs[i])
 		if err != nil {
 			return err
 		}

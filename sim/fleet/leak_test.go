@@ -25,8 +25,9 @@ func TestRollingRestartLeaksNothing(t *testing.T) {
 				Requests:  4,
 				HeapBytes: 8 << 20,
 			}.withDefaults()
+			tpls := newTemplates(false)
 			for id := 0; id < spec.Machines; id++ {
-				_, dbg, err := runMachine(spec, id)
+				_, dbg, err := runMachine(spec, id, tpls)
 				if err != nil {
 					t.Fatalf("machine %d: %v", id, err)
 				}
@@ -179,7 +180,7 @@ func TestRollingRestartTax(t *testing.T) {
 	run := func(via sim.Strategy) *MachineMetrics {
 		spec := Spec{Machines: 1, Scenario: RollingRestart, Via: via,
 			Requests: 4, HeapBytes: 32 << 20}.withDefaults()
-		mm, _, err := runMachine(spec, 0)
+		mm, _, err := runMachine(spec, 0, newTemplates(false))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -32,8 +32,10 @@ type restartResult struct {
 // worker duplicates the freshly dirtied heap's page tables (Θ(heap)
 // each); under spawn or the builder the pool comes up at a flat cost.
 // The returned restart tax is the virtual time from boot to
-// ready-to-serve.
-func runRestartedMachine(ms machineSpec) (*restartResult, *restartDebug, error) {
+// ready-to-serve. The boot itself is stamped from tpls' boot-only
+// template (nil = cold boot); the warm-up is NOT stamped — repaying
+// it inside measured virtual time is the whole point of the wave.
+func runRestartedMachine(ms machineSpec, tpls *templates) (*restartResult, *restartDebug, error) {
 	cfg := ms.loadConfig()
 	cfg.Scenario = load.Prefork // the wave serves prefork-style traffic
 	// Size RAM once and pin it in the config, so the booted machine
@@ -42,11 +44,7 @@ func runRestartedMachine(ms machineSpec) (*restartResult, *restartDebug, error) 
 	if cfg.RAMBytes < 1<<30 {
 		cfg.RAMBytes = 1 << 30
 	}
-	sys, err := sim.NewSystem(
-		sim.WithRAM(cfg.RAMBytes),
-		sim.WithCPUs(ms.CPUs),
-		sim.WithUserland("true"),
-	)
+	sys, err := tpls.bootSystem(ms.CPUs, cfg.RAMBytes)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"sync"
+
+	"repro/sim"
+	"repro/sim/load"
+)
+
+// templates bundles one fleet run's template caches: warmed scenario
+// machines per load.Shape, plus the rolling wave's boot-only images
+// (a replacement instance re-pays its warm-up *inside* measured
+// virtual time, so only its boot is stampable). A nil *templates cold
+// boots everything — the ColdBoot escape hatch the CI equivalence
+// gate compares against. Shared across the run's host workers; safe
+// for concurrent use.
+type templates struct {
+	loads *load.Templates
+
+	mu    sync.Mutex
+	boots map[bootShape]*sim.Template
+}
+
+// bootShape keys a boot-only template: the machine shape a rolling
+// replacement instance boots with (userland pinned to "true").
+type bootShape struct {
+	cpus int
+	ram  uint64
+}
+
+// newTemplates returns the run's cache, or nil when cold boots were
+// requested.
+func newTemplates(coldBoot bool) *templates {
+	if coldBoot {
+		return nil
+	}
+	return &templates{loads: load.NewTemplates(), boots: map[bootShape]*sim.Template{}}
+}
+
+// run executes one load phase, stamped from the warm-shape cache (or
+// cold via load.Run when t is nil).
+func (t *templates) run(cfg load.Config) (*load.Metrics, error) {
+	if t == nil {
+		return load.Run(cfg)
+	}
+	return t.loads.Run(cfg)
+}
+
+// bootSystem returns a freshly booted (not warmed) machine for the
+// rolling wave's replacement instance: stamped from a boot-only
+// template, or cold-booted when t is nil. Identical to
+// sim.NewSystem(WithRAM, WithCPUs, WithUserland("true")) in every
+// virtual-time respect.
+func (t *templates) bootSystem(cpus int, ram uint64) (*sim.System, error) {
+	boot := func() (*sim.System, error) {
+		return sim.NewSystem(
+			sim.WithRAM(ram),
+			sim.WithCPUs(cpus),
+			sim.WithUserland("true"),
+		)
+	}
+	if t == nil {
+		return boot()
+	}
+	key := bootShape{cpus: cpus, ram: ram}
+	t.mu.Lock()
+	bt, ok := t.boots[key]
+	if !ok {
+		sys, err := boot()
+		if err != nil {
+			t.mu.Unlock()
+			return nil, err
+		}
+		if bt, err = sys.Snapshot(); err != nil {
+			t.mu.Unlock()
+			return nil, err
+		}
+		t.boots[key] = bt
+	}
+	t.mu.Unlock()
+	return bt.Clone()
+}

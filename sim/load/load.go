@@ -384,6 +384,10 @@ func Prepare(sys *sim.System, cfg Config) (*Prepared, error) {
 	return &Prepared{cfg: cfg, sys: sys, heapStart: vma.Start, heapBytes: heap}, nil
 }
 
+// System is the prepared machine — exposed so callers (tests, the E13
+// host-cost experiment) can inspect the warmed state before Run.
+func (p *Prepared) System() *sim.System { return p.sys }
+
 // Run boots a fresh machine, warms it, and executes one scenario,
 // reporting its metrics. Counters are zeroed after the warm-up, so
 // boot and heap-dirtying cost is excluded from the measured loop.

@@ -1,0 +1,86 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/sim"
+)
+
+// TestTemplateRunMatchesColdRun is the clone-equivalence property: for
+// every creation strategy, CPU count, and scenario, a machine stamped
+// from a frozen template must produce byte-identical JSON metrics to a
+// machine built cold — same virtual nanoseconds, same fault counts,
+// same per-CPU utilisation, everything. The stamped side runs through
+// a shared Templates cache, so the test also exercises one template
+// serving many scenarios and strategies of the same warm Shape.
+func TestTemplateRunMatchesColdRun(t *testing.T) {
+	tc := NewTemplates()
+	for _, cpus := range []int{1, 2, 8} {
+		for _, scen := range []Scenario{Prefork, ForkStorm, SMPServer} {
+			for _, via := range append(sim.Strategies(), sim.EagerForkExec) {
+				cfg := Config{
+					Scenario: scen, Via: via, CPUs: cpus,
+					Requests: 3, HeapBytes: 4 << 20,
+				}
+				t.Run(fmt.Sprintf("%s/%v/%dcpu", scen, via, cpus), func(t *testing.T) {
+					cold, err := Run(cfg)
+					if err != nil {
+						t.Fatalf("cold run: %v", err)
+					}
+					stamped, err := tc.Run(cfg)
+					if err != nil {
+						t.Fatalf("stamped run: %v", err)
+					}
+					cj, err := json.Marshal(cold)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sj, err := json.Marshal(stamped)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(cj) != string(sj) {
+						t.Errorf("stamped metrics diverged from cold:\ncold:    %s\nstamped: %s", cj, sj)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTemplateShapeSharing pins the cache key: configs differing only
+// in scenario, strategy, or request volume share one template; configs
+// differing in warm shape (heap, CPUs) do not.
+func TestTemplateShapeSharing(t *testing.T) {
+	tc := NewTemplates()
+	base := Config{Scenario: Prefork, Via: sim.Spawn, Requests: 2, HeapBytes: 4 << 20}
+	a, err := tc.Get(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := base
+	same.Scenario, same.Via, same.Requests = ForkStorm, sim.ForkExec, 9
+	if b, _ := tc.Get(same); b != a {
+		t.Error("same warm shape resolved to a different template")
+	}
+	diff := base
+	diff.HeapBytes = 8 << 20
+	if c, _ := tc.Get(diff); c == a {
+		t.Error("different heap resolved to the same template")
+	}
+}
+
+// TestTemplateStampShapeMismatch pins the error path: stamping a
+// config whose resolved shape differs from the template's must fail
+// rather than silently produce a wrong-shaped machine.
+func TestTemplateStampShapeMismatch(t *testing.T) {
+	tpl, err := NewTemplate(Config{Scenario: Prefork, Via: sim.Spawn, HeapBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tpl.Stamp(Config{Scenario: Prefork, Via: sim.Spawn, HeapBytes: 8 << 20}); err == nil {
+		t.Error("stamp with mismatched heap succeeded")
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+)
+
+// Template is a frozen machine image: a warmed System snapshotted into
+// an immutable master copy that can be stamped into any number of
+// independent clones in ~O(live kernel structures) host time instead
+// of Θ(heap). Frame contents, file data, page-table radix nodes,
+// fd-table aliasing, and process trees are carried over exactly;
+// physical bytes are host-COW-shared (first write on a clone copies
+// the affected frame out, never touching the template). A Template is
+// safe for concurrent Clone calls from multiple goroutines: clones
+// only read the frozen master.
+type Template struct {
+	k         *kernel.Kernel
+	hostPid   kernel.PID
+	runBudget uint64
+}
+
+// Snapshot freezes the machine's current state — mid-workload is fine
+// — into a Template. The live System keeps running afterwards: its
+// frames are marked copy-on-write so later writes break sharing
+// instead of scribbling on the template's bytes. Virtual time,
+// meter counters, fault op counters, and the event trace are all part
+// of the snapshot, so a clone continues from this exact instant and a
+// workload run on a clone is byte-identical (metrics and trace) to the
+// same workload run on the original machine.
+func (s *System) Snapshot() (*Template, error) {
+	if s.host == nil {
+		return nil, fmt.Errorf("sim: snapshot of a system with no host process")
+	}
+	master := s.k.Clone(true)
+	if master.Lookup(s.host.Pid) == nil {
+		return nil, fmt.Errorf("sim: snapshot lost host pid %d", s.host.Pid)
+	}
+	return &Template{k: master, hostPid: s.host.Pid, runBudget: s.runBudget}, nil
+}
+
+// Clone stamps a fresh, fully independent System from the template.
+// The clone has its own cost meter (continuing from the template's
+// clocks), fault-injection op counters, trace recorder, process table,
+// and physical-memory books; the only thing shared with the template
+// is immutable frame and file bytes, un-shared per frame on first
+// write. Cloning charges zero simulated cost — a clone is logically
+// the warmed machine itself, not a copy of it.
+func (t *Template) Clone() (*System, error) {
+	k := t.k.Clone(false)
+	host := k.Lookup(t.hostPid)
+	if host == nil {
+		return nil, fmt.Errorf("sim: template clone lost host pid %d", t.hostPid)
+	}
+	return &System{k: k, host: host, runBudget: t.runBudget}, nil
+}
+
+// Kernel exposes the frozen master kernel (read-only by convention;
+// mutating it invalidates the template's immutability guarantee).
+func (t *Template) Kernel() *kernel.Kernel { return t.k }
+
+// FindProcess re-adopts a process of a cloned machine by pid, so a
+// harness that recorded pids before Snapshot can rebuild its typed
+// handles on each clone (pool workers, servers). The handle reports
+// zero creation cost: the process was not created on this machine, it
+// arrived with it.
+func (s *System) FindProcess(pid int) (*Process, error) {
+	raw := s.k.Lookup(kernel.PID(pid))
+	if raw == nil {
+		return nil, fmt.Errorf("sim: no process with pid %d", pid)
+	}
+	return &Process{sys: s, raw: raw}, nil
+}

@@ -1,0 +1,169 @@
+package sim_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/sim"
+)
+
+// TestCloneTraceMatchesCold is the trace half of the clone-equivalence
+// property: the golden-trace machine is rebuilt, frozen into a
+// template *before* the traced command, and the command is then run on
+// two independent clones and on the post-snapshot original. All three
+// rendered traces must be byte-identical to the cold machine's — a
+// clone is logically the warmed machine itself, and the snapshot must
+// not perturb the machine it was taken from (host-COW bookkeeping is
+// invisible to virtual time).
+func TestCloneTraceMatchesCold(t *testing.T) {
+	for _, g := range goldenStrategies {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			cold := goldenTrace(t, g.via)
+
+			sys, err := sim.NewSystem(
+				sim.WithRAM(64<<20),
+				sim.WithUserland("echo"),
+				sim.WithTrace(),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.DirtyHost(64<<10, false); err != nil {
+				t.Fatal(err)
+			}
+			tpl, err := sys.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(s *sim.System) string {
+				cmd := s.Command("echo", "trace", "me").Via(g.via)
+				cmd.Stdout = io.Discard
+				if err := cmd.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return s.Trace().Render()
+			}
+			for i := 0; i < 2; i++ {
+				c, err := tpl.Clone()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := run(c); got != cold {
+					t.Errorf("clone %d trace diverged from cold machine:\nclone:\n%s\ncold:\n%s", i, got, cold)
+				}
+			}
+			if got := run(sys); got != cold {
+				t.Errorf("post-snapshot original's trace diverged from cold machine:\ngot:\n%s\ncold:\n%s", got, cold)
+			}
+		})
+	}
+}
+
+// TestCloneIndependence stamps three clones from one template, drives
+// divergent mutating workloads through them, and asserts that neither
+// the template nor any sibling sees the others' writes: the frozen
+// master's process table, physical-memory books, and host-COW-shared
+// frames are unperturbed, a late fourth clone is still pristine, and
+// each clone returns to its own post-stamp baseline once its processes
+// are reaped (the leak half: stamping must not open a path for one
+// machine's teardown to double-free or retain another's frames).
+func TestCloneIndependence(t *testing.T) {
+	sys, err := sim.NewSystem(sim.WithRAM(64<<20), sim.WithUserland("true"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DirtyHost(1<<20, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WriteFile("/tmp/seed", []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	tpl, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tk := tpl.Kernel()
+	baseProcs := tk.ProcessCount()
+	basePages := tk.Phys().AllocatedPages()
+	baseCmt := tk.Phys().Committed()
+	baseShared := tk.Phys().SharedFrames()
+
+	var clones [3]*sim.System
+	var cbase [3]counts
+	for i := range clones {
+		if clones[i], err = tpl.Clone(); err != nil {
+			t.Fatal(err)
+		}
+		cbase[i] = snapshot(clones[i])
+	}
+	a, b, c := clones[0], clones[1], clones[2]
+
+	// Divergent mutations: a and b rewrite the seeded file to
+	// different contents and churn processes under different
+	// strategies; c only reads.
+	if err := a.WriteFile("/tmp/seed", []byte("AAAA")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := a.Command("true").Via(sim.ForkExec).Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.WriteFile("/tmp/seed", []byte("BB")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := b.Command("true").Via(sim.Spawn).Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	readSeed := func(s *sim.System, who string, want string) {
+		t.Helper()
+		got, err := s.ReadFile("/tmp/seed")
+		if err != nil {
+			t.Fatalf("%s: read seed: %v", who, err)
+		}
+		if !bytes.Equal(got, []byte(want)) {
+			t.Errorf("%s sees seed %q, want %q", who, got, want)
+		}
+	}
+	readSeed(a, "clone a", "AAAA")
+	readSeed(b, "clone b", "BB")
+	readSeed(c, "clone c", "base") // siblings' writes must not bleed
+
+	// A clone stamped after the siblings diverged is still pristine.
+	d, err := tpl.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	readSeed(d, "late clone d", "base")
+
+	// The frozen master is untouched: same processes, same resident
+	// pages, same commit charge, and no shared frame was ever broken
+	// *on the template's side* (clones un-share their own copies; a
+	// drop here would mean a clone's write reached the master).
+	if got := tk.ProcessCount(); got != baseProcs {
+		t.Errorf("template process count moved: %d, want %d", got, baseProcs)
+	}
+	if got := tk.Phys().AllocatedPages(); got != basePages {
+		t.Errorf("template resident pages moved: %d, want %d", got, basePages)
+	}
+	if got := tk.Phys().Committed(); got != baseCmt {
+		t.Errorf("template commit charge moved: %d, want %d", got, baseCmt)
+	}
+	if got := tk.Phys().SharedFrames(); got < baseShared {
+		t.Errorf("template shared frames decreased: %d, was %d (a clone wrote through the COW)", got, baseShared)
+	}
+
+	// Leak half: with every child reaped, each clone is exactly back
+	// at its own post-stamp baseline.
+	for i, cl := range clones {
+		if got := snapshot(cl); got != cbase[i] {
+			t.Errorf("clone %d leaked: %+v, baseline %+v", i, got, cbase[i])
+		}
+	}
+}
