@@ -22,6 +22,8 @@ func runCluster(args []string) error {
 	heap := fs.String("heap", "64MiB", "per-machine server heap size")
 	parallel := fs.Int("parallel", 0, "host worker bound (0 = GOMAXPROCS)")
 	jsonPath := fs.String("json", "", "write the cluster report to FILE as byte-stable JSON")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to FILE")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to FILE")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,7 +43,14 @@ func runCluster(args []string) error {
 		return err
 	}
 	spec.Parallelism = *parallel
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
 	rep, err := cluster.Run(spec)
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}

@@ -31,8 +31,12 @@ func runFleet(args []string) error {
 	seed := fs.Uint64("seed", 0, "chaos fault-wave seed (0 = 1)")
 	heap := fs.String("heap", "64MiB", "per-machine server heap size")
 	parallel := fs.Int("parallel", 0, "host worker bound (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "fan machine ranges across N worker OS processes (0/1 = in-process; host cost only, the report is byte-identical)")
+	permachine := fs.Bool("permachine", false, "keep the per-machine breakdown in the report (off: stream machines into the aggregate in constant memory)")
 	jsonPath := fs.String("json", "", "write the fleet report to FILE as byte-stable JSON")
 	cold := fs.Bool("cold", false, "cold-boot every machine instead of stamping from templates (host cost only; the report is byte-identical either way)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to FILE")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to FILE")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,26 +64,37 @@ func runFleet(args []string) error {
 	if err != nil {
 		return err
 	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
 	res, err := fleet.Run(fleet.Spec{
-		Machines:    *machines,
-		Scenario:    scen,
-		Load:        loadScen,
-		Via:         st,
-		CPUs:        *cpus,
-		Requests:    *n,
-		Workers:     *workers,
-		SurgeFactor: *surge,
-		FaultSeed:   *seed,
-		HeapBytes:   heapBytes,
-		Parallelism: *parallel,
-		ColdBoot:    *cold,
+		Machines:       *machines,
+		Scenario:       scen,
+		Load:           loadScen,
+		Via:            st,
+		CPUs:           *cpus,
+		Requests:       *n,
+		Workers:        *workers,
+		SurgeFactor:    *surge,
+		FaultSeed:      *seed,
+		HeapBytes:      heapBytes,
+		Parallelism:    *parallel,
+		Shards:         *shards,
+		KeepPerMachine: *permachine,
+		ColdBoot:       *cold,
 	})
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Println(res.Render())
-	fmt.Fprintf(os.Stderr, "host: %d machines on %d worker(s) in %s (GOMAXPROCS %d)\n",
-		len(res.Machines), res.HostWorkers, res.HostElapsed.Round(time.Microsecond), runtime.GOMAXPROCS(0))
+	fmt.Fprintf(os.Stderr, "host: %d machines on %d worker(s) x %d shard(s) in %s (GOMAXPROCS %d, peak RSS %s)\n",
+		res.Aggregate.Machines, res.HostWorkers, res.HostShards,
+		res.HostElapsed.Round(time.Microsecond), runtime.GOMAXPROCS(0),
+		load.HumanBytes(res.HostPeakRSSBytes))
 	if *jsonPath != "" {
 		data, err := res.JSON()
 		if err != nil {

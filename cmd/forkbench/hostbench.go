@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// runHostbench is the `forkbench hostbench` subcommand: E14, the
+// host-time trajectory (stamp rate, machines per host second,
+// simulated requests per host second, peak RSS over a fleet-size
+// ladder). Unlike every virtual-time experiment its numbers are host
+// measurements and vary run to run; -json writes the BENCH_HOST.json
+// trajectory format.
+func runHostbench(args []string) error {
+	fs := flag.NewFlagSet("forkbench hostbench", flag.ExitOnError)
+	sizes := fs.String("sizes", "", "comma-separated fleet-size ladder (default 256,1024,4096)")
+	n := fs.Int("n", 0, "requests per machine (0 = 8)")
+	heap := fs.String("heap", "4MiB", "per-machine server heap size")
+	shards := fs.Int("shards", 0, "worker OS processes per fleet run (0 = in-process)")
+	stamps := fs.Int("stamps", 0, "stamps per stamp-rate probe (0 = 2048)")
+	jsonPath := fs.String("json", "", "write the trajectory to FILE (the BENCH_HOST.json format)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("hostbench: unexpected argument %q", fs.Arg(0))
+	}
+	heapBytes, err := parseSize(*heap)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.HostBenchConfig{
+		Requests:      *n,
+		HeapBytes:     heapBytes,
+		Shards:        *shards,
+		StampMachines: *stamps,
+	}
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 1 {
+				return fmt.Errorf("hostbench: bad -sizes entry %q", s)
+			}
+			cfg.Sizes = append(cfg.Sizes, v)
+		}
+	}
+	res, err := experiments.HostBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote host trajectory to %s\n", *jsonPath)
+	}
+	return nil
+}

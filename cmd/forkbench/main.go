@@ -9,6 +9,7 @@
 //	forkbench load [load flags]
 //	forkbench fleet [fleet flags]
 //	forkbench cluster [cluster flags]
+//	forkbench hostbench [hostbench flags]
 //	forkbench trace [trace flags] [prog arg...]
 //	forkbench diff [-summary] <old.json> <new.json>
 //
@@ -77,12 +78,31 @@
 //	                [-scenario uniform|rolling|hetero|surge|chaos]
 //	                [-load SCENARIO] [-via STRATEGY] [-cpus N] [-n REQUESTS]
 //	                [-workers N] [-surge K] [-seed N] [-heap SIZE]
-//	                [-parallel N] [-json FILE]
+//	                [-parallel N] [-shards N] [-permachine] [-json FILE]
+//	                [-cpuprofile FILE] [-memprofile FILE]
 //
 // Its stdout is byte-identical at every GOMAXPROCS setting — host
-// wall-clock goes to stderr. The chaos scenario derives each
-// machine's fault schedule from (-seed, machine id); the CI chaos
+// wall-clock, worker/shard counts, and peak RSS go to stderr. Machines
+// stream into a constant-memory aggregate as they finish; -permachine
+// keeps the per-machine breakdown (and its O(machines) report memory).
+// -shards fans contiguous machine-id ranges across worker OS processes
+// (re-invocations of this binary) whose partial aggregates merge in
+// shard order, byte-identical to the in-process run — the CI sharded
+// determinism gate compares -shards 1 vs 4. The chaos scenario derives
+// each machine's fault schedule from (-seed, machine id); the CI chaos
 // determinism gate byte-compares its JSON at GOMAXPROCS 1 vs 4.
+//
+// The hostbench subcommand is E14, the host-time trajectory: how fast
+// this computer simulates fleets (template stamp rate fresh vs into a
+// recycled shell, machines and simulated requests per host second over
+// a fleet-size ladder, peak RSS):
+//
+//	forkbench hostbench [-sizes N,N,...] [-n REQUESTS] [-heap SIZE]
+//	                    [-shards N] [-stamps N] [-json FILE]
+//
+// Like clonebench it is host-timed — numbers vary run to run — and
+// -json writes the BENCH_HOST.json trajectory format that CI publishes
+// as an informational artifact (report, don't fail).
 //
 // The cluster subcommand runs the autoscaling orchestrator
 // (sim/cluster): named node pools scaled by a virtual-time reconcile
@@ -141,6 +161,10 @@ func parseSize(s string) (uint64, error) {
 }
 
 func main() {
+	// A `fleet -shards N` parent re-invokes this binary once per
+	// shard; a worker invocation runs its machine range and exits
+	// here, before flag parsing.
+	fleet.MaybeShardWorker()
 	maxFlag := flag.String("max", "1GiB", "largest parent size for sweeps")
 	reps := flag.Int("reps", 5, "repetitions per fig1 point")
 	eager := flag.Bool("eager", false, "include eager-copy fork line in fig1")
@@ -149,6 +173,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "       forkbench load [load flags]        (see forkbench load -h)\n")
 		fmt.Fprintf(os.Stderr, "       forkbench fleet [fleet flags]      (see forkbench fleet -h)\n")
 		fmt.Fprintf(os.Stderr, "       forkbench cluster [cluster flags]  (see forkbench cluster -h)\n")
+		fmt.Fprintf(os.Stderr, "       forkbench hostbench [bench flags]  (see forkbench hostbench -h)\n")
 		fmt.Fprintf(os.Stderr, "       forkbench trace [trace flags]      (see forkbench trace -h)\n")
 		fmt.Fprintf(os.Stderr, "       forkbench diff [-summary] <old.json> <new.json>\n")
 		flag.PrintDefaults()
@@ -167,6 +192,11 @@ func main() {
 		return
 	case "cluster":
 		if err := runCluster(flag.Args()[1:]); err != nil {
+			fatal(err)
+		}
+		return
+	case "hostbench":
+		if err := runHostbench(flag.Args()[1:]); err != nil {
 			fatal(err)
 		}
 		return

@@ -92,7 +92,7 @@ func TestRunFleetWritesJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "fleet.json")
 	err := runFleet([]string{
 		"-machines", "2", "-scenario", "rolling", "-via", "fork",
-		"-n", "3", "-heap", "4MiB", "-json", path,
+		"-n", "3", "-heap", "4MiB", "-permachine", "-json", path,
 	})
 	if err != nil {
 		t.Fatal(err)

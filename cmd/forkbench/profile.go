@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles turns on the pprof collectors the -cpuprofile and
+// -memprofile flags request and returns the function to run when the
+// measured work is done (stop the CPU profile, snapshot the heap).
+// Empty paths are skipped; profiling is host-side diagnostics only and
+// never touches the byte-stable reports on stdout.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // report live allocations, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}

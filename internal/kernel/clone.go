@@ -43,18 +43,57 @@ type cloneCtx struct {
 // source is a frozen template that is only read, so concurrent Clone
 // calls on one template are race-free).
 func (k *Kernel) Clone(markSrc bool) *Kernel {
+	return k.CloneInto(markSrc, nil)
+}
+
+// CloneInto is Clone recycling a retired clone's allocations: the
+// scratch kernel's process map, futex map, cpu slice, and physical
+// frame books are rewritten in place instead of reallocated (see
+// mem.Physical.CloneHostInto). scratch must be dead — stamping a fleet
+// machine into the shell of a retired one is the intended use (see
+// sim.Template.Release) — and must not be k itself. A nil scratch
+// allocates fresh, exactly like Clone; either way the result is
+// logically an exact deep copy of k, with every scratch field
+// rewritten or zeroed.
+func (k *Kernel) CloneInto(markSrc bool, scratch *Kernel) *Kernel {
 	nm := k.meter.Clone()
-	np := k.phys.CloneHost(nm, markSrc)
+	nk := scratch
+	if nk == nil {
+		nk = &Kernel{}
+	}
+	np := k.phys.CloneHostInto(nm, markSrc, nk.phys)
 	tracer := k.tracer.Clone()
 
-	nk := &Kernel{
+	procs := nk.procs
+	if procs == nil {
+		procs = make(map[PID]*Process, len(k.procs))
+	} else {
+		clear(procs)
+	}
+	futexes := nk.futexes
+	if futexes == nil {
+		futexes = make(map[futexKey]*WaitQueue, len(k.futexes))
+	} else {
+		clear(futexes)
+	}
+	cpus := nk.cpus
+	if cap(cpus) >= len(k.cpus) {
+		cpus = cpus[:len(k.cpus)]
+		for i := range cpus {
+			cpus[i] = cpu{}
+		}
+	} else {
+		cpus = make([]cpu, len(k.cpus))
+	}
+
+	*nk = Kernel{
 		opts:            k.opts,
 		meter:           nm,
 		phys:            np,
 		nextPID:         k.nextPID,
-		procs:           make(map[PID]*Process, len(k.procs)),
-		cpus:            make([]cpu, len(k.cpus)),
-		futexes:         make(map[futexKey]*WaitQueue, len(k.futexes)),
+		procs:           procs,
+		cpus:            cpus,
+		futexes:         futexes,
 		tracer:          tracer,
 		OOMKills:        k.OOMKills,
 		SegvKills:       k.SegvKills,

@@ -24,13 +24,34 @@ import "repro/internal/cost"
 // bound to a meter and recorder, and the cloning kernel installs the
 // clone's own (see kernel.Kernel.Clone).
 func (p *Physical) CloneHost(meter *cost.Meter, markSrc bool) *Physical {
-	np := &Physical{
+	return p.CloneHostInto(meter, markSrc, nil)
+}
+
+// CloneHostInto is CloneHost recycling a retired clone's allocations:
+// scratch's frame table, host-frame books, and data map are reused in
+// place instead of reallocated, so a fleet stamping machines in a loop
+// stops churning the dominant per-clone allocation (the frame table is
+// one entry per page of RAM). scratch must be dead — no other
+// reference may read it again — and must not be p itself. A nil
+// scratch allocates fresh, exactly like CloneHost. The returned
+// Physical (scratch, when given) is logically identical to a fresh
+// clone: every field is rewritten, unset ones zeroed.
+func (p *Physical) CloneHostInto(meter *cost.Meter, markSrc bool, scratch *Physical) *Physical {
+	np := scratch
+	if np == nil {
+		np = &Physical{}
+	}
+	frames := append(np.frames[:0], p.frames...)
+	hframes := append(np.hframes[:0], p.hframes...)
+	hfree := append(np.hfree[:0], p.hfree...)
+	data := np.data
+	*np = Physical{
 		meter:          meter,
-		frames:         append([]frame(nil), p.frames...),
+		frames:         frames,
 		nextFree:       p.nextFree,
 		freeHead:       p.freeHead,
-		hframes:        append([]frame(nil), p.hframes...),
-		hfree:          append([]FrameID(nil), p.hfree...),
+		hframes:        hframes,
+		hfree:          hfree,
 		totalPages:     p.totalPages,
 		allocatedPages: p.allocatedPages,
 		policy:         p.policy,
@@ -38,7 +59,12 @@ func (p *Physical) CloneHost(meter *cost.Meter, markSrc bool) *Physical {
 		committed:      p.committed,
 	}
 	if len(p.data) > 0 {
-		np.data = make(map[FrameID]*frameData, len(p.data))
+		if data == nil {
+			data = make(map[FrameID]*frameData, len(p.data))
+		} else {
+			clear(data)
+		}
+		np.data = data
 		for f, fd := range p.data {
 			np.data[f] = &frameData{bytes: fd.bytes, shared: true}
 			if markSrc {

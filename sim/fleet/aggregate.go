@@ -1,0 +1,222 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sync"
+)
+
+// exactSum is an exact, order-independent float64 accumulator: every
+// added value is decomposed into its integer significand and binary
+// exponent and accumulated in a big.Int scaled to 2^-1074 units (the
+// smallest subnormal), so the running sum carries no rounding error at
+// all and Float64 returns the correctly rounded total. Order
+// independence is what lets the fleet merge machine rates per shard
+// and still emit the byte-identical aggregate a serial fold produces —
+// plain float addition is not associative, and a grouped sum would
+// drift in the last ulp.
+type exactSum struct {
+	acc big.Int
+}
+
+// Add folds v into the sum, exactly. v must be finite (fleet rates
+// are ratios of bounded integers).
+func (s *exactSum) Add(v float64) {
+	if v == 0 {
+		return
+	}
+	bits := math.Float64bits(v)
+	mant := bits & (1<<52 - 1)
+	exp := int((bits >> 52) & 0x7ff)
+	if exp == 0x7ff {
+		panic(fmt.Sprintf("fleet: exactSum.Add(%v): non-finite", v))
+	}
+	if exp == 0 {
+		exp = 1 // subnormal: no implicit bit
+	} else {
+		mant |= 1 << 52
+	}
+	// v = mant * 2^(exp-1075); in 2^-1074 units that is mant << (exp-1).
+	var t big.Int
+	t.SetUint64(mant)
+	t.Lsh(&t, uint(exp-1))
+	if bits>>63 != 0 {
+		s.acc.Sub(&s.acc, &t)
+	} else {
+		s.acc.Add(&s.acc, &t)
+	}
+}
+
+// Merge folds another sum in. Exact, so merge order cannot matter.
+func (s *exactSum) Merge(o *exactSum) {
+	s.acc.Add(&s.acc, &o.acc)
+}
+
+// Float64 is the correctly rounded total.
+func (s *exactSum) Float64() float64 {
+	if s.acc.Sign() == 0 {
+		return 0
+	}
+	prec := uint(s.acc.BitLen())
+	if prec < 64 {
+		prec = 64
+	}
+	f := new(big.Float).SetPrec(prec).SetInt(&s.acc)
+	f.SetMantExp(f, -1074) // scale back from 2^-1074 units
+	v, _ := f.Float64()
+	return v
+}
+
+// Text serializes the accumulator for the shard wire protocol
+// (hex two's-complement-free big.Int text); SetText parses it back.
+func (s *exactSum) Text() string { return s.acc.Text(16) }
+
+func (s *exactSum) SetText(t string) error {
+	if _, ok := s.acc.SetString(t, 16); !ok {
+		return fmt.Errorf("fleet: bad rate-sum %q", t)
+	}
+	return nil
+}
+
+// aggregator folds MachineMetrics into a running Aggregate — the
+// streaming replacement for materializing every machine's metrics and
+// merging at the end. All integer fields are sums or maxes and the one
+// float rate is an exactSum, so the fold is order-independent and a
+// shard-grouped merge equals the serial machine-id-order fold bit for
+// bit.
+type aggregator struct {
+	agg  Aggregate
+	rate exactSum
+}
+
+// fold merges one machine's metrics in.
+func (a *aggregator) fold(mm *MachineMetrics) {
+	a.agg.Machines++
+	var machineNanos, machinePeak uint64
+	for _, p := range mm.Phases {
+		a.agg.TotalRequests += p.Requests
+		a.agg.TotalCreations += p.Creations
+		a.agg.FailedRequests += p.FailedRequests
+		a.agg.OOMKills += p.OOMKills
+		machineNanos += p.VirtualNanos
+		if p.PeakRSSBytes > machinePeak {
+			machinePeak = p.PeakRSSBytes
+		}
+		a.agg.PageFaults += p.PageFaults
+		a.agg.PageCopies += p.PageCopies
+		a.agg.PageZeroes += p.PageZeroes
+		a.agg.PTECopies += p.PTECopies
+		a.agg.TLBShootdowns += p.TLBShootdowns
+		a.agg.ContextSwitches += p.ContextSwitches
+		a.agg.Syscalls += p.Syscalls
+		a.agg.Instructions += p.Instructions
+	}
+	machineNanos += mm.RestartNanos
+	a.agg.PTECopies += mm.RestartPTECopies
+	a.agg.TotalVirtualNanos += machineNanos
+	if machineNanos > a.agg.MaxVirtualNanos {
+		a.agg.MaxVirtualNanos = machineNanos
+	}
+	a.agg.FleetPeakRSSBytes += machinePeak
+	a.rate.Add(mm.RequestsPerVSec)
+	a.agg.RestartNanos += mm.RestartNanos
+	if mm.RestartNanos > a.agg.MaxRestartNanos {
+		a.agg.MaxRestartNanos = mm.RestartNanos
+	}
+}
+
+// merge folds a shard's partial aggregate in (every field a sum or
+// max; the rate arrives as the shard's exact accumulator).
+func (a *aggregator) merge(p *shardPartial) error {
+	b := p.Aggregate
+	a.agg.Machines += b.Machines
+	a.agg.TotalRequests += b.TotalRequests
+	a.agg.TotalCreations += b.TotalCreations
+	a.agg.FailedRequests += b.FailedRequests
+	a.agg.OOMKills += b.OOMKills
+	if b.MaxVirtualNanos > a.agg.MaxVirtualNanos {
+		a.agg.MaxVirtualNanos = b.MaxVirtualNanos
+	}
+	a.agg.TotalVirtualNanos += b.TotalVirtualNanos
+	a.agg.FleetPeakRSSBytes += b.FleetPeakRSSBytes
+	a.agg.PageFaults += b.PageFaults
+	a.agg.PageCopies += b.PageCopies
+	a.agg.PageZeroes += b.PageZeroes
+	a.agg.PTECopies += b.PTECopies
+	a.agg.TLBShootdowns += b.TLBShootdowns
+	a.agg.ContextSwitches += b.ContextSwitches
+	a.agg.Syscalls += b.Syscalls
+	a.agg.Instructions += b.Instructions
+	a.agg.RestartNanos += b.RestartNanos
+	if b.MaxRestartNanos > a.agg.MaxRestartNanos {
+		a.agg.MaxRestartNanos = b.MaxRestartNanos
+	}
+	var s exactSum
+	if err := s.SetText(p.RateSum); err != nil {
+		return err
+	}
+	a.rate.Merge(&s)
+	return nil
+}
+
+// aggregate finalizes the rollup, rounding the exact rate sum once.
+func (a *aggregator) aggregate() Aggregate {
+	agg := a.agg
+	agg.RequestsPerVSec = a.rate.Float64()
+	return agg
+}
+
+// aggregate merges per-machine metrics in machine-id order — the
+// legacy in-memory reference the streaming tests compare against, and
+// the primitive the hand-built-fleet tests exercise.
+func aggregate(machines []MachineMetrics) Aggregate {
+	var a aggregator
+	for i := range machines {
+		a.fold(&machines[i])
+	}
+	return a.aggregate()
+}
+
+// merger is the streaming machine-id-ordered merge point the fleet's
+// host workers feed: finished machines are folded into the aggregator
+// strictly in id order, buffering out-of-order arrivals. forEach's
+// workers claim ids in increasing order, so the pending buffer holds
+// at most workers-1 entries — constant memory however large the fleet.
+// Per-machine metrics are kept only when requested (Spec.KeepPerMachine).
+type merger struct {
+	mu      sync.Mutex
+	next    int
+	pending map[int]*MachineMetrics
+	agg     aggregator
+	keep    []MachineMetrics
+}
+
+// newMerger merges ids [lo, lo+n), keeping per-machine metrics when
+// keep is set.
+func newMerger(lo, n int, keep bool) *merger {
+	m := &merger{next: lo, pending: map[int]*MachineMetrics{}}
+	if keep {
+		m.keep = make([]MachineMetrics, 0, n)
+	}
+	return m
+}
+
+// add submits machine id's finished metrics; safe for concurrent use.
+func (m *merger) add(id int, mm *MachineMetrics) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pending[id] = mm
+	for {
+		nxt, ok := m.pending[m.next]
+		if !ok {
+			return
+		}
+		delete(m.pending, m.next)
+		m.agg.fold(nxt)
+		if m.keep != nil {
+			m.keep = append(m.keep, *nxt)
+		}
+		m.next++
+	}
+}

@@ -49,10 +49,34 @@
 // RunAll is the lower-level primitive: an order-preserving parallel
 // map over arbitrary load.Configs, used by `forkbench load -sweep`
 // and the experiment tables so the full strategy x scenario x cpus
-// matrix runs concurrently. Host wall-clock and worker count are
-// reported on Result (HostElapsed, HostWorkers) but never marshalled:
-// the JSON answers "what did the fleet do", the host fields answer
-// "how fast did this computer simulate it".
+// matrix runs concurrently. Host wall-clock, worker/shard counts, and
+// peak RSS are reported on Result (HostElapsed, HostWorkers,
+// HostShards, HostPeakRSSBytes) but never marshalled: the JSON answers
+// "what did the fleet do", the host fields answer "how fast did this
+// computer simulate it".
+//
+// Three host-side mechanisms keep Run host-scalable without touching a
+// virtual-time byte (README "Host-scale fleets"):
+//
+//   - Streaming aggregation: finished machines fold into the Aggregate
+//     in machine-id order as they complete and are dropped, so a fleet
+//     of any size runs in O(workers) report memory. Spec.KeepPerMachine
+//     retains the Result.Machines breakdown. The fleet rate folds
+//     through an exact (big.Int-scaled) accumulator, so grouped merges
+//     round identically to the serial fold.
+//   - Machine reuse: a finished machine's allocations recycle into its
+//     template's next stamp (sim.Template.Release); a recycled clone is
+//     byte-identical to a fresh one.
+//   - Multi-process sharding: Spec.Shards > 1 fans contiguous id ranges
+//     across worker OS processes that re-exec this binary — host
+//     programs call MaybeShardWorker at the top of main — and partial
+//     aggregates merge in shard order, which is id order, so the report
+//     is byte-identical to an unsharded run (CI's shard gate cmp's
+//     -shards 1 vs 4).
+//
+// `forkbench hostbench` (experiments.HostBench, E14) measures the
+// resulting host-time trajectory — stamp rates, machines per host
+// second, peak RSS over a fleet-size ladder — into BENCH_HOST.json.
 //
 // The forkbench CLI fronts this package (`forkbench fleet`), and
 // internal/experiments extends the §5 server-claim table to fleet

@@ -122,6 +122,21 @@ type Spec struct {
 	// machine-id order.
 	Parallelism int
 
+	// Shards fans the fleet's machine-id ranges across that many
+	// worker OS processes (os/exec re-invocations of this binary; the
+	// host program must call MaybeShardWorker early in main). Each
+	// worker streams its contiguous id range and emits a partial
+	// aggregate; the parent merges partials in shard order, which is
+	// id order, so the Result is byte-identical to an unsharded run.
+	// 0 or 1 runs in-process. Host-side only, like Parallelism.
+	Shards int
+
+	// KeepPerMachine retains the per-machine metrics breakdown on
+	// Result.Machines. Off by default: the streaming aggregation path
+	// folds each finished machine into the Aggregate and drops it, so
+	// a 100k-machine fleet runs in constant report memory.
+	KeepPerMachine bool
+
 	// ColdBoot disables the per-shape template cache: every machine
 	// boots and warms from scratch instead of being stamped from a
 	// frozen warmed template. Like Parallelism it affects host cost
@@ -196,8 +211,11 @@ func (s Spec) Validate() error {
 // withDefaults, so zero fields have already been resolved; what it
 // sees wrong, the caller wrote wrong.
 func (s Spec) validate() error {
-	if s.Machines < 1 || s.Machines > 4096 {
-		return specErr("Machines", "%d machines (want 1..4096)", s.Machines)
+	if s.Machines < 1 || s.Machines > 1<<20 {
+		return specErr("Machines", "%d machines (want 1..1048576)", s.Machines)
+	}
+	if s.Shards < 0 || s.Shards > 256 {
+		return specErr("Shards", "%d shards (want 0..256)", s.Shards)
 	}
 	if s.CPUs < 1 || s.CPUs > 64 {
 		return specErr("CPUs", "%d CPUs per machine (want 1..64)", s.CPUs)
@@ -361,61 +379,92 @@ type Aggregate struct {
 }
 
 // Result is one fleet run. Everything serialized by JSON is a pure
-// function of the Spec; the host-side fields (wall clock, worker
-// count) are reported separately and never marshalled, so the emitted
-// report is byte-stable across hosts and GOMAXPROCS settings.
+// function of the Spec; the host-side fields (wall clock, worker and
+// shard counts, peak RSS) are reported separately and never
+// marshalled, so the emitted report is byte-stable across hosts,
+// GOMAXPROCS settings, and shard counts.
 type Result struct {
 	Scenario  string `json:"scenario"`
 	Load      string `json:"load"`
 	Strategy  string `json:"strategy"`
 	HeapBytes uint64 `json:"heap_bytes"`
 
-	Machines  []MachineMetrics `json:"machines"`
+	// Machines is the per-machine breakdown, populated only when
+	// Spec.KeepPerMachine asks for it — the streaming aggregation
+	// path otherwise folds each machine into Aggregate and drops it.
+	Machines  []MachineMetrics `json:"machines,omitempty"`
 	Aggregate Aggregate        `json:"aggregate"`
 
-	// HostElapsed is the host wall-clock time the run took and
-	// HostWorkers the host goroutines it used — the parallel-speedup
-	// measurements, deliberately excluded from JSON.
-	HostElapsed time.Duration `json:"-"`
-	HostWorkers int           `json:"-"`
+	// Host-side measurements, deliberately excluded from JSON: the
+	// wall-clock the run took, the host goroutines per process, the
+	// worker processes, and the host peak RSS (worst process for a
+	// sharded run).
+	HostElapsed      time.Duration `json:"-"`
+	HostWorkers      int           `json:"-"`
+	HostShards       int           `json:"-"`
+	HostPeakRSSBytes uint64        `json:"-"`
+}
+
+// result builds the Result shell every path (in-process or sharded)
+// fills in.
+func (s Spec) result() *Result {
+	return &Result{
+		Scenario:  string(s.Scenario),
+		Load:      string(s.Load),
+		Strategy:  s.Via.String(),
+		HeapBytes: s.HeapBytes,
+	}
 }
 
 // Run executes the fleet: every machine is an independent,
 // deterministic sim.System driven to completion on a host worker pool
-// bounded by GOMAXPROCS (or Spec.Parallelism if lower), with results
-// merged in machine-id order. The Result's JSON is byte-identical at
-// any host parallelism.
+// bounded by GOMAXPROCS (or Spec.Parallelism if lower) — and, with
+// Spec.Shards > 1, fanned across worker OS processes — with results
+// merged in machine-id order. Finished machines stream into a
+// constant-memory aggregate as they complete; the Result's JSON is
+// byte-identical at any host parallelism and shard count.
 func Run(spec Spec) (*Result, error) {
 	spec = spec.withDefaults()
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
+	if spec.Shards > 1 {
+		return runSharded(spec)
+	}
 	workers := poolSize(spec.Parallelism, spec.Machines)
 	start := time.Now()
+	m, err := runRange(spec, 0, spec.Machines, workers)
+	if err != nil {
+		return nil, err
+	}
+	res := spec.result()
+	res.Machines = m.keep
+	res.Aggregate = m.agg.aggregate()
+	res.HostElapsed = time.Since(start)
+	res.HostWorkers = workers
+	res.HostShards = 1
+	res.HostPeakRSSBytes = HostPeakRSS()
+	return res, nil
+}
+
+// runRange streams machines [lo, hi) through the worker pool into a
+// machine-id-ordered merger — the common core of the in-process run
+// and each shard worker.
+func runRange(spec Spec, lo, hi, workers int) (*merger, error) {
 	tpls := newTemplates(spec.ColdBoot)
-	machines := make([]MachineMetrics, spec.Machines)
-	err := forEach(workers, spec.Machines, func(id int) error {
-		mm, _, err := runMachine(spec, id, tpls)
+	m := newMerger(lo, hi-lo, spec.KeepPerMachine)
+	err := forEach(workers, hi-lo, func(i int) error {
+		mm, _, err := runMachine(spec, lo+i, tpls)
 		if err != nil {
-			return fmt.Errorf("fleet: machine %d: %w", id, err)
+			return fmt.Errorf("fleet: machine %d: %w", lo+i, err)
 		}
-		machines[id] = *mm
+		m.add(lo+i, mm)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{
-		Scenario:    string(spec.Scenario),
-		Load:        string(spec.Load),
-		Strategy:    spec.Via.String(),
-		HeapBytes:   spec.HeapBytes,
-		Machines:    machines,
-		Aggregate:   aggregate(machines),
-		HostElapsed: time.Since(start),
-		HostWorkers: workers,
-	}
-	return res, nil
+	return m, nil
 }
 
 // runMachine executes machine id's phases, stamping each phase's
@@ -485,45 +534,6 @@ func runMachine(spec Spec, id int, tpls *templates) (*MachineMetrics, *restartDe
 	return mm, dbg, nil
 }
 
-// aggregate merges per-machine metrics in machine-id order.
-func aggregate(machines []MachineMetrics) Aggregate {
-	agg := Aggregate{Machines: len(machines)}
-	for _, mm := range machines {
-		var machineNanos, machinePeak uint64
-		for _, p := range mm.Phases {
-			agg.TotalRequests += p.Requests
-			agg.TotalCreations += p.Creations
-			agg.FailedRequests += p.FailedRequests
-			agg.OOMKills += p.OOMKills
-			machineNanos += p.VirtualNanos
-			if p.PeakRSSBytes > machinePeak {
-				machinePeak = p.PeakRSSBytes
-			}
-			agg.PageFaults += p.PageFaults
-			agg.PageCopies += p.PageCopies
-			agg.PageZeroes += p.PageZeroes
-			agg.PTECopies += p.PTECopies
-			agg.TLBShootdowns += p.TLBShootdowns
-			agg.ContextSwitches += p.ContextSwitches
-			agg.Syscalls += p.Syscalls
-			agg.Instructions += p.Instructions
-		}
-		machineNanos += mm.RestartNanos
-		agg.PTECopies += mm.RestartPTECopies
-		agg.TotalVirtualNanos += machineNanos
-		if machineNanos > agg.MaxVirtualNanos {
-			agg.MaxVirtualNanos = machineNanos
-		}
-		agg.FleetPeakRSSBytes += machinePeak
-		agg.RequestsPerVSec += mm.RequestsPerVSec
-		agg.RestartNanos += mm.RestartNanos
-		if mm.RestartNanos > agg.MaxRestartNanos {
-			agg.MaxRestartNanos = mm.RestartNanos
-		}
-	}
-	return agg
-}
-
 // JSON renders the result as the byte-stable fleet report: same Spec,
 // same bytes, at any GOMAXPROCS.
 func (r *Result) JSON() ([]byte, error) {
@@ -556,6 +566,10 @@ func (r *Result) Render() string {
 	if a.RestartNanos > 0 || r.Scenario == string(RollingRestart) {
 		row("restart tax", fmt.Sprintf("%.3fms total, %.3fms worst machine",
 			float64(a.RestartNanos)/1e6, float64(a.MaxRestartNanos)/1e6))
+	}
+	if len(r.Machines) == 0 {
+		fmt.Fprintf(&b, "  machine breakdown: omitted (Spec.KeepPerMachine / forkbench fleet -permachine)\n")
+		return b.String()
 	}
 	fmt.Fprintf(&b, "  machine breakdown:\n")
 	fmt.Fprintf(&b, "    %-4s %-5s %-10s %-12s %-10s %-10s %-8s\n",

@@ -68,7 +68,8 @@ func TestMachineDerivationDeterministic(t *testing.T) {
 func TestSpecValidation(t *testing.T) {
 	bad := []Spec{
 		{Machines: -1},
-		{Machines: 5000},
+		{Machines: 1<<20 + 1},
+		{Shards: -1},
 		{CPUs: 65},
 		{CPUs: -2},
 		{Requests: -4},

@@ -44,7 +44,7 @@ func runRestartedMachine(ms machineSpec, tpls *templates) (*restartResult, *rest
 	if cfg.RAMBytes < 1<<30 {
 		cfg.RAMBytes = 1 << 30
 	}
-	sys, err := tpls.bootSystem(ms.CPUs, cfg.RAMBytes)
+	sys, bootTpl, err := tpls.bootSystem(ms.CPUs, cfg.RAMBytes)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -92,7 +92,12 @@ func runRestartedMachine(ms machineSpec, tpls *templates) (*restartResult, *rest
 
 	// The wave moves on: this instance's pool is torn down by the
 	// *next* restart in a real deploy; here it closes the books so
-	// the leak invariant can be checked.
+	// the leak invariant can be checked, then the machine's
+	// allocations are recycled into the boot template's next stamp
+	// (host-side only; bootTpl is nil on the cold path).
 	teardown()
+	if bootTpl != nil {
+		bootTpl.Release(sys)
+	}
 	return res, dbg, nil
 }

@@ -1,0 +1,103 @@
+package fleet_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/sim"
+	"repro/sim/fleet"
+)
+
+// TestMain makes this test binary usable as its own shard worker: a
+// sharded fleet.Run re-executes os.Executable() — here, the test binary
+// — and MaybeShardWorker diverts those re-executions into the worker
+// loop before any test runs. Exactly what `forkbench` does on line one
+// of main().
+func TestMain(m *testing.M) {
+	fleet.MaybeShardWorker()
+	os.Exit(m.Run())
+}
+
+// runShardJSON runs the spec at a given shard count and returns the
+// byte-stable report.
+func runShardJSON(t *testing.T, spec fleet.Spec, shards int) []byte {
+	t.Helper()
+	spec.Shards = shards
+	res, err := fleet.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards > 1 {
+		if res.HostShards != shards {
+			t.Errorf("ran on %d shards, want %d", res.HostShards, shards)
+		}
+		if res.HostPeakRSSBytes == 0 {
+			t.Error("sharded run reported no peak RSS")
+		}
+	}
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestShardedFleetMatchesUnsharded is the sharded half of the
+// determinism gate: fanning a fleet's machine-id ranges across worker
+// OS processes must leave the JSON report byte-identical — shard
+// partials merge in shard order, which is id order, and the one float
+// in the aggregate travels as an exact accumulator rather than a
+// rounded double.
+func TestShardedFleetMatchesUnsharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	specs := []fleet.Spec{
+		{Machines: 6, Scenario: fleet.Uniform, Via: sim.ForkExec, Requests: 3, HeapBytes: 4 << 20},
+		{Machines: 4, Scenario: fleet.RollingRestart, Via: sim.Spawn, Requests: 2, HeapBytes: 4 << 20},
+		{Machines: 6, Scenario: fleet.Chaos, Via: sim.ForkExec, Requests: 6, HeapBytes: 4 << 20, FaultSeed: 7},
+		// Per-machine breakdowns must survive the process boundary in
+		// id order too.
+		{Machines: 5, Scenario: fleet.Heterogeneous, Via: sim.Spawn, Requests: 2, HeapBytes: 4 << 20,
+			KeepPerMachine: true},
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(fmt.Sprintf("%s-%v", spec.Scenario, spec.Via), func(t *testing.T) {
+			unsharded := runShardJSON(t, spec, 1)
+			for _, shards := range []int{2, 4} {
+				if sharded := runShardJSON(t, spec, shards); !bytes.Equal(unsharded, sharded) {
+					t.Errorf("report differs between 1 and %d shards:\nunsharded:\n%s\nsharded:\n%s",
+						shards, unsharded, sharded)
+				}
+			}
+		})
+	}
+}
+
+// TestShardsClampToMachines: more shards than machines degrades to one
+// machine per worker, not empty workers or a changed report.
+func TestShardsClampToMachines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	spec := fleet.Spec{Machines: 2, Scenario: fleet.Uniform, Via: sim.Spawn, Requests: 2, HeapBytes: 4 << 20}
+	unsharded := runShardJSON(t, spec, 1)
+	spec.Shards = 8
+	res, err := fleet.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HostShards != 2 {
+		t.Errorf("8 shards over 2 machines ran %d workers, want 2", res.HostShards)
+	}
+	sharded, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(unsharded, sharded) {
+		t.Errorf("clamped sharded report differs:\nunsharded:\n%s\nsharded:\n%s", unsharded, sharded)
+	}
+}

@@ -1,0 +1,87 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/sim"
+)
+
+// TestShardWorkerRejectsBadJobs covers the worker side of the shard
+// protocol without spawning processes: garbage payloads, invalid specs,
+// and out-of-range machine windows must all fail before any machine
+// boots.
+func TestShardWorkerRejectsBadJobs(t *testing.T) {
+	var out bytes.Buffer
+	if err := runShardWorker("{not json", &out); err == nil {
+		t.Error("worker accepted a garbage payload")
+	}
+	mustPayload := func(job shardJob) string {
+		t.Helper()
+		p, err := json.Marshal(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(p)
+	}
+	spec := Spec{Machines: 4, Requests: 1, HeapBytes: 1 << 20}.withDefaults()
+	for _, job := range []shardJob{
+		{Spec: spec, Lo: -1, Hi: 2},
+		{Spec: spec, Lo: 2, Hi: 2},
+		{Spec: spec, Lo: 2, Hi: 9},
+	} {
+		if err := runShardWorker(mustPayload(job), &out); err == nil ||
+			!strings.Contains(err.Error(), "bad machine range") {
+			t.Errorf("range [%d, %d): got %v, want bad-machine-range error", job.Lo, job.Hi, err)
+		}
+	}
+	bad := spec
+	bad.CPUs = 99
+	if err := runShardWorker(mustPayload(shardJob{Spec: bad, Lo: 0, Hi: 4}), &out); err == nil {
+		t.Error("worker accepted an invalid spec")
+	}
+}
+
+// TestShardWorkerPartialMatchesDirectRange runs one shard job in
+// process and checks its emitted partial carries exactly what a direct
+// runRange over the same window produces — aggregate, exact rate
+// accumulator, and (when requested) the per-machine breakdown.
+func TestShardWorkerPartialMatchesDirectRange(t *testing.T) {
+	spec := Spec{
+		Machines: 6, Scenario: Heterogeneous, Via: sim.Spawn,
+		Requests: 2, HeapBytes: 4 << 20, KeepPerMachine: true,
+	}.withDefaults()
+	payload, err := json.Marshal(shardJob{Spec: spec, Lo: 2, Hi: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := runShardWorker(string(payload), &out); err != nil {
+		t.Fatal(err)
+	}
+	var part shardPartial
+	if err := json.Unmarshal(out.Bytes(), &part); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := runRange(spec, 2, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Aggregate != m.agg.agg {
+		t.Errorf("worker partial aggregate %+v != direct range %+v", part.Aggregate, m.agg.agg)
+	}
+	if part.RateSum != m.agg.rate.Text() {
+		t.Errorf("worker rate sum %q != direct %q", part.RateSum, m.agg.rate.Text())
+	}
+	if len(part.Machines) != 3 {
+		t.Fatalf("worker kept %d machines, want 3", len(part.Machines))
+	}
+	for i, mm := range part.Machines {
+		if mm.Machine != 2+i {
+			t.Errorf("kept machine %d at position %d, want %d", mm.Machine, i, 2+i)
+		}
+	}
+}

@@ -19,7 +19,9 @@ func TestSpecValidate(t *testing.T) {
 		{"zero spec defaults valid", Spec{}, ""},
 		{"full valid", Spec{Machines: 8, Scenario: Surge, Load: load.BuildFarm, CPUs: 4, Requests: 10, Workers: 3, SurgeFactor: 2}, ""},
 		{"negative machines", Spec{Machines: -1}, "Machines"},
-		{"too many machines", Spec{Machines: 5000}, "Machines"},
+		{"too many machines", Spec{Machines: 1<<20 + 1}, "Machines"},
+		{"negative shards", Spec{Shards: -1}, "Shards"},
+		{"too many shards", Spec{Shards: 257}, "Shards"},
 		{"negative cpus", Spec{CPUs: -2}, "CPUs"},
 		{"too many cpus", Spec{CPUs: 65}, "CPUs"},
 		{"negative requests", Spec{Requests: -1}, "Requests"},

@@ -1,0 +1,195 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/sim"
+)
+
+// TestExactSumOrderIndependent: the exact accumulator's whole reason to
+// exist. Plain float64 addition is not associative — summing these
+// values serially vs in two groups drifts in the last ulp — but the
+// exact sum must produce one correctly rounded total however the values
+// are grouped, because the sharded fleet sums rates per shard and then
+// merges.
+func TestExactSumOrderIndependent(t *testing.T) {
+	values := []float64{
+		1e16, 1, -1e16, 0.1, 1e-30, 2.5e8, -0.1, 3.141592653589793,
+		1e300, -1e300, 4.9e-324, 1e-12, 7.25, 1e9 / 3,
+	}
+	var serial exactSum
+	for _, v := range values {
+		serial.Add(v)
+	}
+	for split := 1; split < len(values); split++ {
+		var lo, hi exactSum
+		for _, v := range values[:split] {
+			lo.Add(v)
+		}
+		for _, v := range values[split:] {
+			hi.Add(v)
+		}
+		lo.Merge(&hi)
+		if got, want := lo.Float64(), serial.Float64(); got != want {
+			t.Errorf("split at %d: grouped sum %v != serial sum %v", split, got, want)
+		}
+	}
+	// And the rounding is exact, not merely consistent: 1e16 + 1 - 1e16
+	// is 0 in float64 folds (1e16+1 rounds back to 1e16) but the true
+	// sum of the first three values is exactly 1.
+	var s exactSum
+	s.Add(1e16)
+	s.Add(1)
+	s.Add(-1e16)
+	if got := s.Float64(); got != 1 {
+		t.Errorf("exact sum of {1e16, 1, -1e16} = %v, want 1", got)
+	}
+	big, one := 1e16, 1.0 // variables: constant folding would sum exactly
+	if naive := big + one - big; naive == 1 {
+		t.Errorf("float64 fold gave %v; the test's premise is wrong", naive)
+	}
+}
+
+// TestExactSumTextRoundTrip exercises the shard wire format: the
+// accumulator must survive Text/SetText bit-exactly, including negative
+// totals and subnormals.
+func TestExactSumTextRoundTrip(t *testing.T) {
+	for _, vals := range [][]float64{
+		{},
+		{0},
+		{1.5, -2.25, 1e-310},
+		{-math.MaxFloat64 / 4, 123456.789},
+	} {
+		var s exactSum
+		for _, v := range vals {
+			s.Add(v)
+		}
+		var back exactSum
+		if err := back.SetText(s.Text()); err != nil {
+			t.Fatalf("SetText(%q): %v", s.Text(), err)
+		}
+		if got, want := back.Float64(), s.Float64(); got != want {
+			t.Errorf("round trip of %v: %v != %v", vals, got, want)
+		}
+	}
+	var s exactSum
+	if err := s.SetText("not hex"); err == nil {
+		t.Error("SetText accepted garbage")
+	}
+}
+
+// TestStreamingMatchesLegacyAggregate runs every fleet scenario with
+// the per-machine breakdown retained — at GOMAXPROCS 1 and 8 — and
+// checks that the streaming fold's Aggregate equals the legacy
+// in-memory merge of the retained metrics, that the full JSON is
+// byte-identical across the parallelism levels, and that dropping the
+// breakdown (the default streaming path) changes nothing about the
+// Aggregate.
+func TestStreamingMatchesLegacyAggregate(t *testing.T) {
+	specs := []Spec{
+		{Machines: 6, Scenario: Uniform, Via: sim.ForkExec, Requests: 4, HeapBytes: 4 << 20},
+		{Machines: 4, Scenario: RollingRestart, Via: sim.Spawn, Requests: 3, HeapBytes: 4 << 20},
+		{Machines: 5, Scenario: Heterogeneous, Via: sim.ForkExec, Requests: 2, HeapBytes: 4 << 20},
+		{Machines: 4, Scenario: Surge, Via: sim.Spawn, Requests: 3, HeapBytes: 4 << 20, SurgeFactor: 2},
+		{Machines: 4, Scenario: Chaos, Via: sim.ForkExec, Requests: 6, HeapBytes: 4 << 20, FaultSeed: 3},
+	}
+	runAt := func(t *testing.T, spec Spec, gomaxprocs int) *Result {
+		t.Helper()
+		prev := runtime.GOMAXPROCS(gomaxprocs)
+		defer runtime.GOMAXPROCS(prev)
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(string(spec.Scenario), func(t *testing.T) {
+			kept := spec
+			kept.KeepPerMachine = true
+			var prevJSON []byte
+			for _, procs := range []int{1, 8} {
+				res := runAt(t, kept, procs)
+				if len(res.Machines) != spec.Machines {
+					t.Fatalf("kept %d machines, want %d", len(res.Machines), spec.Machines)
+				}
+				for i, mm := range res.Machines {
+					if mm.Machine != i {
+						t.Fatalf("machine %d reported id %d: breakdown out of id order", i, mm.Machine)
+					}
+				}
+				if legacy := aggregate(res.Machines); res.Aggregate != legacy {
+					t.Errorf("GOMAXPROCS=%d: streaming aggregate differs from legacy merge:\nstream: %+v\nlegacy: %+v",
+						procs, res.Aggregate, legacy)
+				}
+				data, err := res.JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if prevJSON != nil && !bytes.Equal(prevJSON, data) {
+					t.Errorf("kept-breakdown report differs across GOMAXPROCS:\n1:\n%s\n%d:\n%s",
+						prevJSON, procs, data)
+				}
+				prevJSON = data
+				// The default (dropping) path must aggregate
+				// identically at the same parallelism.
+				dropped := runAt(t, spec, procs)
+				if len(dropped.Machines) != 0 {
+					t.Errorf("default run kept %d per-machine metrics", len(dropped.Machines))
+				}
+				if dropped.Aggregate != res.Aggregate {
+					t.Errorf("GOMAXPROCS=%d: aggregate changed when the breakdown was dropped:\ndrop: %+v\nkeep: %+v",
+						procs, dropped.Aggregate, res.Aggregate)
+				}
+			}
+		})
+	}
+}
+
+// TestMergerBuffersOutOfOrder feeds a merger its machines in the worst
+// order (backwards) and checks the fold still happens in id order with
+// a bounded pending buffer drained to empty.
+func TestMergerBuffersOutOfOrder(t *testing.T) {
+	const n = 9
+	machines := make([]MachineMetrics, n)
+	for i := range machines {
+		machines[i] = MachineMetrics{
+			Machine:         i,
+			RequestsPerVSec: 1 / float64(i+1), // rounding-sensitive rates
+		}
+	}
+	m := newMerger(0, n, true)
+	for i := n - 1; i >= 0; i-- {
+		m.add(i, &machines[i])
+	}
+	if len(m.pending) != 0 {
+		t.Errorf("%d machines still pending after all were added", len(m.pending))
+	}
+	if got, want := m.agg.aggregate(), aggregate(machines); got != want {
+		t.Errorf("out-of-order merge %+v != in-order merge %+v", got, want)
+	}
+	for i, mm := range m.keep {
+		if mm.Machine != i {
+			t.Fatalf("kept metrics out of order at %d: machine %d", i, mm.Machine)
+		}
+	}
+}
+
+// TestFleetMachineCap documents the raised fleet ceiling: the streaming
+// path made 1<<20 machines representable, and the validator draws the
+// line there.
+func TestFleetMachineCap(t *testing.T) {
+	if err := (Spec{Machines: 1 << 20, Requests: 1, HeapBytes: 1 << 20}).Validate(); err != nil {
+		t.Errorf("1<<20 machines should validate: %v", err)
+	}
+	err := (Spec{Machines: 1<<20 + 1}).Validate()
+	var se *SpecError
+	if !errors.As(err, &se) || se.Field != "Machines" {
+		t.Errorf("1<<20+1 machines: got %v, want SpecError on Machines", err)
+	}
+}

@@ -50,8 +50,10 @@ func (t *templates) run(cfg load.Config) (*load.Metrics, error) {
 // rolling wave's replacement instance: stamped from a boot-only
 // template, or cold-booted when t is nil. Identical to
 // sim.NewSystem(WithRAM, WithCPUs, WithUserland("true")) in every
-// virtual-time respect.
-func (t *templates) bootSystem(cpus int, ram uint64) (*sim.System, error) {
+// virtual-time respect. The second return is the template the machine
+// was stamped from (nil on the cold path) so the caller can Release
+// the machine's allocations back into it when done.
+func (t *templates) bootSystem(cpus int, ram uint64) (*sim.System, *sim.Template, error) {
 	boot := func() (*sim.System, error) {
 		return sim.NewSystem(
 			sim.WithRAM(ram),
@@ -60,7 +62,8 @@ func (t *templates) bootSystem(cpus int, ram uint64) (*sim.System, error) {
 		)
 	}
 	if t == nil {
-		return boot()
+		sys, err := boot()
+		return sys, nil, err
 	}
 	key := bootShape{cpus: cpus, ram: ram}
 	t.mu.Lock()
@@ -69,14 +72,15 @@ func (t *templates) bootSystem(cpus int, ram uint64) (*sim.System, error) {
 		sys, err := boot()
 		if err != nil {
 			t.mu.Unlock()
-			return nil, err
+			return nil, nil, err
 		}
 		if bt, err = sys.Snapshot(); err != nil {
 			t.mu.Unlock()
-			return nil, err
+			return nil, nil, err
 		}
 		t.boots[key] = bt
 	}
 	t.mu.Unlock()
-	return bt.Clone()
+	sys, err := bt.Clone()
+	return sys, bt, err
 }

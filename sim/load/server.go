@@ -28,6 +28,11 @@ type Server struct {
 	k       *kernel.Kernel
 	pool    []*sim.Process
 
+	// tpl is the template this server was stamped from (nil when
+	// cold-booted); Drain recycles the machine's allocations back
+	// into it once the books are closed.
+	tpl *sim.Template
+
 	warmNanos uint64
 	warmPTEs  uint64
 
@@ -234,11 +239,20 @@ func (s *Server) Drain() (DrainStats, error) {
 		return DrainStats{}, fmt.Errorf("load: Drain on a drained server")
 	}
 	s.teardown()
-	return DrainStats{
+	stats := DrainStats{
 		BaseProcs: s.baseProcs, EndProcs: s.k.ProcessCount(),
 		BasePages: s.basePages, EndPages: s.k.Phys().AllocatedPages(),
 		BaseCommit: s.baseCmt, EndCommit: s.k.Phys().Committed(),
-	}, nil
+	}
+	if s.tpl != nil {
+		// Books are closed; recycle the machine's allocations into
+		// the template's next stamp. Nil the handles so a late
+		// Sample/ServeBatch fails loudly instead of reading whatever
+		// machine is stamped into the recycled shell next.
+		s.tpl.Release(s.sys)
+		s.sys, s.k = nil, nil
+	}
+	return stats, nil
 }
 
 func (s *Server) teardown() {

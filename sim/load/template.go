@@ -102,7 +102,15 @@ func (t *Template) Run(cfg Config) (*Metrics, error) {
 	if cfg.Faults != nil {
 		p.sys.SetFaultSchedule(cfg.Faults)
 	}
-	return p.Run()
+	m, err := p.Run()
+	if err != nil {
+		return nil, err
+	}
+	// The stamped machine is done: recycle its allocations into the
+	// template's next stamp (host-side only; Metrics are plain data).
+	t.tpl.Release(p.sys)
+	p.sys = nil
+	return m, nil
 }
 
 // Templates is a concurrency-safe cache of one Template per Shape:
@@ -241,7 +249,7 @@ func (t *ServerTemplate) Stamp(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg: cfg, workers: t.workers, sys: sys, k: sys.Kernel(),
+		cfg: cfg, workers: t.workers, sys: sys, k: sys.Kernel(), tpl: t.tpl,
 		warmNanos: t.warmNanos, warmPTEs: t.warmPTEs,
 		baseProcs: t.baseProcs, basePages: t.basePages, baseCmt: t.baseCmt,
 	}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/kernel"
 )
@@ -19,7 +20,19 @@ type Template struct {
 	k         *kernel.Kernel
 	hostPid   kernel.PID
 	runBudget uint64
+
+	// Recycle pool: dead kernels of released clones, whose maps and
+	// frame-table slices the next Clone rewrites in place instead of
+	// reallocating (see Release). Bounded so a burst of releases
+	// cannot pin memory.
+	mu   sync.Mutex
+	free []*kernel.Kernel
 }
+
+// maxRecycled bounds a template's recycle pool. Clones in flight at
+// once are bounded by the host worker pool, so a small pool captures
+// all the reuse a fleet loop can exploit.
+const maxRecycled = 32
 
 // Snapshot freezes the machine's current state — mid-workload is fine
 // — into a Template. The live System keeps running afterwards: its
@@ -48,12 +61,46 @@ func (s *System) Snapshot() (*Template, error) {
 // write. Cloning charges zero simulated cost — a clone is logically
 // the warmed machine itself, not a copy of it.
 func (t *Template) Clone() (*System, error) {
-	k := t.k.Clone(false)
+	t.mu.Lock()
+	var scratch *kernel.Kernel
+	if n := len(t.free); n > 0 {
+		scratch = t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
+	}
+	t.mu.Unlock()
+	k := t.k.CloneInto(false, scratch)
 	host := k.Lookup(t.hostPid)
 	if host == nil {
 		return nil, fmt.Errorf("sim: template clone lost host pid %d", t.hostPid)
 	}
 	return &System{k: k, host: host, runBudget: t.runBudget}, nil
+}
+
+// Release retires a System stamped from this template and recycles its
+// kernel's allocations into the next Clone: the big per-clone
+// allocations (frame table, process and futex maps) are rewritten in
+// place instead of reallocated, so a fleet loop stamping and retiring
+// machines stops churning them. The recycled state is host-side only —
+// a Clone that reuses it is byte-identical, books and metrics included,
+// to one built fresh (the recycle tests enforce this).
+//
+// The System must have been stamped from this template, must not be
+// the frozen master, and must never be used again: Release nils its
+// kernel so a late call fails loudly instead of aliasing whatever
+// machine is stamped into the shell next. Releasing is optional — an
+// un-released clone is simply garbage-collected.
+func (t *Template) Release(s *System) {
+	if s == nil || s.k == nil || s.k == t.k {
+		return
+	}
+	k := s.k
+	s.k, s.host = nil, nil
+	t.mu.Lock()
+	if len(t.free) < maxRecycled {
+		t.free = append(t.free, k)
+	}
+	t.mu.Unlock()
 }
 
 // Kernel exposes the frozen master kernel (read-only by convention;
