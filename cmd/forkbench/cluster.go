@@ -18,7 +18,7 @@ import (
 // to stderr.
 func runCluster(args []string) error {
 	fs := flag.NewFlagSet("forkbench cluster", flag.ExitOnError)
-	scenario := fs.String("scenario", "surge", "surge|zoneoutage|heteropools")
+	scenario := fs.String("scenario", "surge", "surge|zoneoutage|heteropools|netsplit")
 	heap := fs.String("heap", "64MiB", "per-machine server heap size")
 	parallel := fs.Int("parallel", 0, "host worker bound (0 = GOMAXPROCS)")
 	jsonPath := fs.String("json", "", "write the cluster report to FILE as byte-stable JSON")

@@ -164,6 +164,13 @@ var metricFields = []struct {
 	{"syscalls", func(m *load.Metrics) uint64 { return m.Syscalls }},
 	{"instructions", func(m *load.Metrics) uint64 { return m.Instructions }},
 	{"server_cpu_ns", func(m *load.Metrics) uint64 { return m.ServerCPUNanos }},
+	{"net_packets_sent", func(m *load.Metrics) uint64 { return m.NetPacketsSent }},
+	{"net_packets_recv", func(m *load.Metrics) uint64 { return m.NetPacketsRecv }},
+	{"net_bytes_sent", func(m *load.Metrics) uint64 { return m.NetBytesSent }},
+	{"net_bytes_recv", func(m *load.Metrics) uint64 { return m.NetBytesRecv }},
+	{"net_drops", func(m *load.Metrics) uint64 { return m.NetDrops }},
+	{"net_timeouts", func(m *load.Metrics) uint64 { return m.NetTimeouts }},
+	{"net_retries", func(m *load.Metrics) uint64 { return m.NetRetries }},
 }
 
 // summarizeMetrics renders a lone run's per-metric values (for runs
@@ -202,6 +209,17 @@ func diffMetrics(o, n *load.Metrics) []string {
 	for i := range o.CPUUtilization {
 		if o.CPUUtilization[i] != n.CPUUtilization[i] {
 			out = append(out, fmt.Sprintf("cpu_utilization[%d] %v -> %v", i, o.CPUUtilization[i], n.CPUUtilization[i]))
+		}
+	}
+	// The fabric's flow log is deterministic too: a routing change that
+	// preserves the totals must still fail the gate.
+	if len(o.NetFlows) != len(n.NetFlows) {
+		out = append(out, fmt.Sprintf("net_flows has %d flows -> %d", len(o.NetFlows), len(n.NetFlows)))
+		return out
+	}
+	for i := range o.NetFlows {
+		if o.NetFlows[i] != n.NetFlows[i] {
+			out = append(out, fmt.Sprintf("net_flows[%d] %+v -> %+v", i, o.NetFlows[i], n.NetFlows[i]))
 		}
 	}
 	return out

@@ -9,13 +9,14 @@
 //	forkbench load [load flags]
 //	forkbench fleet [fleet flags]
 //	forkbench cluster [cluster flags]
+//	forkbench metrics [metrics flags]
 //	forkbench hostbench [hostbench flags]
 //	forkbench trace [trace flags] [prog arg...]
 //	forkbench diff [-summary] <old.json> <new.json>
 //
 //	experiments: fig1 table1 cowtax hugepages overcommit compose scale
 //	             ablations strategies server cpusweep fleetclaim chaos
-//	             scaleout clonebench all
+//	             scaleout clonebench netclaim all
 //
 //	-max SIZE     largest parent for sweeps (default 1GiB for fig1)
 //	-reps N       repetitions per fig1 point (default 5)
@@ -41,6 +42,11 @@
 // (sim.System.Snapshot / sim.Template.Clone) over a heap ladder, plus
 // the measured break-even heap size below which templating stops
 // paying — the harness's own answer to Θ(heap) process creation.
+// "netclaim" is E15, the re-warm tax on the wire: the netlb cell
+// (sim/load's L7 balancer) restarts one backend mid-run; the
+// replacement's worker-pool warm-up is Θ(heap) under fork and flat
+// under spawn, and the client retry timeout sits between the two, so
+// fork turns the restart into a retry storm the spawn pool absorbs.
 //
 // The trace subcommand runs one command with the structured event
 // trace enabled and renders it (sim.WithTrace): syscall enter/exit
@@ -56,10 +62,10 @@
 // The load subcommand drives the sim/load workload scenarios:
 //
 //	forkbench load [-scenario prefork|pipeline|checkpoint|forkstorm|
-//	                          smpserver|buildfarm|all]
+//	                          smpserver|buildfarm|netlb|kvshard|all]
 //	               [-via spawn|fork|vfork|builder|emufork|eager]
-//	               [-n REQUESTS] [-workers N] [-heap SIZE] [-ram SIZE]
-//	               [-cpus N] [-huge] [-json FILE]
+//	               [-n REQUESTS] [-workers N] [-nodes N] [-heap SIZE]
+//	               [-ram SIZE] [-cpus N] [-huge] [-json FILE]
 //
 // Each run is deterministic; -json writes every run's metrics as a
 // JSON array, the format of the repo's BENCH_*.json trajectory files
@@ -108,12 +114,30 @@
 // (sim/cluster): named node pools scaled by a virtual-time reconcile
 // loop against a traffic plan:
 //
-//	forkbench cluster [-scenario surge|zoneoutage|heteropools]
+//	forkbench cluster [-scenario surge|zoneoutage|heteropools|netsplit]
 //	                  [-heap SIZE] [-parallel N] [-json FILE]
 //
 // Its stdout — pool table plus reconcile trace — is byte-identical at
 // every GOMAXPROCS; the CI cluster determinism gate byte-compares the
-// zoneoutage JSON at GOMAXPROCS 1 vs 4.
+// zoneoutage JSON at GOMAXPROCS 1 vs 4. The netsplit scenario severs a
+// zone's links (fault.ZonePartition) without killing its machines: the
+// balancer's reachability probe routes around the partition and heals
+// when it lifts.
+//
+// The metrics subcommand is the retina-style metrics plane: one
+// deterministic run rendered as Prometheus text-format counters —
+// per-machine request and packet/flow counters for a fleet of
+// distributed cells (default), per-pool/zone counters for a cluster
+// scenario (-cluster), and the structured trace's event-kind counters
+// from one traced command (-trace):
+//
+//	forkbench metrics [-scenario netlb|kvshard|...] [-via STRATEGY]
+//	                  [-machines N] [-n REQUESTS] [-heap SIZE] [-seed N]
+//	                  [-cluster SCENARIO] [-trace] [-o FILE]
+//
+// Its output is a pure function of the flags (sim/metrics sorts
+// families and samples), so the CI metrics golden gate byte-compares
+// checked-in invocations the way the golden traces are frozen.
 //
 // The diff subcommand is the bench-drift gate: it compares two sweep
 // JSON files metric by metric and fails on any difference, so silent
@@ -169,10 +193,11 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per fig1 point")
 	eager := flag.Bool("eager", false, "include eager-copy fork line in fig1")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|strategies|server|cpusweep|fleetclaim|chaos|scaleout|clonebench|all\n")
+		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|strategies|server|cpusweep|fleetclaim|chaos|scaleout|clonebench|netclaim|all\n")
 		fmt.Fprintf(os.Stderr, "       forkbench load [load flags]        (see forkbench load -h)\n")
 		fmt.Fprintf(os.Stderr, "       forkbench fleet [fleet flags]      (see forkbench fleet -h)\n")
 		fmt.Fprintf(os.Stderr, "       forkbench cluster [cluster flags]  (see forkbench cluster -h)\n")
+		fmt.Fprintf(os.Stderr, "       forkbench metrics [metrics flags]  (see forkbench metrics -h)\n")
 		fmt.Fprintf(os.Stderr, "       forkbench hostbench [bench flags]  (see forkbench hostbench -h)\n")
 		fmt.Fprintf(os.Stderr, "       forkbench trace [trace flags]      (see forkbench trace -h)\n")
 		fmt.Fprintf(os.Stderr, "       forkbench diff [-summary] <old.json> <new.json>\n")
@@ -192,6 +217,11 @@ func main() {
 		return
 	case "cluster":
 		if err := runCluster(flag.Args()[1:]); err != nil {
+			fatal(err)
+		}
+		return
+	case "metrics":
+		if err := runMetrics(flag.Args()[1:]); err != nil {
 			fatal(err)
 		}
 		return
@@ -374,6 +404,18 @@ func main() {
 		}
 		fmt.Println(res.Render())
 	}
+	if runAll || what == "netclaim" {
+		ran = true
+		nmax := maxBytes
+		if nmax > 64*experiments.MiB {
+			nmax = 64 * experiments.MiB
+		}
+		res, err := experiments.NetClaim(experiments.NetClaimConfig{HeapBytes: nmax})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
 	if runAll || what == "clonebench" {
 		ran = true
 		cmax := maxBytes
@@ -456,10 +498,11 @@ func strategies(parentBytes uint64) error {
 // run's metrics, and optionally records them all as a JSON array.
 func runLoad(args []string) error {
 	fs := flag.NewFlagSet("forkbench load", flag.ExitOnError)
-	scenario := fs.String("scenario", "prefork", "prefork|pipeline|checkpoint|forkstorm|smpserver|buildfarm|all")
+	scenario := fs.String("scenario", "prefork", "prefork|pipeline|checkpoint|forkstorm|smpserver|buildfarm|netlb|kvshard|all")
 	via := fs.String("via", "spawn", "spawn|fork|vfork|builder|emufork|eager")
 	n := fs.Int("n", 0, "requests per scenario (0 = scenario default)")
 	workers := fs.Int("workers", 0, "pipeline depth / storm burst size (0 = default)")
+	nodes := fs.Int("nodes", 0, "distributed backend/shard count for netlb|kvshard (0 = default)")
 	heap := fs.String("heap", "64MiB", "server heap size")
 	ram := fs.String("ram", "0", "machine RAM (0 = 4x heap)")
 	cpus := fs.Int("cpus", 0, "simulated CPU count (0 = 1; with -sweep, pins the matrix to this count)")
@@ -506,6 +549,7 @@ func runLoad(args []string) error {
 				CPUs:      *cpus,
 				Requests:  *n,
 				Workers:   *workers,
+				Nodes:     *nodes,
 				HeapBytes: heapBytes,
 				RAMBytes:  ramBytes,
 				HugePages: *huge,

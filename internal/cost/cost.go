@@ -109,6 +109,16 @@ type Model struct {
 	// Pipes and descriptors.
 	PipeXferByte Ticks // per byte copied through a pipe
 	InstrTick    Ticks // one VM instruction
+
+	// Inter-machine network. NetStack is the kernel network-stack
+	// traversal charged on the sending (and receiving) CPU per frame;
+	// NetPerByte is the serialization cost per payload byte, also
+	// CPU-charged; NetLinkLatency is the one-way wire propagation
+	// delay, which elapses on the link rather than on any CPU — the
+	// fabric adds it to a frame's arrival time.
+	NetStack       Ticks // per-frame kernel stack traversal
+	NetPerByte     Ticks // per payload byte serialized
+	NetLinkLatency Ticks // one-way propagation delay (not CPU time)
 }
 
 // DefaultModel returns the calibrated model. See EXPERIMENTS.md for
@@ -148,6 +158,10 @@ func DefaultModel() Model {
 
 		PipeXferByte: 1 * Nanosecond,
 		InstrTick:    1 * Nanosecond,
+
+		NetStack:       2 * Microsecond,
+		NetPerByte:     1 * Nanosecond,
+		NetLinkLatency: 10 * Microsecond,
 	}
 }
 

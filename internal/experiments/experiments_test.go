@@ -472,3 +472,45 @@ func TestScaleOutClaimShape(t *testing.T) {
 		}
 	}
 }
+
+// TestNetClaimShape pins E15's headline: the same backend restart
+// behind the netlb balancer is a retry storm under fork and a
+// non-event under spawn, because only fork's Θ(heap) worker re-warm
+// overruns the client retry timeout.
+func TestNetClaimShape(t *testing.T) {
+	cfg := NetClaimConfig{}
+	res, err := NetClaim(cfg)
+	if err != nil {
+		t.Fatalf("NetClaim: %v", err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points, want fork and spawn", len(res.Points))
+	}
+	fork, spawn := res.Points[0], res.Points[1]
+	if fork.Strategy != "fork+exec" || spawn.Strategy != "posix_spawn" {
+		t.Fatalf("unexpected strategy order: %q, %q", fork.Strategy, spawn.Strategy)
+	}
+	for _, p := range res.Points {
+		if got := p.M.Requests + p.M.FailedRequests; got != uint64(res.Requests) {
+			t.Errorf("%s accounted %d requests, want %d", p.Strategy, got, res.Requests)
+		}
+	}
+	if fork.M.NetTimeouts == 0 || fork.M.NetRetries == 0 {
+		t.Errorf("fork restart caused no storm: %d timeouts, %d retries",
+			fork.M.NetTimeouts, fork.M.NetRetries)
+	}
+	if spawn.M.NetTimeouts != 0 {
+		t.Errorf("spawn restart timed out %d attempts; its re-warm should fit the timeout", spawn.M.NetTimeouts)
+	}
+	if fork.M.VirtualNanos <= spawn.M.VirtualNanos {
+		t.Errorf("fork makespan %dns not above spawn %dns", fork.M.VirtualNanos, spawn.M.VirtualNanos)
+	}
+	// Deterministic: the whole table is a pure function of the config.
+	again, err := NetClaim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Render() != again.Render() {
+		t.Error("two identical NetClaim runs rendered differently")
+	}
+}

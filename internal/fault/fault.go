@@ -69,6 +69,19 @@ const (
 	// availability zone. Magnitude-scoped, not kernel-wired: the
 	// orchestrator constructs these ops itself.
 	PointMachineKill
+	// PointNetSend is one frame entering the inter-machine fabric at
+	// its source NIC: a non-OK decision drops the frame before it is
+	// ever queued (a lossy or severed uplink). Magnitude: NetMag(src,
+	// dst) — the frame's endpoints packed into one word.
+	PointNetSend
+	// PointNetDeliver is one frame leaving the fabric at its
+	// destination NIC: a non-OK decision drops it at the last hop (a
+	// cut link or a network partition). Consulted by sim/net per
+	// delivery with Mag = NetMag(src, dst), and by the sim/cluster
+	// balancer as a zone-reachability probe with Mag = the target
+	// machine's zone index (the ZonePartition convention, mirroring
+	// PointMachineKill).
+	PointNetDeliver
 
 	// NumPoints bounds the Point space (array sizing).
 	NumPoints
@@ -84,6 +97,8 @@ var pointNames = [NumPoints]string{
 	"thread.create",
 	"request.kill",
 	"machine.kill",
+	"net.send",
+	"net.deliver",
 }
 
 func (p Point) String() string {
@@ -283,6 +298,95 @@ func KillZone(zone uint64, from, until cost.Ticks) Schedule {
 	return ZoneOutage{Zone: zone, From: from, Until: until}
 }
 
+// netMagShift packs a frame's endpoints into Op.Mag for the network
+// points: src in the high bits, dst in the low 20 (machine ids are
+// bounded by the fleet's 1<<20 machine cap).
+const netMagShift = 20
+
+// NetMag packs a frame's (src, dst) machine addresses into one
+// magnitude word for PointNetSend/PointNetDeliver ops.
+func NetMag(src, dst int) uint64 {
+	return uint64(src)<<netMagShift | uint64(dst)&(1<<netMagShift-1)
+}
+
+// NetMagSrc unpacks the source address of a NetMag word.
+func NetMagSrc(mag uint64) int { return int(mag >> netMagShift) }
+
+// NetMagDst unpacks the destination address of a NetMag word.
+func NetMagDst(mag uint64) int { return int(mag & (1<<netMagShift - 1)) }
+
+// LinkDown is one directed link severed for a window: every
+// PointNetSend/PointNetDeliver op whose NetMag endpoints match (Src,
+// Dst) fails with EIO while From <= t < Until. Like every schedule it
+// is a pure function of the op, so a cut link replays bit-for-bit.
+type LinkDown struct {
+	Src, Dst    int
+	From, Until cost.Ticks
+}
+
+// Decide implements Schedule.
+func (l LinkDown) Decide(op Op) errno.Errno {
+	if op.Point != PointNetSend && op.Point != PointNetDeliver {
+		return errno.OK
+	}
+	if NetMagSrc(op.Mag) == l.Src && NetMagDst(op.Mag) == l.Dst &&
+		op.Time >= l.From && op.Time < l.Until {
+		return errno.EIO
+	}
+	return errno.OK
+}
+
+// NetSplit partitions a set of machine addresses away from the rest of
+// the fabric for a window: every PointNetDeliver op whose NetMag
+// endpoints straddle the cut (exactly one endpoint in Isolated) is
+// dropped while From <= t < Until. Traffic wholly inside or wholly
+// outside the isolated set still flows — the classic netsplit, as a
+// schedulable input.
+type NetSplit struct {
+	Isolated    []int // machine addresses on the cut-off side
+	From, Until cost.Ticks
+}
+
+func (n NetSplit) isolated(addr int) bool {
+	for _, a := range n.Isolated {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Decide implements Schedule.
+func (n NetSplit) Decide(op Op) errno.Errno {
+	if op.Point != PointNetDeliver || op.Time < n.From || op.Time >= n.Until {
+		return errno.OK
+	}
+	if n.isolated(NetMagSrc(op.Mag)) != n.isolated(NetMagDst(op.Mag)) {
+		return errno.EIO
+	}
+	return errno.OK
+}
+
+// ZonePartition is the cluster-level netsplit: the balancer probes
+// each candidate machine's reachability with a PointNetDeliver op
+// whose magnitude is the machine's zone index (the PointMachineKill
+// convention), and every probe naming Zone fails while From <= t <
+// Until. Machines in the partitioned zone stay alive and keep their
+// queues — they are merely unreachable, so routed traffic must flow
+// around them and their backlog survives the healing.
+type ZonePartition struct {
+	Zone        uint64
+	From, Until cost.Ticks
+}
+
+// Decide implements Schedule.
+func (z ZonePartition) Decide(op Op) errno.Errno {
+	if op.Point == PointNetDeliver && op.Mag == z.Zone && op.Time >= z.From && op.Time < z.Until {
+		return errno.EIO
+	}
+	return errno.OK
+}
+
 // random fails each targeted operation with probability perMille/1000,
 // decided by hashing (seed, machine, point, seq).
 type random struct {
@@ -361,6 +465,18 @@ func Chaos(seed uint64, machine int) Schedule {
 			Points: []Point{PointFrameAlloc},
 		},
 		KillEvery(seed, machine, 8),
+	)
+}
+
+// NetChaos is the chaos-mode schedule for distributed (fabric-backed)
+// loads on one machine-cell: roughly 2% of frames dropped at the
+// source NIC and 2% more at delivery, deterministically hashed from
+// (seed, cell id, point, frame seq). Pure function of its inputs, so
+// a lossy fabric replays bit-for-bit at any host parallelism.
+func NetChaos(seed uint64, machine int) Schedule {
+	return Any(
+		Random(seed^0xfab1c, machine, 20, errno.EIO, PointNetSend),
+		Random(seed^0xd0e11e, machine, 20, errno.EIO, PointNetDeliver),
 	)
 }
 

@@ -14,7 +14,7 @@ func TestPointNames(t *testing.T) {
 	want := []string{
 		"frame.alloc", "commit.reserve", "pagetable.clone", "cow.break",
 		"fdtable.clone", "exec.image", "thread.create", "request.kill",
-		"machine.kill",
+		"machine.kill", "net.send", "net.deliver",
 	}
 	pts := Points()
 	if len(pts) != len(want) {

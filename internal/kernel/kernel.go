@@ -141,6 +141,10 @@ type Kernel struct {
 
 	futexes map[futexKey]*WaitQueue
 
+	// nic is the machine's simulated network interface (see net.go);
+	// addr -1 means "not attached to a fabric".
+	nic nic
+
 	// faults is the fault-injection engine (nil = injection off; all
 	// Fail call sites are nil-safe). tracer is the structured event
 	// trace (nil = tracing off).
@@ -231,6 +235,7 @@ func New(opts Options) (*Kernel, error) {
 		nextPID: 1,
 		cpus:    make([]cpu, opts.NumCPUs),
 		futexes: map[futexKey]*WaitQueue{},
+		nic:     nic{addr: -1},
 	}
 	for i := range k.cpus {
 		k.cpus[i].id = i
@@ -525,8 +530,16 @@ func (k *Kernel) Run(limits RunLimits) error {
 			if k.wakeSleepers() {
 				continue
 			}
-			// No runnable, no sleeper. Deadlock if any thread
-			// is still blocked.
+			// No runnable, no sleeper. A thread parked in
+			// net_recv is waiting on the fabric, not on the
+			// machine: the harness wakes it with NetInject, so
+			// stop idle rather than calling it a deadlock.
+			if k.nic.queue().Len() > 0 {
+				k.idleSync()
+				k.stop(StopIdle, -1)
+				return nil
+			}
+			// Deadlock if any thread is still blocked.
 			if stuck := k.stuckThreads(); len(stuck) > 0 {
 				err := &DeadlockError{Threads: stuck, CPUs: k.CPUStates()}
 				k.stop(StopDeadlock, -1)

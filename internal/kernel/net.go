@@ -1,0 +1,133 @@
+package kernel
+
+import (
+	"repro/internal/cost"
+	"repro/internal/errno"
+	"repro/internal/fault"
+)
+
+// The machine's NIC: a simulated network interface the inter-machine
+// fabric (repro/sim/net) plugs into. Programs reach it through two
+// syscalls — net_send enqueues one frame into the outbox, net_recv
+// blocks until a frame is in the inbox — and the host harness moves
+// frames between machines: NetDrainOutbox hands sent frames to the
+// fabric, NetInject delivers arriving ones (waking blocked
+// receivers). The kernel prices CPU-side work only (stack traversal
+// and per-byte serialization, from the cost model); wire latency is
+// the fabric's business and shows up as inbox frames arriving at
+// later virtual times via AdvanceTo.
+
+// NetFrame is one frame crossing a NIC, payload priced but not
+// stored: the simulator models the cost of moving Bytes, not their
+// content. Tag is the application-level correlation word (request id,
+// shard key, ...) that net_recv hands back to the program.
+type NetFrame struct {
+	Src, Dst int
+	Tag      uint64
+	Bytes    uint64
+}
+
+// nic is the per-kernel NIC state. addr is the machine's fabric
+// address (set by the harness; -1 until attached).
+type nic struct {
+	addr   int
+	inbox  []NetFrame
+	outbox []NetFrame
+	recvQ  *WaitQueue
+
+	// Counters, read by the metrics plane.
+	framesSent, framesRecv uint64
+	bytesSent, bytesRecv   uint64
+}
+
+func (n *nic) queue() *WaitQueue {
+	if n.recvQ == nil {
+		n.recvQ = NewWaitQueue("net_recv")
+	}
+	return n.recvQ
+}
+
+// NetAttach assigns the machine its fabric address. Frames sent
+// before attachment carry source address -1.
+func (k *Kernel) NetAttach(addr int) { k.nic.addr = addr }
+
+// NetAddr reports the machine's fabric address (-1 when detached).
+func (k *Kernel) NetAddr() int { return k.nic.addr }
+
+// NetInject delivers one frame into the machine's inbox and wakes a
+// blocked receiver, if any. The harness calls AdvanceTo(arrival)
+// first so the delivery lands at the frame's fabric arrival time.
+func (k *Kernel) NetInject(f NetFrame) {
+	k.nic.inbox = append(k.nic.inbox, f)
+	k.nic.framesRecv++
+	k.nic.bytesRecv += f.Bytes
+	if k.tracer != nil {
+		k.trace(fault.Event{Kind: fault.EvNetRecv, Pid: -1,
+			Num: fault.NetMag(f.Src, f.Dst), Aux: f.Bytes})
+	}
+	k.wakeOne(k.nic.queue())
+}
+
+// NetDrainOutbox removes and returns every frame the machine has sent
+// since the last drain, in send order.
+func (k *Kernel) NetDrainOutbox() []NetFrame {
+	out := k.nic.outbox
+	k.nic.outbox = nil
+	return out
+}
+
+// NetPendingRecv reports how many threads are blocked in net_recv —
+// the "machine is parked on the fabric" signal the harness polls.
+func (k *Kernel) NetPendingRecv() int { return k.nic.queue().Len() }
+
+// NetStats reports the NIC's cumulative frame and byte counters
+// (sent, received).
+func (k *Kernel) NetStats() (framesSent, framesRecv, bytesSent, bytesRecv uint64) {
+	return k.nic.framesSent, k.nic.framesRecv, k.nic.bytesSent, k.nic.bytesRecv
+}
+
+// AdvanceTo fast-forwards every CPU to the absolute virtual time
+// deadline, recording the gap as idle — the machine waiting for the
+// network. Deadlines in the past are a no-op, so callers can blindly
+// advance to each frame's arrival time.
+func (k *Kernel) AdvanceTo(deadline cost.Ticks) {
+	for i := range k.cpus {
+		k.meter.IdleTo(i, deadline)
+	}
+}
+
+// sysNetSend is net_send(dst, tag, len): price the frame on the
+// sending CPU (stack traversal + per-byte serialization), consult the
+// source-NIC fault point, and enqueue it into the outbox for the
+// fabric to pick up. A dropped frame costs the CPU the same work and
+// fails with EIO — the program saw its uplink sever.
+func (k *Kernel) sysNetSend(t *Thread, dst, tag, nbytes uint64) (uint64, error) {
+	k.meter.Charge(k.meter.Model.NetStack + cost.Ticks(nbytes)*k.meter.Model.NetPerByte)
+	f := NetFrame{Src: k.nic.addr, Dst: int(dst), Tag: tag, Bytes: nbytes}
+	if e := k.faults.Fail(fault.PointNetSend, fault.NetMag(f.Src, f.Dst)); e != errno.OK {
+		return 0, e
+	}
+	k.nic.framesSent++
+	k.nic.bytesSent += nbytes
+	if k.tracer != nil {
+		k.trace(fault.Event{Kind: fault.EvNetSend, Pid: int(t.proc.Pid), Tid: t.TID,
+			Num: fault.NetMag(f.Src, f.Dst), Aux: nbytes})
+	}
+	k.nic.outbox = append(k.nic.outbox, f)
+	return 0, nil
+}
+
+// sysNetRecv is net_recv(): block until a frame is in the inbox, then
+// pop it and return src<<32|tag. Blocking is restartable — the SYS
+// instruction retries when NetInject wakes the thread — and FIFO: the
+// oldest waiter gets the oldest frame.
+func (k *Kernel) sysNetRecv(t *Thread) (uint64, error) {
+	if len(k.nic.inbox) == 0 {
+		k.block(t, k.nic.queue(), "net_recv")
+		return 0, errBlocked
+	}
+	f := k.nic.inbox[0]
+	k.nic.inbox = k.nic.inbox[1:]
+	k.meter.Charge(k.meter.Model.NetStack + cost.Ticks(f.Bytes)*k.meter.Model.NetPerByte)
+	return uint64(uint32(f.Src))<<32 | f.Tag&0xffffffff, nil
+}

@@ -1,0 +1,118 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/errno"
+	"repro/internal/fault"
+)
+
+// bootNetEcho boots a machine running /bin/netecho attached to the
+// fabric at addr and runs it until it parks in net_recv.
+func bootNetEcho(t *testing.T, addr int) *Kernel {
+	t.Helper()
+	k, _ := boot(t, Options{})
+	k.NetAttach(addr)
+	if _, err := k.BootInit("/bin/netecho", []string{"/bin/netecho"}); err != nil {
+		t.Fatalf("BootInit: %v", err)
+	}
+	if err := k.Run(RunLimits{MaxInstructions: 1_000_000}); err != nil {
+		t.Fatalf("run to first recv: %v", err)
+	}
+	if k.LastStop() != StopIdle {
+		t.Fatalf("stop = %v, want idle (parked in net_recv)", k.LastStop())
+	}
+	if n := k.NetPendingRecv(); n != 1 {
+		t.Fatalf("NetPendingRecv = %d, want 1", n)
+	}
+	return k
+}
+
+// TestNetEchoRoundTrip: a blocked net_recv wakes on NetInject, the
+// program echoes the frame back through the outbox, and the NIC
+// counters and virtual clock move accordingly.
+func TestNetEchoRoundTrip(t *testing.T) {
+	k := bootNetEcho(t, 7)
+	if got := k.NetAddr(); got != 7 {
+		t.Fatalf("NetAddr = %d, want 7", got)
+	}
+
+	// Deliver a frame "arriving" 1 ms into the machine's future: the
+	// clocks fast-forward (idle) and the echo runs after that point.
+	arrival := k.Elapsed() + cost.Millisecond
+	k.AdvanceTo(arrival)
+	k.NetInject(NetFrame{Src: 3, Dst: 7, Tag: 42, Bytes: 128})
+	if err := k.Run(RunLimits{MaxInstructions: 1_000_000}); err != nil {
+		t.Fatalf("run echo: %v", err)
+	}
+	out := k.NetDrainOutbox()
+	if len(out) != 1 {
+		t.Fatalf("outbox has %d frames, want 1", len(out))
+	}
+	f := out[0]
+	if f.Src != 7 || f.Dst != 3 || f.Tag != 42 || f.Bytes != 64 {
+		t.Errorf("echoed frame = %+v, want src=7 dst=3 tag=42 bytes=64", f)
+	}
+	if k.Elapsed() < arrival {
+		t.Errorf("clock %v did not reach the arrival time %v", k.Elapsed(), arrival)
+	}
+	fs, fr, bs, br := k.NetStats()
+	if fs != 1 || fr != 1 || bs != 64 || br != 128 {
+		t.Errorf("NetStats = sent %d/%dB recv %d/%dB, want 1/64B 1/128B", fs, bs, fr, br)
+	}
+
+	// A zero tag is the shutdown frame: the program exits cleanly.
+	k.NetInject(NetFrame{Src: 3, Dst: 7, Tag: 0, Bytes: 0})
+	if err := k.Run(RunLimits{MaxInstructions: 1_000_000}); err != nil {
+		t.Fatalf("run shutdown: %v", err)
+	}
+	if n := k.LiveProcessCount(); n != 0 {
+		t.Errorf("%d live processes after shutdown frame, want 0", n)
+	}
+}
+
+// TestNetRecvFIFO: frames are delivered to receivers in arrival
+// order, oldest waiter first.
+func TestNetRecvFIFO(t *testing.T) {
+	k := bootNetEcho(t, 1)
+	k.NetInject(NetFrame{Src: 2, Dst: 1, Tag: 10, Bytes: 8})
+	k.NetInject(NetFrame{Src: 3, Dst: 1, Tag: 11, Bytes: 8})
+	if err := k.Run(RunLimits{MaxInstructions: 1_000_000}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := k.NetDrainOutbox()
+	if len(out) != 2 {
+		t.Fatalf("outbox has %d frames, want 2", len(out))
+	}
+	if out[0].Dst != 2 || out[0].Tag != 10 || out[1].Dst != 3 || out[1].Tag != 11 {
+		t.Errorf("echo order = %+v, want tag 10 to 2 then tag 11 to 3", out)
+	}
+}
+
+// TestNetSendFaultPoint: a schedule severing the uplink makes
+// net_send fail with EIO; the frame never reaches the outbox but the
+// op is still counted.
+func TestNetSendFaultPoint(t *testing.T) {
+	k, _ := boot(t, Options{Faults: fault.FailOp(fault.PointNetSend, 1, errno.EIO)})
+	k.NetAttach(5)
+	if _, err := k.BootInit("/bin/netecho", []string{"/bin/netecho"}); err != nil {
+		t.Fatalf("BootInit: %v", err)
+	}
+	if err := k.Run(RunLimits{MaxInstructions: 1_000_000}); err != nil {
+		t.Fatalf("run to recv: %v", err)
+	}
+	k.NetInject(NetFrame{Src: 9, Dst: 5, Tag: 77, Bytes: 16})
+	if err := k.Run(RunLimits{MaxInstructions: 1_000_000}); err != nil {
+		t.Fatalf("run echo: %v", err)
+	}
+	if out := k.NetDrainOutbox(); len(out) != 0 {
+		t.Fatalf("outbox has %d frames, want 0 (send dropped)", len(out))
+	}
+	if got := k.Faults().Count(fault.PointNetSend); got != 1 {
+		t.Errorf("net.send op count = %d, want 1", got)
+	}
+	if got := k.Faults().Injected(); got != 1 {
+		t.Errorf("injected = %d, want 1", got)
+	}
+}

@@ -87,6 +87,7 @@ type engine struct {
 	shared  []int // global backlog (shared-stream mode)
 	nextID  int
 	killSeq uint64
+	netSeq  uint64 // balancer reachability-probe op counter
 	// lastKill[z] is the most recent step a kill fired in zone z
 	// (-1: never); zones stay cordoned CordonSteps after it.
 	lastKill []int
@@ -329,11 +330,40 @@ func (e *engine) kills(step int) {
 	}
 }
 
+// reachable probes whether the balancer can currently deliver to m:
+// one fault.PointNetDeliver decision with magnitude = the machine's
+// zone, on the cluster clock. A fault.ZonePartition schedule makes a
+// whole zone's machines unreachable for its window — they stay alive
+// (unlike kills) but take no traffic until the partition heals.
+func (e *engine) reachable(m *machine, step int) bool {
+	if e.spec.Faults == nil {
+		return true
+	}
+	e.netSeq++
+	dec := e.spec.Faults.Decide(fault.Op{
+		Point: fault.PointNetDeliver, Seq: e.netSeq,
+		Time: fault.Ticks(uint64(step) * e.dt), Mag: uint64(m.zone),
+	})
+	return dec == fault.OK
+}
+
 // balance routes backlog onto ready machines: power-of-two-choices
 // with seeded hashing, less-loaded-per-CPU wins, lower machine id
-// breaks ties. Unrouteable backlog (no ready machine) waits.
+// breaks ties. Unrouteable backlog (no ready machine, or none the
+// balancer can reach) waits.
 func (e *engine) balance(step int) {
 	assigned := make(map[*machine]int)
+	unreachable := 0
+	ready := func(m *machine) bool {
+		if !m.ready(step) {
+			return false
+		}
+		if !e.reachable(m, step) {
+			unreachable++
+			return false
+		}
+		return true
+	}
 	route := func(stream *[]int, cands []*machine, salt uint64) {
 		if len(cands) == 0 {
 			return
@@ -358,22 +388,25 @@ func (e *engine) balance(step int) {
 		var cands []*machine
 		for _, p := range e.pools {
 			for _, m := range p.machines {
-				if m.ready(step) {
+				if ready(m) {
 					cands = append(cands, m)
 				}
 			}
 		}
 		route(&e.shared, cands, 0)
-		return
-	}
-	for _, p := range e.pools {
-		var cands []*machine
-		for _, m := range p.machines {
-			if m.ready(step) {
-				cands = append(cands, m)
+	} else {
+		for _, p := range e.pools {
+			var cands []*machine
+			for _, m := range p.machines {
+				if ready(m) {
+					cands = append(cands, m)
+				}
 			}
+			route(&p.backlog, cands, uint64(p.idx)+1)
 		}
-		route(&p.backlog, cands, uint64(p.idx)+1)
+	}
+	if unreachable > 0 {
+		e.tracef("step %04d balance: %d machine(s) unreachable (network partition)", step, unreachable)
 	}
 }
 

@@ -96,6 +96,33 @@ func TestZoneOutageCordonAndBackfill(t *testing.T) {
 	}
 }
 
+// TestNetSplitRoutesAroundZone: a partitioned zone's machines stay
+// alive but take no traffic — the balancer routes around them, every
+// request is still served, and the trace records the partition.
+func TestNetSplitRoutesAroundZone(t *testing.T) {
+	spec := cluster.NetSplitSpec(4 << 20)
+	rep, err := cluster.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rep.Pools[0]
+	if p.MachinesKilled != 0 {
+		t.Errorf("partition killed %d machines; a split severs links, not machines", p.MachinesKilled)
+	}
+	if p.Failed != 0 || p.Served != offered(spec) {
+		t.Errorf("served %d failed %d, want %d/0 (unreachable is not lost)", p.Served, p.Failed, offered(spec))
+	}
+	partitionTrace := false
+	for _, line := range rep.Trace {
+		if strings.Contains(line, "unreachable (network partition)") {
+			partitionTrace = true
+		}
+	}
+	if !partitionTrace {
+		t.Error("reconcile trace has no partition event")
+	}
+}
+
 // TestHeteroPoolsWeightedRouting: with one shared stream over the
 // 1/2/4/8-CPU ladder, the CPU-weighted balancer gives a big machine
 // more traffic than a small one (per-machine — small pools may grow

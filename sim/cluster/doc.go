@@ -29,8 +29,12 @@
 // — trace included — is byte-identical at any GOMAXPROCS.
 //
 // Scenarios: Surge (fork pool vs spawn pool racing the same spike),
-// ZoneOutage (zone-scoped kills, backfill in surviving zones), and
-// HeteroPools (one stream bin-packed across a 1/2/4/8-CPU ladder).
+// ZoneOutage (zone-scoped kills, backfill in surviving zones),
+// HeteroPools (one stream bin-packed across a 1/2/4/8-CPU ladder),
+// and NetSplit (fault.ZonePartition severs a zone's links without
+// killing its machines; the balancer's reachability probe routes
+// around the partition until it heals — see README "Inter-machine
+// network & metrics").
 //
 // Scale-out machines boot from frozen server templates
 // (load.ServerTemplates over sim.System.Snapshot): the ready-to-serve

@@ -30,10 +30,16 @@ const (
 	// machine ladder: the balancer weighs machines by shape, so big
 	// machines take proportionally more traffic (bin-packing).
 	HeteroPools Scenario = "heteropools"
+	// NetSplit partitions one availability zone off the network
+	// mid-run (fault.ZonePartition): its machines stay alive but the
+	// balancer's reachability probe excludes them, so traffic
+	// concentrates in the surviving zones until the partition heals —
+	// an outage with no kills, no requeues, and full recovery.
+	NetSplit Scenario = "netsplit"
 )
 
 // Scenarios lists every cluster scenario, in a fixed order.
-func Scenarios() []Scenario { return []Scenario{Surge, ZoneOutage, HeteroPools} }
+func Scenarios() []Scenario { return []Scenario{Surge, ZoneOutage, HeteroPools, NetSplit} }
 
 // ParseScenario maps a CLI name to its Scenario.
 func ParseScenario(name string) (Scenario, error) {
@@ -42,7 +48,7 @@ func ParseScenario(name string) (Scenario, error) {
 			return s, nil
 		}
 	}
-	return "", fmt.Errorf("cluster: unknown scenario %q (surge|zoneoutage|heteropools)", name)
+	return "", fmt.Errorf("cluster: unknown scenario %q (surge|zoneoutage|heteropools|netsplit)", name)
 }
 
 // surgeStep is the surge preset's reconcile interval: wide enough
@@ -109,6 +115,25 @@ func HeteroPoolsSpec(heapBytes uint64) Spec {
 	}
 }
 
+// NetSplitSpec builds the NetSplit scenario: one spawn pool over 3
+// zones, steady traffic, and a partition that cuts zone 0 off the
+// network between steps 10 and 20. The machines there stay alive —
+// nothing is killed or requeued — but the balancer's reachability
+// probe routes around them until the partition heals.
+func NetSplitSpec(heapBytes uint64) Spec {
+	return Spec{
+		Pools: []PoolSpec{{
+			Name: "web", Via: sim.Spawn, CPUs: 2, HeapBytes: heapBytes,
+			MinMachines: 3, MaxMachines: 6,
+		}},
+		Zones:               3,
+		ReconcileEveryNanos: surgeStep,
+		RequestWorkMiB:      4,
+		Traffic:             []Phase{{Steps: 40, PerStep: 4}},
+		Faults:              fault.ZonePartition{Zone: 0, From: 10 * surgeStep, Until: 20 * surgeStep},
+	}
+}
+
 // SpecFor builds the named scenario's Spec at the given heap (0
 // selects 64 MiB).
 func SpecFor(s Scenario, heapBytes uint64) (Spec, error) {
@@ -122,6 +147,8 @@ func SpecFor(s Scenario, heapBytes uint64) (Spec, error) {
 		return ZoneOutageSpec(heapBytes), nil
 	case HeteroPools:
 		return HeteroPoolsSpec(heapBytes), nil
+	case NetSplit:
+		return NetSplitSpec(heapBytes), nil
 	}
 	return Spec{}, fmt.Errorf("cluster: unknown scenario %q", s)
 }

@@ -124,7 +124,11 @@ type Spec struct {
 	// step at fault.PointMachineKill (magnitude = the machine's zone
 	// index, time = the cluster clock): a non-OK decision kills the
 	// machine, its queue is requeued, and its zone is cordoned.
-	// fault.KillZone is the zone-outage schedule.
+	// fault.KillZone is the zone-outage schedule. The balancer also
+	// probes fault.PointNetDeliver per ready machine (same magnitude
+	// convention): a non-OK decision leaves the machine alive but
+	// unreachable, so it takes no traffic — fault.ZonePartition is
+	// the network-split schedule.
 	Faults fault.Schedule
 
 	// Parallelism bounds the host worker pool machines are simulated

@@ -64,6 +64,14 @@ type (
 	// ZoneOutage is the zone-scoped machine-kill schedule (see
 	// KillZone).
 	ZoneOutage = ifault.ZoneOutage
+	// LinkDown severs one directed fabric link for a window.
+	LinkDown = ifault.LinkDown
+	// NetSplit partitions a set of machine addresses off the fabric
+	// for a window (deliveries straddling the cut are dropped).
+	NetSplit = ifault.NetSplit
+	// ZonePartition is the cluster-level netsplit: balancer
+	// reachability probes naming the zone fail during the window.
+	ZonePartition = ifault.ZonePartition
 	// Errno is the simulated kernel's error number type.
 	Errno = errno.Errno
 	// Ticks is virtual time (1 tick = 1 simulated nanosecond).
@@ -81,6 +89,8 @@ const (
 	PointThreadCreate = ifault.PointThreadCreate
 	PointKill         = ifault.PointKill
 	PointMachineKill  = ifault.PointMachineKill
+	PointNetSend      = ifault.PointNetSend
+	PointNetDeliver   = ifault.PointNetDeliver
 	NumPoints         = ifault.NumPoints
 )
 
@@ -137,6 +147,15 @@ func Any(scheds ...Schedule) Schedule { return ifault.Any(scheds...) }
 // Chaos is the fleet chaos mode's standard schedule for one machine:
 // ENOMEM pressure waves plus a sparse kill wave.
 func Chaos(seed uint64, machine int) Schedule { return ifault.Chaos(seed, machine) }
+
+// NetChaos is the chaos-mode schedule for distributed (fabric-backed)
+// loads: a deterministic pseudo-random fraction of frames dropped at
+// the source NIC and at delivery.
+func NetChaos(seed uint64, machine int) Schedule { return ifault.NetChaos(seed, machine) }
+
+// NetMag packs a frame's (src, dst) machine addresses into the op
+// magnitude word the network points carry.
+func NetMag(src, dst int) uint64 { return ifault.NetMag(src, dst) }
 
 // SyscallName renders a syscall number for trace consumers.
 func SyscallName(num uint64) string { return ifault.SyscallName(num) }

@@ -8,6 +8,7 @@ import (
 
 	"repro/sim"
 	"repro/sim/fleet"
+	"repro/sim/load"
 )
 
 // runJSON runs the spec at a given GOMAXPROCS and returns the
@@ -46,6 +47,12 @@ func TestFleetDeterministicAcrossGOMAXPROCS(t *testing.T) {
 		// guarantee at any host parallelism.
 		{Machines: 6, Scenario: fleet.Chaos, Via: sim.ForkExec, Requests: 8, HeapBytes: 8 << 20, FaultSeed: 3},
 		{Machines: 6, Scenario: fleet.Chaos, Via: sim.Spawn, Requests: 8, HeapBytes: 8 << 20, FaultSeed: 3},
+		// Distributed loads: each fleet machine is a whole network
+		// cell (client, balancer/shards, Server backends over the
+		// sim/net fabric). The cell is single-threaded, so the fleet
+		// guarantee extends to it unchanged — wire chaos included.
+		{Machines: 4, Scenario: fleet.Uniform, Load: load.NetLB, Via: sim.ForkExec, Requests: 12, HeapBytes: 8 << 20},
+		{Machines: 4, Scenario: fleet.Chaos, Load: load.KVShard, Via: sim.Spawn, Requests: 12, HeapBytes: 8 << 20, FaultSeed: 5},
 	}
 	for _, spec := range specs {
 		spec := spec

@@ -94,4 +94,12 @@
 // host cost stops being Θ(heap)×N (Spec.ColdBoot opts out; the report
 // is byte-identical either way, which CI's clone-equivalence gate
 // enforces — see README "Template machines & O(1) clone").
+//
+// Distributed loads (load.NetLB, load.KVShard) run one sim/net cell
+// per fleet machine: the cell is a self-contained deterministic
+// simulation, so fleet parallelism and -shards apply to distributed
+// workloads unchanged, and the chaos scenario swaps its per-machine
+// fault schedule for fault.NetChaos — wire-level drops instead of
+// memory pressure (the CI net determinism gate byte-compares the
+// result at GOMAXPROCS 1 vs 4 and -shards 1 vs 4).
 package fleet

@@ -229,11 +229,17 @@ func (s Spec) validate() error {
 	if s.SurgeFactor < 1 {
 		return specErr("SurgeFactor", "surge factor %d (want >= 1)", s.SurgeFactor)
 	}
-	if s.Scenario == Chaos && s.Load != load.Prefork {
-		// Chaos needs the failure-tolerant driver; anything else
+	if s.Scenario == RollingRestart && s.Load.Distributed() {
+		// The rolling wave restarts a single machine and serves
+		// prefork traffic through it; a distributed cell restarts
+		// its backend inside the load itself (load.NetLB).
+		return specErr("Load", "rolling restart requires a single-machine load (got %s)", s.Load)
+	}
+	if s.Scenario == Chaos && s.Load != load.Prefork && !s.Load.Distributed() {
+		// Chaos needs a failure-tolerant driver; anything else
 		// would silently serve different traffic than the report
 		// claims.
-		return specErr("Load", "chaos requires the prefork load (got %s)", s.Load)
+		return specErr("Load", "chaos requires a failure-tolerant load: prefork, netlb, or kvshard (got %s)", s.Load)
 	}
 	if _, err := load.ParseScenario(string(s.Load)); err != nil {
 		return specErr("Load", "unknown load scenario %q", s.Load)
@@ -489,13 +495,19 @@ func runMachine(spec Spec, id int, tpls *templates) (*MachineMetrics, *restartDe
 		mm.RestartPTECopies = rr.RestartPTECopies
 		dbg = d
 	case Chaos:
-		// Chaos serves prefork traffic (validate pinned Spec.Load
-		// to it) under this machine's derived wave schedule. The
+		// Chaos serves failure-tolerant traffic (validate pinned
+		// Spec.Load) under this machine's derived wave schedule. The
 		// template is warmed clean; the schedule installs on the
 		// stamped clone after warm-up, exactly as the cold path
-		// installs it after Prepare.
+		// installs it after Prepare. A distributed load's schedule
+		// targets the cell's wire (drop waves at the net fault
+		// points) instead of the machines' memory paths.
 		cfg := ms.loadConfig()
-		cfg.Faults = fault.Chaos(spec.FaultSeed, ms.ID)
+		if ms.Load.Distributed() {
+			cfg.Faults = fault.NetChaos(spec.FaultSeed, ms.ID)
+		} else {
+			cfg.Faults = fault.Chaos(spec.FaultSeed, ms.ID)
+		}
 		m, err := tpls.run(cfg)
 		if err != nil {
 			return nil, nil, fmt.Errorf("chaos phase: %w", err)

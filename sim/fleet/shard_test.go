@@ -8,6 +8,7 @@ import (
 
 	"repro/sim"
 	"repro/sim/fleet"
+	"repro/sim/load"
 )
 
 // TestMain makes this test binary usable as its own shard worker: a
@@ -62,6 +63,10 @@ func TestShardedFleetMatchesUnsharded(t *testing.T) {
 		// id order too.
 		{Machines: 5, Scenario: fleet.Heterogeneous, Via: sim.Spawn, Requests: 2, HeapBytes: 4 << 20,
 			KeepPerMachine: true},
+		// A distributed cell per machine must survive the process
+		// boundary too, wire chaos and all.
+		{Machines: 4, Scenario: fleet.Chaos, Load: load.NetLB, Via: sim.ForkExec, Requests: 9, HeapBytes: 4 << 20,
+			FaultSeed: 7},
 	}
 	for _, spec := range specs {
 		spec := spec

@@ -65,6 +65,16 @@
 // failure-tolerant scenario; experiments.ChaosClaim (E11, `forkbench
 // chaos`) and the fleet chaos scenario build on it.
 //
+// The distributed scenarios (NetLB, KVShard) put several Servers on
+// sim/net's deterministic message fabric inside one cell: an L7
+// balancer fronting a backend pool whose restarted member re-warms
+// under the client retry timeout (E15, `forkbench netclaim`), and a
+// shard-per-machine KV service with client retries. Their Metrics
+// gain packet/byte/drop/timeout/retry counters and a per-flow log —
+// all omitempty, so the network plane is free when disabled — which
+// `forkbench metrics` renders in Prometheus text format (see README
+// "Inter-machine network & metrics").
+//
 // The forkbench CLI fronts this package (`forkbench load`), and
 // internal/experiments uses it to regenerate the §5 server-claim
 // table. The sim/fleet package runs many of these machines at once —

@@ -22,11 +22,18 @@ const (
 	ForkStorm  Scenario = "forkstorm"
 	SMPServer  Scenario = "smpserver"
 	BuildFarm  Scenario = "buildfarm"
+
+	// Distributed scenarios: multi-machine cells over the sim/net
+	// fabric (see net.go). NetLB is a load balancer fronting a pool
+	// of fork-/spawn-backed servers; KVShard is a shard-per-machine
+	// KV service with client retries.
+	NetLB   Scenario = "netlb"
+	KVShard Scenario = "kvshard"
 )
 
 // Scenarios lists every workload, in a fixed order.
 func Scenarios() []Scenario {
-	return []Scenario{Prefork, Pipeline, Checkpoint, ForkStorm, SMPServer, BuildFarm}
+	return []Scenario{Prefork, Pipeline, Checkpoint, ForkStorm, SMPServer, BuildFarm, NetLB, KVShard}
 }
 
 // ParseScenario maps a CLI name to its Scenario.
@@ -36,7 +43,7 @@ func ParseScenario(name string) (Scenario, error) {
 			return s, nil
 		}
 	}
-	return "", fmt.Errorf("load: unknown scenario %q (prefork|pipeline|checkpoint|forkstorm|smpserver|buildfarm)", name)
+	return "", fmt.Errorf("load: unknown scenario %q (prefork|pipeline|checkpoint|forkstorm|smpserver|buildfarm|netlb|kvshard)", name)
 }
 
 // Config parameterizes one run. The zero value of every field selects
@@ -90,6 +97,11 @@ type Config struct {
 	// HugePages backs the heap with 2 MiB mappings.
 	HugePages bool
 
+	// Nodes is the distributed scenarios' machine count: backends
+	// behind the NetLB balancer (default 2) or KVShard shards
+	// (default 3). The single-machine scenarios ignore it.
+	Nodes int
+
 	// RequestWorkMiB gives every request served by a Server a private
 	// working set: the worker allocates and write-touches this many
 	// MiB (the hog program) before exiting, so a request costs CPU
@@ -138,8 +150,18 @@ func (cfg Config) withDefaults() Config {
 			cfg.Requests = 8
 		case BuildFarm:
 			cfg.Requests = 24 * cfg.CPUs
+		case NetLB, KVShard:
+			cfg.Requests = 64
 		default:
 			cfg.Requests = 256
+		}
+	}
+	if cfg.Nodes == 0 {
+		switch cfg.Scenario {
+		case NetLB:
+			cfg.Nodes = 2
+		case KVShard:
+			cfg.Nodes = 3
 		}
 	}
 	if cfg.Workers == 0 {
@@ -221,6 +243,40 @@ type Metrics struct {
 	// service capacity left over after creation/snapshot taxes (set
 	// by the SMPServer scenario; 0 elsewhere).
 	ServerCPUNanos uint64 `json:"server_cpu_ns,omitempty"`
+
+	// Wire counters, set by the distributed scenarios (netlb,
+	// kvshard) and zero — and absent from the JSON — everywhere
+	// else, so single-machine reports are byte-identical to runs of
+	// a binary without networking. Packets/bytes are fabric totals
+	// across every node; NetDrops counts frames the fault schedule
+	// ate (send-side plus delivery-side); NetTimeouts is client
+	// attempts that outlived their deadline and NetRetries the ones
+	// re-sent (a timeout past the attempt budget fails the request
+	// into FailedRequests instead).
+	NetPacketsSent uint64 `json:"net_packets_sent,omitempty"`
+	NetPacketsRecv uint64 `json:"net_packets_recv,omitempty"`
+	NetBytesSent   uint64 `json:"net_bytes_sent,omitempty"`
+	NetBytesRecv   uint64 `json:"net_bytes_recv,omitempty"`
+	NetDrops       uint64 `json:"net_drops,omitempty"`
+	NetTimeouts    uint64 `json:"net_timeouts,omitempty"`
+	NetRetries     uint64 `json:"net_retries,omitempty"`
+
+	// NetFlows is the fabric's flow log — per directed (src, dst,
+	// label) flow — in (src, dst, label) order. The metrics plane
+	// (`forkbench metrics`) renders each as a labelled counter.
+	NetFlows []NetFlow `json:"net_flows,omitempty"`
+}
+
+// NetFlow is one directed flow's cumulative counters. Addresses are
+// cell-local: 0 the client, then the balancer and backends (NetLB) or
+// the shards (KVShard).
+type NetFlow struct {
+	Src     int    `json:"src"`
+	Dst     int    `json:"dst"`
+	Flow    string `json:"flow"`
+	Packets uint64 `json:"packets"`
+	Bytes   uint64 `json:"bytes"`
+	Drops   uint64 `json:"drops,omitempty"`
 }
 
 // Render formats the metrics as an aligned block for the CLI.
@@ -243,6 +299,13 @@ func (m *Metrics) Render() string {
 	row("ctx switches", fmt.Sprint(m.ContextSwitches))
 	row("syscalls", fmt.Sprint(m.Syscalls))
 	row("instructions", fmt.Sprint(m.Instructions))
+	if m.NetPacketsSent > 0 {
+		row("net packets", fmt.Sprintf("%d sent / %d recv (%d dropped)",
+			m.NetPacketsSent, m.NetPacketsRecv, m.NetDrops))
+		row("net bytes", fmt.Sprintf("%s sent / %s recv",
+			HumanBytes(m.NetBytesSent), HumanBytes(m.NetBytesRecv)))
+		row("net timeouts", fmt.Sprintf("%d (%d retried)", m.NetTimeouts, m.NetRetries))
+	}
 	if len(m.CPUUtilization) > 0 {
 		var u []string
 		for _, f := range m.CPUUtilization {
@@ -341,6 +404,10 @@ func DefaultWindow(s Scenario, cpus int) int {
 		return cpus
 	case BuildFarm:
 		return 2 * cpus
+	case NetLB, KVShard:
+		// The distributed client's in-flight window is a property of
+		// the cell, not of any one machine's CPU count.
+		return 4
 	}
 	return 0
 }
@@ -393,8 +460,11 @@ func (p *Prepared) System() *sim.System { return p.sys }
 // boot and heap-dirtying cost is excluded from the measured loop.
 func Run(cfg Config) (*Metrics, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Scenario.Distributed() {
+		return runNetCell(cfg, nil)
+	}
 	if cfg.Faults != nil && cfg.Scenario != Prefork {
-		return nil, fmt.Errorf("load: scenario %s does not support fault injection (only prefork is failure-tolerant)", cfg.Scenario)
+		return nil, fmt.Errorf("load: scenario %s does not support fault injection (only prefork and the distributed scenarios are failure-tolerant)", cfg.Scenario)
 	}
 	sys, err := sim.NewSystem(
 		sim.WithRAM(cfg.RAMBytes),

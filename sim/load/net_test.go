@@ -1,0 +1,140 @@
+package load
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/sim"
+	"repro/sim/fault"
+)
+
+// netJSON renders metrics as the byte string the determinism
+// assertions compare.
+func netJSON(t *testing.T, m *Metrics) string {
+	t.Helper()
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestNetLBRestartStorm is E15's mechanism at unit scale: the mid-run
+// backend restart re-pays the pool warm-up, which under fork exceeds
+// the client timeout (retry storm) and under spawn does not.
+func TestNetLBRestartStorm(t *testing.T) {
+	run := func(via sim.Strategy) *Metrics {
+		m, err := Run(Config{Scenario: NetLB, Via: via})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	fork, spawn := run(sim.ForkExec), run(sim.Spawn)
+	if fork.NetTimeouts == 0 {
+		t.Error("fork backend restart caused no timeouts; the re-warm window is invisible")
+	}
+	if spawn.NetTimeouts != 0 {
+		t.Errorf("spawn backend restart caused %d timeouts; re-warm should fit the deadline", spawn.NetTimeouts)
+	}
+	if fork.NetRetries <= spawn.NetRetries {
+		t.Errorf("fork retries = %d, spawn = %d; want a fork retry storm", fork.NetRetries, spawn.NetRetries)
+	}
+	// Every request resolves exactly once, success or failure.
+	for _, m := range []*Metrics{fork, spawn} {
+		if m.Requests+m.FailedRequests != 64 {
+			t.Errorf("%s: %d served + %d failed != 64 requests", m.Strategy, m.Requests, m.FailedRequests)
+		}
+	}
+}
+
+// TestKVShardChaosRetries: wire-level chaos turns into retries (and
+// at 4% drop rate, recoveries), with packet conservation intact.
+func TestKVShardChaosRetries(t *testing.T) {
+	m, err := Run(Config{Scenario: KVShard, Faults: fault.NetChaos(7, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NetDrops == 0 {
+		t.Error("chaos schedule dropped nothing")
+	}
+	if m.NetRetries == 0 {
+		t.Error("drops caused no retries")
+	}
+	if m.Requests+m.FailedRequests != 64 {
+		t.Errorf("%d served + %d failed != 64 requests", m.Requests, m.FailedRequests)
+	}
+	if m.NetPacketsRecv > m.NetPacketsSent {
+		t.Errorf("delivered %d > sent %d", m.NetPacketsRecv, m.NetPacketsSent)
+	}
+	if m.NetPacketsSent-m.NetPacketsRecv > m.NetDrops {
+		t.Errorf("%d packets vanished beyond the %d counted drops",
+			m.NetPacketsSent-m.NetPacketsRecv, m.NetDrops)
+	}
+}
+
+// TestNetSplitFailsRequests: a partition longer than the retry budget
+// fails the requests routed into it — and heals afterwards.
+func TestNetSplitFailsRequests(t *testing.T) {
+	// Isolate shard 1 for the whole run: every get hashed to it burns
+	// all attempts and fails; the other shards are untouched.
+	m, err := Run(Config{Scenario: KVShard, Nodes: 2, Faults: fault.NetSplit{
+		Isolated: []int{2}, From: 0, Until: 1 << 62,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FailedRequests != 32 {
+		t.Errorf("failed = %d, want 32 (every request hashed to the isolated shard)", m.FailedRequests)
+	}
+	if m.Requests != 32 {
+		t.Errorf("served = %d, want 32", m.Requests)
+	}
+	wantTimeouts := uint64(32 * netMaxAttempts)
+	if m.NetTimeouts != wantTimeouts {
+		t.Errorf("timeouts = %d, want %d (full attempt budget per isolated request)", m.NetTimeouts, wantTimeouts)
+	}
+}
+
+// TestNetCellDeterminism: the same Config replays byte-identical
+// Metrics, chaos included, and the template-backed path (what the
+// fleet runs) matches the cold path bit for bit.
+func TestNetCellDeterminism(t *testing.T) {
+	cfgs := []Config{
+		{Scenario: NetLB, Via: sim.ForkExec},
+		{Scenario: NetLB, Via: sim.Spawn, Nodes: 3, Requests: 48},
+		{Scenario: KVShard, Faults: fault.NetChaos(11, 4)},
+	}
+	for _, cfg := range cfgs {
+		m1, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := netJSON(t, m1), netJSON(t, m2)
+		if a != b {
+			t.Errorf("%s/%v replay diverged:\n%s\n%s", cfg.Scenario, cfg.Via, a, b)
+		}
+		tm, err := NewTemplates().Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := netJSON(t, tm); c != a {
+			t.Errorf("%s/%v template path diverged from cold:\n%s\n%s", cfg.Scenario, cfg.Via, c, a)
+		}
+	}
+}
+
+// TestNetFaultGuard: single-machine scenarios still reject fault
+// schedules (other than prefork); distributed ones accept them.
+func TestNetFaultGuard(t *testing.T) {
+	if _, err := Run(Config{Scenario: Pipeline, Faults: fault.NetChaos(1, 0)}); err == nil {
+		t.Error("pipeline accepted a fault schedule")
+	}
+	if _, err := Run(Config{Scenario: NetLB, Requests: 4, Faults: fault.NetChaos(1, 0)}); err != nil {
+		t.Errorf("netlb rejected a fault schedule: %v", err)
+	}
+}

@@ -121,10 +121,16 @@ func (t *Template) Run(cfg Config) (*Metrics, error) {
 type Templates struct {
 	mu sync.Mutex
 	m  map[Shape]*Template
+
+	// servers backs the distributed scenarios: their cells stamp
+	// backend Servers from here instead of cold-booting each one.
+	servers *ServerTemplates
 }
 
 // NewTemplates returns an empty cache.
-func NewTemplates() *Templates { return &Templates{m: map[Shape]*Template{}} }
+func NewTemplates() *Templates {
+	return &Templates{m: map[Shape]*Template{}, servers: NewServerTemplates()}
+}
 
 // Get returns the cached template for cfg's Shape, warming one on the
 // first request.
@@ -149,6 +155,12 @@ func (tc *Templates) Get(cfg Config) (*Template, error) {
 func (tc *Templates) Run(cfg Config) (*Metrics, error) {
 	if tc == nil {
 		return Run(cfg)
+	}
+	if cfg.Scenario.Distributed() {
+		// A distributed cell is its own topology of Server machines;
+		// it stamps them from the server cache (byte-identical to the
+		// cold path) rather than from a scenario template.
+		return runNetCell(cfg, tc.servers)
 	}
 	t, err := tc.Get(cfg)
 	if err != nil {

@@ -1,0 +1,135 @@
+// Package metrics is the retina-style metrics plane: a tiny,
+// dependency-free registry of counters and gauges rendered in the
+// Prometheus text exposition format. Unlike a production client it is
+// built for determinism first — Render sorts metric families by name
+// and samples by label signature, so the same simulated run produces
+// the same bytes, which is what lets `forkbench metrics` output be
+// frozen as CI goldens.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind is a metric family's type, rendered in the # TYPE line.
+type Kind int
+
+// Metric kinds.
+const (
+	Counter Kind = iota
+	Gauge
+)
+
+func (k Kind) String() string {
+	if k == Gauge {
+		return "gauge"
+	}
+	return "counter"
+}
+
+// Vec is one metric family: a name, help text, a kind, and one sample
+// per distinct label signature.
+type Vec struct {
+	name, help string
+	kind       Kind
+	samples    map[string]float64
+}
+
+// Registry holds metric families and renders them deterministically.
+type Registry struct {
+	vecs map[string]*Vec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{vecs: map[string]*Vec{}} }
+
+func (r *Registry) vec(kind Kind, name, help string) *Vec {
+	if v, ok := r.vecs[name]; ok {
+		if v.kind != kind {
+			panic(fmt.Sprintf("metrics: %s re-registered as %v (was %v)", name, kind, v.kind))
+		}
+		return v
+	}
+	v := &Vec{name: name, help: help, kind: kind, samples: map[string]float64{}}
+	r.vecs[name] = v
+	return v
+}
+
+// Counter registers (or returns) the counter family name.
+func (r *Registry) Counter(name, help string) *Vec { return r.vec(Counter, name, help) }
+
+// Gauge registers (or returns) the gauge family name.
+func (r *Registry) Gauge(name, help string) *Vec { return r.vec(Gauge, name, help) }
+
+// labelSig renders a label set as its exposition signature:
+// {k1="v1",k2="v2"} in the order given ("" with no labels). kv
+// alternates name, value; an odd count is a programming error.
+func labelSig(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("metrics: odd label list %q", kv))
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escape(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escape applies the exposition format's label-value escaping.
+func escape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Add adds delta to the sample with the given labels (name, value
+// pairs), creating it at zero first.
+func (v *Vec) Add(delta float64, kv ...string) {
+	v.samples[labelSig(kv)] += delta
+}
+
+// Set sets the sample with the given labels.
+func (v *Vec) Set(value float64, kv ...string) {
+	v.samples[labelSig(kv)] = value
+}
+
+// Render produces the registry in Prometheus text exposition format:
+// families sorted by name, each with # HELP and # TYPE lines, samples
+// sorted by label signature. Byte-deterministic for identical
+// contents.
+func (r *Registry) Render() string {
+	names := make([]string, 0, len(r.vecs))
+	for n := range r.vecs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		v := r.vecs[n]
+		fmt.Fprintf(&b, "# HELP %s %s\n", v.name, v.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", v.name, v.kind)
+		sigs := make([]string, 0, len(v.samples))
+		for s := range v.samples {
+			sigs = append(sigs, s)
+		}
+		sort.Strings(sigs)
+		for _, s := range sigs {
+			fmt.Fprintf(&b, "%s%s %s\n", v.name, s, strconv.FormatFloat(v.samples[s], 'g', -1, 64))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenderFormatAndOrder pins the exposition format: HELP/TYPE
+// lines, families sorted by name, samples sorted by label signature,
+// integral floats rendered without a decimal point.
+func TestRenderFormatAndOrder(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("zeta_util", "utilization")
+	g.Set(0.25, "cpu", "0")
+	c := r.Counter("alpha_total", "events")
+	c.Add(1, "kind", "b")
+	c.Add(2, "kind", "a")
+	c.Add(3, "kind", "b")
+	r.Counter("mid_total", "no labels").Add(7)
+
+	want := strings.Join([]string{
+		"# HELP alpha_total events",
+		"# TYPE alpha_total counter",
+		`alpha_total{kind="a"} 2`,
+		`alpha_total{kind="b"} 4`,
+		"# HELP mid_total no labels",
+		"# TYPE mid_total counter",
+		"mid_total 7",
+		"# HELP zeta_util utilization",
+		"# TYPE zeta_util gauge",
+		`zeta_util{cpu="0"} 0.25`,
+		"",
+	}, "\n")
+	if got := r.Render(); got != want {
+		t.Errorf("render:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestLabelEscaping: backslashes, quotes, and newlines in label
+// values survive round-tripping through the format.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "h").Add(1, "p", `a\b"c`+"\n")
+	if got := r.Render(); !strings.Contains(got, `x_total{p="a\\b\"c\n"} 1`) {
+		t.Errorf("escaping broken:\n%s", got)
+	}
+}
+
+// TestIdempotentRegistration: re-registering a family returns the
+// same Vec; a kind clash panics.
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "h")
+	if b := r.Counter("x_total", "h"); a != b {
+		t.Error("re-registration created a new Vec")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind clash did not panic")
+		}
+	}()
+	r.Gauge("x_total", "h")
+}
+
+// TestRenderDeterminism: map-backed storage must not leak host map
+// ordering into the bytes.
+func TestRenderDeterminism(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		v := r.Counter("m_total", "h")
+		for i := 0; i < 50; i++ {
+			v.Add(float64(i), "i", string(rune('a'+i%26)), "j", string(rune('A'+i%13)))
+		}
+		return r.Render()
+	}
+	first := build()
+	for i := 0; i < 10; i++ {
+		if again := build(); again != first {
+			t.Fatalf("render %d diverged", i)
+		}
+	}
+}
