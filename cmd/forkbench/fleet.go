@@ -21,7 +21,7 @@ import (
 func runFleet(args []string) error {
 	fs := flag.NewFlagSet("forkbench fleet", flag.ExitOnError)
 	machines := fs.Int("machines", 4, "fleet size")
-	scenario := fs.String("scenario", "rolling", "uniform|rolling|hetero|surge|chaos")
+	scenario := fs.String("scenario", "rolling", "uniform|rolling|rebalance|hetero|surge|chaos")
 	loadName := fs.String("load", "prefork", "per-machine workload (prefork|pipeline|checkpoint|forkstorm|smpserver|buildfarm|netlb|kvshard)")
 	via := fs.String("via", "fork", "spawn|fork|vfork|builder|emufork|eager")
 	cpus := fs.Int("cpus", 0, "CPUs per machine (0 = 2; hetero cycles 1/2/4/8)")

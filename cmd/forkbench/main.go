@@ -16,7 +16,7 @@
 //
 //	experiments: fig1 table1 cowtax hugepages overcommit compose scale
 //	             ablations strategies server cpusweep fleetclaim chaos
-//	             scaleout clonebench netclaim all
+//	             scaleout clonebench netclaim migrate all
 //
 //	-max SIZE     largest parent for sweeps (default 1GiB for fig1)
 //	-reps N       repetitions per fig1 point (default 5)
@@ -47,6 +47,11 @@
 // replacement's worker-pool warm-up is Θ(heap) under fork and flat
 // under spawn, and the client retry timeout sits between the two, so
 // fork turns the restart into a retry storm the spawn pool absorbs.
+// "migrate" is E16, live migration: checkpoint a running worker,
+// pre-copy its pages over sim/net while it keeps dirtying them, then
+// stop-and-copy the residue — downtime grows with the dirty heap for
+// the fork family, stays flat for spawn, and a mid-vfork borrower is
+// refused cleanly because it has no coherent address space to ship.
 //
 // The trace subcommand runs one command with the structured event
 // trace enabled and renders it (sim.WithTrace): syscall enter/exit
@@ -62,7 +67,7 @@
 // The load subcommand drives the sim/load workload scenarios:
 //
 //	forkbench load [-scenario prefork|pipeline|checkpoint|forkstorm|
-//	                          smpserver|buildfarm|netlb|kvshard|all]
+//	                          smpserver|buildfarm|netlb|kvshard|migrate|all]
 //	               [-via spawn|fork|vfork|builder|emufork|eager]
 //	               [-n REQUESTS] [-workers N] [-nodes N] [-heap SIZE]
 //	               [-ram SIZE] [-cpus N] [-huge] [-json FILE]
@@ -81,7 +86,7 @@
 // The fleet subcommand runs many machines at once (sim/fleet):
 //
 //	forkbench fleet [-machines N]
-//	                [-scenario uniform|rolling|hetero|surge|chaos]
+//	                [-scenario uniform|rolling|rebalance|hetero|surge|chaos]
 //	                [-load SCENARIO] [-via STRATEGY] [-cpus N] [-n REQUESTS]
 //	                [-workers N] [-surge K] [-seed N] [-heap SIZE]
 //	                [-parallel N] [-shards N] [-permachine] [-json FILE]
@@ -193,7 +198,7 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per fig1 point")
 	eager := flag.Bool("eager", false, "include eager-copy fork line in fig1")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|strategies|server|cpusweep|fleetclaim|chaos|scaleout|clonebench|netclaim|all\n")
+		fmt.Fprintf(os.Stderr, "usage: forkbench [flags] fig1|table1|cowtax|hugepages|overcommit|compose|scale|ablations|strategies|server|cpusweep|fleetclaim|chaos|scaleout|clonebench|netclaim|migrate|all\n")
 		fmt.Fprintf(os.Stderr, "       forkbench load [load flags]        (see forkbench load -h)\n")
 		fmt.Fprintf(os.Stderr, "       forkbench fleet [fleet flags]      (see forkbench fleet -h)\n")
 		fmt.Fprintf(os.Stderr, "       forkbench cluster [cluster flags]  (see forkbench cluster -h)\n")
@@ -416,6 +421,24 @@ func main() {
 		}
 		fmt.Println(res.Render())
 	}
+	if runAll || what == "migrate" {
+		ran = true
+		mmax := maxBytes
+		if mmax > 64*experiments.MiB {
+			mmax = 64 * experiments.MiB
+		}
+		var ladder []uint64
+		for _, h := range []uint64{4 * experiments.MiB, 16 * experiments.MiB, 64 * experiments.MiB} {
+			if h <= mmax {
+				ladder = append(ladder, h)
+			}
+		}
+		res, err := experiments.MigrateClaim(experiments.MigrateConfig{HeapSizes: ladder})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
 	if runAll || what == "clonebench" {
 		ran = true
 		cmax := maxBytes
@@ -498,7 +521,7 @@ func strategies(parentBytes uint64) error {
 // run's metrics, and optionally records them all as a JSON array.
 func runLoad(args []string) error {
 	fs := flag.NewFlagSet("forkbench load", flag.ExitOnError)
-	scenario := fs.String("scenario", "prefork", "prefork|pipeline|checkpoint|forkstorm|smpserver|buildfarm|netlb|kvshard|all")
+	scenario := fs.String("scenario", "prefork", "prefork|pipeline|checkpoint|forkstorm|smpserver|buildfarm|netlb|kvshard|migrate|all")
 	via := fs.String("via", "spawn", "spawn|fork|vfork|builder|emufork|eager")
 	n := fs.Int("n", 0, "requests per scenario (0 = scenario default)")
 	workers := fs.Int("workers", 0, "pipeline depth / storm burst size (0 = default)")

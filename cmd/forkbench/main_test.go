@@ -200,12 +200,13 @@ func TestSweepConfigsCoverEveryScenario(t *testing.T) {
 		}
 	}
 	for _, s := range load.Scenarios() {
-		// The distributed cells stay out of the baseline matrix on
-		// purpose: the network plane must be free when disabled, so
-		// BENCH_PR9.json is byte-identical to BENCH_PR7.json. Their
-		// regression coverage is the metrics goldens and the net
-		// determinism gate, not the bench trajectory.
-		if s.Distributed() {
+		// The distributed cells and the migration cell stay out of the
+		// baseline matrix on purpose: the network and migration planes
+		// must be free when disabled, so BENCH_PR10.json is
+		// byte-identical back through BENCH_PR7.json. Their regression
+		// coverage is the metrics goldens and the net/migrate
+		// determinism gates, not the bench trajectory.
+		if s.Distributed() || s == load.Migrate {
 			continue
 		}
 		if seen[s] == 0 {

@@ -514,3 +514,63 @@ func TestNetClaimShape(t *testing.T) {
 		t.Error("two identical NetClaim runs rendered differently")
 	}
 }
+
+func TestMigrateClaimShape(t *testing.T) {
+	cfg := MigrateConfig{HeapSizes: []uint64{4 * MiB, 16 * MiB}, Requests: 1}
+	res, err := MigrateClaim(cfg)
+	if err != nil {
+		t.Fatalf("MigrateClaim: %v", err)
+	}
+	if len(res.Points) != 8 {
+		t.Fatalf("%d points, want 4 strategies x 2 heaps", len(res.Points))
+	}
+	byStrategy := map[string][]MigratePoint{}
+	for _, p := range res.Points {
+		byStrategy[p.Strategy] = append(byStrategy[p.Strategy], p)
+	}
+	// The fork family's downtime and page traffic grow with the heap.
+	for _, s := range []string{"fork+exec", "fork(eager)+exec"} {
+		pts := byStrategy[s]
+		small, big := pts[0].M, pts[1].M
+		if small.Requests != 1 || big.Requests != 1 || small.MigrateRefused != 0 {
+			t.Fatalf("%s: migration did not complete: %+v", s, small)
+		}
+		if big.MigrateDowntimeNanos <= small.MigrateDowntimeNanos {
+			t.Errorf("%s downtime flat across heaps: %d vs %d ns",
+				s, small.MigrateDowntimeNanos, big.MigrateDowntimeNanos)
+		}
+		if big.MigratePagesSent <= small.MigratePagesSent {
+			t.Errorf("%s pages flat across heaps: %d vs %d",
+				s, small.MigratePagesSent, big.MigratePagesSent)
+		}
+	}
+	// Spawn moves for the same price at any heap size.
+	spawn := byStrategy["posix_spawn"]
+	if spawn[0].M.MigrateDowntimeNanos != spawn[1].M.MigrateDowntimeNanos {
+		t.Errorf("spawn downtime varies with heap: %d vs %d ns",
+			spawn[0].M.MigrateDowntimeNanos, spawn[1].M.MigrateDowntimeNanos)
+	}
+	if spawn[0].M.MigratePagesSent != spawn[1].M.MigratePagesSent {
+		t.Errorf("spawn pages vary with heap: %d vs %d",
+			spawn[0].M.MigratePagesSent, spawn[1].M.MigratePagesSent)
+	}
+	// The vfork borrower is refused cleanly at every size.
+	for _, p := range byStrategy["vfork+exec"] {
+		if p.M.Requests != 0 || p.M.MigrateRefused != 1 {
+			t.Errorf("vfork at %s: migrated %d, refused %d; want 0/1",
+				HumanBytes(p.HeapBytes), p.M.Requests, p.M.MigrateRefused)
+		}
+		if p.M.MigrateDowntimeNanos != 0 || p.M.NetPacketsSent != 0 {
+			t.Errorf("vfork refusal still cost: %dns, %d pkts",
+				p.M.MigrateDowntimeNanos, p.M.NetPacketsSent)
+		}
+	}
+	// Deterministic: the whole table is a pure function of the config.
+	again, err := MigrateClaim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Render() != again.Render() {
+		t.Error("two identical MigrateClaim runs rendered differently")
+	}
+}

@@ -21,11 +21,23 @@ import (
 // stored: the simulator models the cost of moving Bytes, not their
 // content. Tag is the application-level correlation word (request id,
 // shard key, ...) that net_recv hands back to the program.
+//
+// Wire format: net_recv returns a single 64-bit word packing the
+// sender's address into the high half and the tag into the low half —
+// src<<32 | tag&0xffffffff. A tag therefore has exactly 32
+// significant bits on the wire; net_send rejects anything wider with
+// EINVAL up front (see MaxNetTag) instead of silently truncating it
+// into an aliased flow on the receive side.
 type NetFrame struct {
 	Src, Dst int
 	Tag      uint64
 	Bytes    uint64
 }
+
+// MaxNetTag is the largest tag net_send accepts: the receive-side
+// return word src<<32|tag gives the tag 32 bits, so anything above
+// this would be truncated and could alias another flow.
+const MaxNetTag = uint64(1)<<32 - 1
 
 // nic is the per-kernel NIC state. addr is the machine's fabric
 // address (set by the harness; -1 until attached).
@@ -96,12 +108,18 @@ func (k *Kernel) AdvanceTo(deadline cost.Ticks) {
 	}
 }
 
-// sysNetSend is net_send(dst, tag, len): price the frame on the
-// sending CPU (stack traversal + per-byte serialization), consult the
+// sysNetSend is net_send(dst, tag, len): validate the tag against the
+// 32-bit wire format (see NetFrame), price the frame on the sending
+// CPU (stack traversal + per-byte serialization), consult the
 // source-NIC fault point, and enqueue it into the outbox for the
 // fabric to pick up. A dropped frame costs the CPU the same work and
-// fails with EIO — the program saw its uplink sever.
+// fails with EIO — the program saw its uplink sever. An over-wide tag
+// fails with EINVAL before any work is priced; the syscall dispatcher
+// traces the rejection as a `net_send = EINVAL` exit event.
 func (k *Kernel) sysNetSend(t *Thread, dst, tag, nbytes uint64) (uint64, error) {
+	if tag > MaxNetTag {
+		return 0, errno.EINVAL
+	}
 	k.meter.Charge(k.meter.Model.NetStack + cost.Ticks(nbytes)*k.meter.Model.NetPerByte)
 	f := NetFrame{Src: k.nic.addr, Dst: int(dst), Tag: tag, Bytes: nbytes}
 	if e := k.faults.Fail(fault.PointNetSend, fault.NetMag(f.Src, f.Dst)); e != errno.OK {

@@ -1,0 +1,243 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/errno"
+)
+
+// Regression tests for the two PR9 NIC bugs the migration work
+// exposed: CloneInto dropping the nic field entirely (fresh clones got
+// addr=0 instead of the detached sentinel, recycled scratch shells
+// resurrected retired NIC state, and a cloned thread blocked in
+// net_recv waited on an orphaned queue NetInject never woke), and
+// sysNetSend accepting tags wider than the 32-bit wire format that
+// sysNetRecv's src<<32|tag return word silently truncates.
+
+// bootTracedEcho is bootNetEcho with the structured trace on, so
+// clone-equivalence checks can byte-compare renders.
+func bootTracedEcho(t *testing.T, addr int) *Kernel {
+	t.Helper()
+	k, _ := boot(t, Options{Trace: true})
+	k.NetAttach(addr)
+	if _, err := k.BootInit("/bin/netecho", []string{"/bin/netecho"}); err != nil {
+		t.Fatalf("BootInit: %v", err)
+	}
+	if err := k.Run(RunLimits{MaxInstructions: 1_000_000}); err != nil {
+		t.Fatalf("run to first recv: %v", err)
+	}
+	if n := k.NetPendingRecv(); n != 1 {
+		t.Fatalf("NetPendingRecv = %d, want 1", n)
+	}
+	return k
+}
+
+// driveEcho delivers one frame and the shutdown frame, runs the
+// machine to completion, and returns everything observable: the
+// echoed outbox, the rendered trace, final NIC counters, and the
+// virtual clock.
+func driveEcho(t *testing.T, k *Kernel, addr int) (out []NetFrame, trace string, elapsed uint64) {
+	t.Helper()
+	k.NetInject(NetFrame{Src: 3, Dst: addr, Tag: 42, Bytes: 128})
+	k.NetInject(NetFrame{Src: 3, Dst: addr, Tag: 0, Bytes: 0})
+	if err := k.Run(RunLimits{MaxInstructions: 1_000_000}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n := k.LiveProcessCount(); n != 0 {
+		t.Fatalf("%d live processes after shutdown frame, want 0", n)
+	}
+	return k.NetDrainOutbox(), k.Tracer().Render(), uint64(k.Elapsed())
+}
+
+// TestCloneDetachedNIC: a machine never attached to a fabric clones
+// with the detached sentinel -1, not a freshly zeroed addr 0 (which
+// is a valid fabric address and would alias node 0).
+func TestCloneDetachedNIC(t *testing.T) {
+	k, _ := boot(t, Options{})
+	if got := k.NetAddr(); got != -1 {
+		t.Fatalf("source NetAddr = %d, want -1", got)
+	}
+	if got := k.Clone(true).NetAddr(); got != -1 {
+		t.Errorf("clone NetAddr = %d, want detached sentinel -1", got)
+	}
+}
+
+// TestCloneBlockedNetRecv is the orphaned-queue regression: clone a
+// machine whose only thread is blocked in net_recv, then drive clone,
+// source, and a never-cloned machine identically. NetInject on the
+// clone must wake the *cloned* waiter — before the fix it woke a
+// queue nothing polls and the clone deadlocked. All three runs must
+// be byte-identical in trace, outbox, counters, and virtual time.
+func TestCloneBlockedNetRecv(t *testing.T) {
+	const addr = 4
+	cold := bootTracedEcho(t, addr)
+	coldOut, coldTrace, coldElapsed := driveEcho(t, cold, addr)
+	if len(coldOut) != 1 || coldOut[0].Tag != 42 {
+		t.Fatalf("cold outbox = %+v, want one tag-42 echo", coldOut)
+	}
+
+	src := bootTracedEcho(t, addr)
+	clone := src.Clone(true)
+	if got := clone.NetAddr(); got != addr {
+		t.Fatalf("clone NetAddr = %d, want %d", got, addr)
+	}
+	if n := clone.NetPendingRecv(); n != 1 {
+		t.Fatalf("clone NetPendingRecv = %d, want 1 (waiter must ride along)", n)
+	}
+
+	for _, m := range []struct {
+		name string
+		k    *Kernel
+	}{{"clone", clone}, {"post-snapshot source", src}} {
+		out, trace, elapsed := driveEcho(t, m.k, addr)
+		if len(out) != 1 || out[0] != coldOut[0] {
+			t.Errorf("%s outbox = %+v, want %+v", m.name, out, coldOut)
+		}
+		if trace != coldTrace {
+			t.Errorf("%s trace diverged from never-cloned run:\ngot:\n%s\nwant:\n%s", m.name, trace, coldTrace)
+		}
+		if elapsed != coldElapsed {
+			t.Errorf("%s elapsed = %d, want %d", m.name, elapsed, coldElapsed)
+		}
+	}
+}
+
+// TestCloneInFlightInbox: frames sitting in the inbox (and outbox)
+// at snapshot time travel with the clone — and stay with the source.
+func TestCloneInFlightInbox(t *testing.T) {
+	const addr = 6
+	src := bootTracedEcho(t, addr)
+	src.NetInject(NetFrame{Src: 2, Dst: addr, Tag: 7, Bytes: 16})
+	src.NetInject(NetFrame{Src: 2, Dst: addr, Tag: 8, Bytes: 16})
+
+	clone := src.Clone(true)
+	run := func(name string, k *Kernel) []NetFrame {
+		t.Helper()
+		k.NetInject(NetFrame{Src: 2, Dst: addr, Tag: 0, Bytes: 0})
+		if err := k.Run(RunLimits{MaxInstructions: 1_000_000}); err != nil {
+			t.Fatalf("%s run: %v", name, err)
+		}
+		return k.NetDrainOutbox()
+	}
+	srcOut := run("source", src)
+	cloneOut := run("clone", clone)
+	if len(cloneOut) != 2 || cloneOut[0].Tag != 7 || cloneOut[1].Tag != 8 {
+		t.Errorf("clone echoed %+v, want tags 7,8 (in-flight inbox lost)", cloneOut)
+	}
+	if len(srcOut) != len(cloneOut) {
+		t.Errorf("source echoed %d frames, clone %d — inbox not independent", len(srcOut), len(cloneOut))
+	}
+	fsS, frS, bsS, brS := src.NetStats()
+	fsC, frC, bsC, brC := clone.NetStats()
+	if fsS != fsC || frS != frC || bsS != bsC || brS != brC {
+		t.Errorf("NetStats diverged: source %d/%d/%d/%d clone %d/%d/%d/%d",
+			fsS, frS, bsS, brS, fsC, frC, bsC, brC)
+	}
+}
+
+// TestCloneIntoScratchNIC is the recycled-shell regression: stamping
+// into a retired kernel must not resurrect the retired machine's NIC
+// address, counters, or queued frames.
+func TestCloneIntoScratchNIC(t *testing.T) {
+	const addr = 4
+	scratch := bootTracedEcho(t, 9)
+	scratch.NetInject(NetFrame{Src: 1, Dst: 9, Tag: 5, Bytes: 4096})
+	scratch.NetInject(NetFrame{Src: 1, Dst: 9, Tag: 0, Bytes: 0})
+	if err := scratch.Run(RunLimits{MaxInstructions: 1_000_000}); err != nil {
+		t.Fatalf("retire scratch: %v", err)
+	}
+	// The retired machine leaves a drained-but-dirty NIC behind:
+	// nonzero counters, an un-drained outbox, address 9.
+	if fs, _, _, _ := scratch.NetStats(); fs == 0 {
+		t.Fatal("scratch NIC has no state to resurrect; test is vacuous")
+	}
+
+	src := bootTracedEcho(t, addr)
+	clone := src.CloneInto(true, scratch)
+	if got := clone.NetAddr(); got != addr {
+		t.Errorf("recycled clone NetAddr = %d, want %d (scratch addr leaked)", got, addr)
+	}
+	fsS, frS, bsS, brS := src.NetStats()
+	fsC, frC, bsC, brC := clone.NetStats()
+	if fsS != fsC || frS != frC || bsS != bsC || brS != brC {
+		t.Errorf("recycled clone NetStats = %d/%d/%d/%d, want source's %d/%d/%d/%d",
+			fsC, frC, bsC, brC, fsS, frS, bsS, brS)
+	}
+	if out := clone.NetDrainOutbox(); len(out) != 0 {
+		t.Errorf("recycled clone outbox = %+v, want empty (scratch frames resurrected)", out)
+	}
+
+	cold := bootTracedEcho(t, addr)
+	_, coldTrace, coldElapsed := driveEcho(t, cold, addr)
+	_, cloneTrace, cloneElapsed := driveEcho(t, clone, addr)
+	if cloneTrace != coldTrace {
+		t.Errorf("recycled clone trace diverged from never-cloned run:\ngot:\n%s\nwant:\n%s", cloneTrace, coldTrace)
+	}
+	if cloneElapsed != coldElapsed {
+		t.Errorf("recycled clone elapsed = %d, want %d", cloneElapsed, coldElapsed)
+	}
+}
+
+// TestNetSendRejectsWideTag: tags above MaxNetTag fail with EINVAL
+// before any work is priced — nothing enters the outbox, no counter
+// moves, and the clock does not advance.
+func TestNetSendRejectsWideTag(t *testing.T) {
+	k := bootNetEcho(t, 5)
+	sender := k.procs[1].threads[0]
+	before := k.Elapsed()
+
+	if _, err := k.sysNetSend(sender, 2, MaxNetTag+1, 8); err != errno.EINVAL {
+		t.Fatalf("net_send(tag=2^32) err = %v, want EINVAL", err)
+	}
+	if out := k.NetDrainOutbox(); len(out) != 0 {
+		t.Errorf("rejected send reached the outbox: %+v", out)
+	}
+	if fs, _, bs, _ := k.NetStats(); fs != 0 || bs != 0 {
+		t.Errorf("rejected send counted: sent %d frames / %d bytes", fs, bs)
+	}
+	if k.Elapsed() != before {
+		t.Errorf("rejected send charged the meter: %d -> %d", before, k.Elapsed())
+	}
+
+	// The boundary value is legal and flows through whole.
+	if _, err := k.sysNetSend(sender, 2, MaxNetTag, 8); err != nil {
+		t.Fatalf("net_send(tag=2^32-1) err = %v, want nil", err)
+	}
+	out := k.NetDrainOutbox()
+	if len(out) != 1 || out[0].Tag != MaxNetTag {
+		t.Fatalf("outbox = %+v, want one frame with tag 2^32-1", out)
+	}
+}
+
+// TestNetSendWideTagTraced drives the rejection through the syscall
+// dispatcher: the program sees -EINVAL in r0 and the structured trace
+// records the failed exit.
+func TestNetSendWideTagTraced(t *testing.T) {
+	k, p, _, err := runAsm(t, Options{Trace: true}, `
+_start:
+    movi r0, 7              ; dst
+    li   r1, 0x100000000    ; one past the 32-bit wire tag
+    movi r2, 8
+    sys SYS_NET_SEND
+    movi r3, -22            ; -EINVAL
+    bne r0, r3, bad
+    movi r0, 0
+    sys SYS_EXIT
+bad:
+    movi r0, 1
+    sys SYS_EXIT
+`)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code := exitCode(t, p); code != 0 {
+		t.Fatalf("exit code %d: program did not see -EINVAL", code)
+	}
+	if out := k.NetDrainOutbox(); len(out) != 0 {
+		t.Errorf("truncation-prone frame reached the outbox: %+v", out)
+	}
+	if trace := k.Tracer().Render(); !strings.Contains(trace, "net_send = EINVAL") {
+		t.Errorf("trace does not record the rejection:\n%s", trace)
+	}
+}

@@ -1,0 +1,151 @@
+package sim_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/sim"
+)
+
+// checkpointEpisode is FuzzCheckpointRestore's body: create a process
+// through a fuzzer-chosen strategy on one machine, checkpoint it
+// unstarted, restore the same image onto one or more fresh machines,
+// and run it everywhere — including on a control machine that never
+// migrated. Whatever the fuzzer invents, the image must be
+// self-contained (each restore runs independently), the migrated runs
+// must match the control byte-for-byte on the console and in exit
+// state, the source machine must never observe the process running,
+// and the whole episode must replay deterministically. With
+// borrow=true it also checkpoints a raw mid-vfork borrower and
+// demands the typed refusal rather than a torn image.
+func checkpointEpisode(via sim.Strategy, dirtyKiB uint64, arg string, restores int, borrow bool) (string, error) {
+	mk := func(buf *bytes.Buffer) (*sim.System, *sim.Process, error) {
+		sys, err := sim.NewSystem(sim.WithRAM(64<<20), sim.WithConsole(buf), sim.WithUserland("echo"))
+		if err != nil {
+			return nil, nil, err
+		}
+		if dirtyKiB > 0 {
+			if err := sys.DirtyHost(dirtyKiB<<10, false); err != nil {
+				return nil, nil, err
+			}
+		}
+		p, err := sys.Command("echo", arg).Via(via).Create()
+		if err != nil {
+			return nil, nil, err
+		}
+		return sys, p, nil
+	}
+
+	var out strings.Builder
+
+	// The unmigrated control: same machine creates and runs.
+	var ctl bytes.Buffer
+	_, pA, err := mk(&ctl)
+	if err != nil {
+		return "", fmt.Errorf("control: %w", err)
+	}
+	if err := pA.Start(); err != nil {
+		return "", err
+	}
+	psA, err := pA.Wait()
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&out, "control out=%q sys=%d\n", ctl.String(), psA.Sys())
+
+	// The source: create, checkpoint, never run.
+	var srcOut bytes.Buffer
+	srcSys, pB, err := mk(&srcOut)
+	if err != nil {
+		return "", fmt.Errorf("source: %w", err)
+	}
+	img, err := pB.Checkpoint()
+	if err != nil {
+		return "", fmt.Errorf("checkpoint %v: %w", via, err)
+	}
+	fmt.Fprintf(&out, "image pages=%d\n", img.PageCount())
+
+	// One image, N independent restores: each must replay the control.
+	for i := 0; i < restores; i++ {
+		var dstOut bytes.Buffer
+		dst, err := sim.NewSystem(sim.WithRAM(64<<20), sim.WithConsole(&dstOut), sim.WithUserland("echo"))
+		if err != nil {
+			return "", err
+		}
+		pC, err := dst.Restore(img)
+		if err != nil {
+			return "", fmt.Errorf("restore %d: %w", i, err)
+		}
+		if err := pC.Start(); err != nil {
+			return "", err
+		}
+		psC, err := pC.Wait()
+		if err != nil {
+			return "", err
+		}
+		if dstOut.String() != ctl.String() {
+			return "", fmt.Errorf("restore %d console %q, control %q", i, dstOut.String(), ctl.String())
+		}
+		if psC.Sys() != psA.Sys() || psC.OOMKilled() != psA.OOMKilled() {
+			return "", fmt.Errorf("restore %d exit state %v, control %v", i, psC, psA)
+		}
+		fmt.Fprintf(&out, "restore%d out=%q\n", i, dstOut.String())
+	}
+	if srcOut.Len() != 0 {
+		return "", fmt.Errorf("source machine ran the process before migration: %q", srcOut.String())
+	}
+
+	// A mid-vfork borrower must refuse with the typed error, not ship
+	// a torn image of its parent's address space.
+	if borrow {
+		k := srcSys.Kernel()
+		child, err := k.ForkWithMode(srcSys.Host(), kernel.ForkVfork)
+		if err != nil {
+			return "", err
+		}
+		_, err = srcSys.ProcessOf(child).Checkpoint()
+		var ce *kernel.CheckpointError
+		if !errors.As(err, &ce) {
+			return "", fmt.Errorf("vfork borrower checkpoint err = %v, want *kernel.CheckpointError", err)
+		}
+		k.DestroyProcess(child)
+		fmt.Fprintf(&out, "refused: %s\n", ce.Reason)
+	}
+	return out.String(), nil
+}
+
+// FuzzCheckpointRestore throws random creation strategies, host dirty
+// sizes, console payloads, and restore fan-outs at checkpoint/restore:
+// the image must be self-contained and reusable, every restored run
+// must be indistinguishable from the unmigrated control, refusals must
+// stay typed, and the episode must replay byte-for-byte — the failing
+// tuple is its own reproducer. Runs in CI fuzz-smoke.
+func FuzzCheckpointRestore(f *testing.F) {
+	f.Add(uint8(0), uint16(256), uint64(1), uint8(1), false)
+	f.Add(uint8(1), uint16(0), uint64(42), uint8(2), true)
+	f.Add(uint8(3), uint16(1024), uint64(7), uint8(1), true)
+	f.Add(uint8(5), uint16(2048), uint64(0xdeadbeef), uint8(2), false)
+	f.Fuzz(func(t *testing.T, viaIdx uint8, dirtyKiB uint16, argSeed uint64, restores uint8, borrow bool) {
+		all := allStrategies()
+		via := all[int(viaIdx)%len(all)]
+		kib := uint64(dirtyKiB) % 2049
+		arg := fmt.Sprintf("m%x", argSeed)
+		n := 1 + int(restores)%2
+		first, err := checkpointEpisode(via, kib, arg, n, borrow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := checkpointEpisode(via, kib, arg, n, borrow)
+		if err != nil {
+			t.Fatalf("replay failed where first run passed: %v", err)
+		}
+		if first != second {
+			t.Fatalf("episode (via=%v dirty=%dKiB arg=%q restores=%d borrow=%v) did not replay deterministically:\nfirst:\n%s\nsecond:\n%s",
+				via, kib, arg, n, borrow, first, second)
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package sim_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/sim"
+	"repro/sim/fault"
+)
+
+// rebasedTrace renders a machine's trace with times rebased to the
+// first event, so two runs that differ only by when they started can
+// be byte-compared.
+func rebasedTrace(events []fault.Event) string {
+	if len(events) == 0 {
+		return ""
+	}
+	base := events[0].Time
+	var b strings.Builder
+	for _, e := range events {
+		e.Time -= base
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestRestoreRoundTripByteIdentical is the migration fidelity
+// contract: create a process, checkpoint it, restore it on a second
+// machine, and run it there. Everything observable after the handoff
+// point — console bytes, exit state, per-CPU times, and the rebased
+// event trace — must be byte-identical to an unmigrated run on a
+// machine that created the process itself.
+func TestRestoreRoundTripByteIdentical(t *testing.T) {
+	for _, g := range goldenStrategies {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			mk := func(buf *bytes.Buffer) (*sim.System, *sim.Process) {
+				sys := newSys(t, sim.WithTrace(), sim.WithConsole(buf), sim.WithUserland("echo"))
+				p, err := sys.Command("echo", "moved", "intact").Via(g.via).Create()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys, p
+			}
+
+			// The unmigrated control: same machine creates and runs.
+			var outA bytes.Buffer
+			sysA, pA := mk(&outA)
+			sysA.Trace().Reset()
+			if err := pA.Start(); err != nil {
+				t.Fatal(err)
+			}
+			psA, err := pA.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The migrated run: checkpoint on B, restore on C.
+			var outB, outC bytes.Buffer
+			_, pB := mk(&outB)
+			img, err := pB.Checkpoint()
+			if err != nil {
+				t.Fatalf("checkpoint: %v", err)
+			}
+			sysC := newSys(t, sim.WithTrace(), sim.WithConsole(&outC), sim.WithUserland("echo"))
+			pC, err := sysC.Restore(img)
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			if pC.Pid() != pA.Pid() {
+				t.Fatalf("restored pid %d, control pid %d — trace compare needs matching pids", pC.Pid(), pA.Pid())
+			}
+			sysC.Trace().Reset()
+			if err := pC.Start(); err != nil {
+				t.Fatal(err)
+			}
+			psC, err := pC.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got, want := outC.String(), outA.String(); got != want {
+				t.Errorf("console bytes diverged: %q vs %q", got, want)
+			}
+			if outB.Len() != 0 {
+				t.Errorf("source machine ran the process before migration: %q", outB.String())
+			}
+			if psC.Sys() != psA.Sys() || psC.OOMKilled() != psA.OOMKilled() {
+				t.Errorf("exit state diverged: %v vs %v", psC, psA)
+			}
+			ctA, ctC := psA.CPUTimes(), psC.CPUTimes()
+			if len(ctA) != len(ctC) {
+				t.Fatalf("cpu count diverged: %d vs %d", len(ctC), len(ctA))
+			}
+			for i := range ctA {
+				if ctA[i] != ctC[i] {
+					t.Errorf("cpu%d time %v vs %v", i, ctC[i], ctA[i])
+				}
+			}
+			gotTrace := rebasedTrace(sysC.Trace().Events())
+			wantTrace := rebasedTrace(sysA.Trace().Events())
+			if gotTrace != wantTrace {
+				t.Errorf("rebased traces diverged:\nmigrated:\n%s\ncontrol:\n%s", gotTrace, wantTrace)
+			}
+		})
+	}
+}
+
+// TestCheckpointRefusalSurfaces: the kernel's typed refusal crosses
+// the sim API intact, so migration drivers can distinguish "cannot
+// move this one" from real failures.
+func TestCheckpointRefusalSurfaces(t *testing.T) {
+	sys := newSys(t, sim.WithUserland("true"))
+	k := sys.Kernel()
+	child, err := k.ForkWithMode(sys.Host(), kernel.ForkVfork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.DestroyProcess(child)
+	// Wrap the raw vfork borrower in the sim handle the way a
+	// migration driver sees it.
+	_, err = sys.ProcessOf(child).Checkpoint()
+	var ce *kernel.CheckpointError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *kernel.CheckpointError", err)
+	}
+	if !strings.Contains(ce.Reason, "borrowed") {
+		t.Errorf("reason = %q, want the vfork borrow named", ce.Reason)
+	}
+}

@@ -36,6 +36,13 @@
 // around the partition until it heals — see README "Inter-machine
 // network & metrics").
 //
+// Draining by killing is not the only move the stack knows: the
+// checkpoint/migration plane (sim.Process.Checkpoint, sim/load's
+// Migrate cell, sim/fleet's Rebalance wave) relocates a running
+// worker for its stop-and-copy downtime instead of a machine's full
+// re-warm tax — the cluster-layer version (migrate a zone out rather
+// than kill and backfill) is ROADMAP item 3.
+//
 // Scale-out machines boot from frozen server templates
 // (load.ServerTemplates over sim.System.Snapshot): the ready-to-serve
 // master is warmed once per shape and host-COW-stamped per node, so

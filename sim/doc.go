@@ -80,6 +80,18 @@
 // measures the host-side win (see README "Template machines & O(1)
 // clone").
 //
+// Processes are movable: Process.Checkpoint serializes one process
+// into a self-contained Image (a priced page-table walk; the process
+// keeps running) and System.Restore rebuilds it on another machine,
+// byte-identical to an unmigrated run. Fork-entangled state — a
+// borrowed vfork space, pipe peers, unreaped children — refuses with
+// a typed *kernel.CheckpointError: how a process was created decides
+// whether it can move. sim/load's Migrate scenario drives iterative
+// pre-copy live migration over the wire and sim/fleet's Rebalance
+// wave migrates workers instead of restarting machines; `forkbench
+// migrate` (E16) measures downtime vs heap per strategy (see README
+// "Checkpoint & live migration").
+//
 // Machines are not islands: sim/net is the deterministic
 // inter-machine message fabric (addressable NICs, latency/bandwidth
 // cost model, delivery merged in (virtual-time, destination, seq)

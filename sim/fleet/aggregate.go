@@ -112,7 +112,7 @@ func (a *aggregator) fold(mm *MachineMetrics) {
 		a.agg.Syscalls += p.Syscalls
 		a.agg.Instructions += p.Instructions
 	}
-	machineNanos += mm.RestartNanos
+	machineNanos += mm.RestartNanos + mm.MigrateNanos
 	a.agg.PTECopies += mm.RestartPTECopies
 	a.agg.TotalVirtualNanos += machineNanos
 	if machineNanos > a.agg.MaxVirtualNanos {
@@ -124,6 +124,12 @@ func (a *aggregator) fold(mm *MachineMetrics) {
 	if mm.RestartNanos > a.agg.MaxRestartNanos {
 		a.agg.MaxRestartNanos = mm.RestartNanos
 	}
+	a.agg.MigrateDowntimeNanos += mm.MigrateNanos
+	if mm.MigrateNanos > a.agg.MaxMigrateNanos {
+		a.agg.MaxMigrateNanos = mm.MigrateNanos
+	}
+	a.agg.MigratePagesSent += mm.MigratePagesSent
+	a.agg.MigrateRefusals += mm.MigrateRefused
 }
 
 // merge folds a shard's partial aggregate in (every field a sum or
@@ -152,6 +158,12 @@ func (a *aggregator) merge(p *shardPartial) error {
 	if b.MaxRestartNanos > a.agg.MaxRestartNanos {
 		a.agg.MaxRestartNanos = b.MaxRestartNanos
 	}
+	a.agg.MigrateDowntimeNanos += b.MigrateDowntimeNanos
+	if b.MaxMigrateNanos > a.agg.MaxMigrateNanos {
+		a.agg.MaxMigrateNanos = b.MaxMigrateNanos
+	}
+	a.agg.MigratePagesSent += b.MigratePagesSent
+	a.agg.MigrateRefusals += b.MigrateRefusals
 	var s exactSum
 	if err := s.SetText(p.RateSum); err != nil {
 		return err

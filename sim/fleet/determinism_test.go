@@ -53,6 +53,12 @@ func TestFleetDeterministicAcrossGOMAXPROCS(t *testing.T) {
 		// guarantee extends to it unchanged — wire chaos included.
 		{Machines: 4, Scenario: fleet.Uniform, Load: load.NetLB, Via: sim.ForkExec, Requests: 12, HeapBytes: 8 << 20},
 		{Machines: 4, Scenario: fleet.Chaos, Load: load.KVShard, Via: sim.Spawn, Requests: 12, HeapBytes: 8 << 20, FaultSeed: 5},
+		// The rebalance wave: each machine live-migrates its resident
+		// worker through a two-machine cell; the cell is
+		// single-threaded, so downtime, pages shipped, and vfork
+		// fallbacks are all byte-stable at any parallelism.
+		{Machines: 4, Scenario: fleet.Rebalance, Via: sim.ForkExec, Requests: 3, HeapBytes: 8 << 20},
+		{Machines: 4, Scenario: fleet.Rebalance, Via: sim.VforkExec, Requests: 3, HeapBytes: 4 << 20},
 	}
 	for _, spec := range specs {
 		spec := spec

@@ -31,6 +31,18 @@ const (
 	// machine across the wave — while spawn-based fleets re-warm at
 	// a flat cost.
 	RollingRestart Scenario = "rolling"
+	// Rebalance is the deploy wave's migration-based alternative:
+	// instead of killing each machine and re-paying the full warm-up
+	// on its replacement, the machine's resident worker is
+	// live-migrated to the fresh instance over the wire (load.Migrate:
+	// iterative pre-copy, then stop-and-copy). The machine keeps
+	// serving through the pre-copy rounds, so the wave's outage is
+	// only the stop-and-copy downtime — Θ(dirty heap) for fork-family
+	// strategies, ~flat for spawn and the builder. A worker the
+	// checkpoint refuses to serialize (a vfork borrower) cannot be
+	// migrated and falls back to the full rolling restart, tax and
+	// all.
+	Rebalance Scenario = "rebalance"
 	// Heterogeneous mixes machine shapes: CPUs cycle 1/2/4/8 across
 	// the fleet, with per-machine traffic scaled to the core count.
 	Heterogeneous Scenario = "hetero"
@@ -50,7 +62,7 @@ const (
 
 // Scenarios lists every fleet scenario, in a fixed order.
 func Scenarios() []Scenario {
-	return []Scenario{Uniform, RollingRestart, Heterogeneous, Surge, Chaos}
+	return []Scenario{Uniform, RollingRestart, Rebalance, Heterogeneous, Surge, Chaos}
 }
 
 // ParseScenario maps a CLI name to its Scenario.
@@ -60,7 +72,7 @@ func ParseScenario(name string) (Scenario, error) {
 			return s, nil
 		}
 	}
-	return "", fmt.Errorf("fleet: unknown scenario %q (uniform|rolling|hetero|surge|chaos)", name)
+	return "", fmt.Errorf("fleet: unknown scenario %q (uniform|rolling|rebalance|hetero|surge|chaos)", name)
 }
 
 // heteroLadder is the machine-shape cycle of the Heterogeneous
@@ -235,6 +247,12 @@ func (s Spec) validate() error {
 		// its backend inside the load itself (load.NetLB).
 		return specErr("Load", "rolling restart requires a single-machine load (got %s)", s.Load)
 	}
+	if s.Scenario == Rebalance && (s.Load.Distributed() || s.Load == load.Migrate) {
+		// The rebalance wave migrates each machine's resident worker
+		// through its own two-machine cell; the serve phases need a
+		// single-machine load around it.
+		return specErr("Load", "rebalance requires a single-machine load (got %s)", s.Load)
+	}
 	if s.Scenario == Chaos && s.Load != load.Prefork && !s.Load.Distributed() {
 		// Chaos needs a failure-tolerant driver; anything else
 		// would silently serve different traffic than the report
@@ -331,8 +349,28 @@ type MachineMetrics struct {
 	// reset excludes it from Phases.
 	RestartPTECopies uint64 `json:"restart_pte_copies,omitempty"`
 
+	// MigrateNanos is the machine's stop-and-copy outage (Rebalance
+	// only): the downtime of live-migrating its resident worker to
+	// the replacement instance — Θ(dirty heap) under fork-family
+	// strategies, ~flat under spawn and the builder. The pre-copy
+	// rounds happen while the machine still serves, so they are not
+	// outage and are not counted here.
+	MigrateNanos uint64 `json:"migrate_ns,omitempty"`
+
+	// MigratePagesSent is the 4 KiB pages the machine's migration
+	// shipped over the wire, pre-copy rounds and residue included
+	// (Rebalance only).
+	MigratePagesSent uint64 `json:"migrate_pages_sent,omitempty"`
+
+	// MigrateRefused is 1 when the machine's resident worker could
+	// not be serialized (a vfork borrower) and the machine fell back
+	// to a full rolling restart — RestartNanos then carries the
+	// re-warm tax it paid instead.
+	MigrateRefused uint64 `json:"migrate_refused,omitempty"`
+
 	// RequestsPerVSec is the machine's overall throughput across its
-	// phases (restart time included for RollingRestart).
+	// phases (restart time included for RollingRestart, migration
+	// downtime for Rebalance).
 	RequestsPerVSec float64 `json:"requests_per_vsec"`
 }
 
@@ -382,6 +420,16 @@ type Aggregate struct {
 	// wave; MaxRestartNanos is the worst single machine.
 	RestartNanos    uint64 `json:"restart_ns,omitempty"`
 	MaxRestartNanos uint64 `json:"max_restart_ns,omitempty"`
+
+	// MigrateDowntimeNanos totals the rebalance wave's stop-and-copy
+	// outage; MaxMigrateNanos is the worst single machine,
+	// MigratePagesSent the pages the wave shipped, and
+	// MigrateRefusals the machines whose resident worker could not be
+	// serialized and fell back to a full restart.
+	MigrateDowntimeNanos uint64 `json:"migrate_downtime_ns,omitempty"`
+	MaxMigrateNanos      uint64 `json:"max_migrate_ns,omitempty"`
+	MigratePagesSent     uint64 `json:"migrate_pages_sent,omitempty"`
+	MigrateRefusals      uint64 `json:"migrate_refused,omitempty"`
 }
 
 // Result is one fleet run. Everything serialized by JSON is a pure
@@ -494,6 +542,16 @@ func runMachine(spec Spec, id int, tpls *templates) (*MachineMetrics, *restartDe
 		mm.RestartNanos = rr.RestartNanos
 		mm.RestartPTECopies = rr.RestartPTECopies
 		dbg = d
+	case Rebalance:
+		warm, err := tpls.run(ms.loadConfig())
+		if err != nil {
+			return nil, nil, fmt.Errorf("warm phase: %w", err)
+		}
+		d, err := runRebalancedMachine(ms, tpls, mm, warm)
+		if err != nil {
+			return nil, nil, fmt.Errorf("rebalance phase: %w", err)
+		}
+		dbg = d
 	case Chaos:
 		// Chaos serves failure-tolerant traffic (validate pinned
 		// Spec.Load) under this machine's derived wave schedule. The
@@ -539,7 +597,7 @@ func runMachine(spec Spec, id int, tpls *templates) (*MachineMetrics, *restartDe
 		requests += p.Requests
 		nanos += p.VirtualNanos
 	}
-	nanos += mm.RestartNanos
+	nanos += mm.RestartNanos + mm.MigrateNanos
 	if nanos > 0 {
 		mm.RequestsPerVSec = float64(requests) * 1e9 / float64(nanos)
 	}
@@ -578,6 +636,12 @@ func (r *Result) Render() string {
 	if a.RestartNanos > 0 || r.Scenario == string(RollingRestart) {
 		row("restart tax", fmt.Sprintf("%.3fms total, %.3fms worst machine",
 			float64(a.RestartNanos)/1e6, float64(a.MaxRestartNanos)/1e6))
+	}
+	if a.MigrateDowntimeNanos > 0 || r.Scenario == string(Rebalance) {
+		row("migration outage", fmt.Sprintf("%.3fms total, %.3fms worst machine",
+			float64(a.MigrateDowntimeNanos)/1e6, float64(a.MaxMigrateNanos)/1e6))
+		row("pages shipped", fmt.Sprintf("%d (%d machines fell back to restart)",
+			a.MigratePagesSent, a.MigrateRefusals))
 	}
 	if len(r.Machines) == 0 {
 		fmt.Fprintf(&b, "  machine breakdown: omitted (Spec.KeepPerMachine / forkbench fleet -permachine)\n")

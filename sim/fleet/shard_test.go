@@ -67,6 +67,9 @@ func TestShardedFleetMatchesUnsharded(t *testing.T) {
 		// boundary too, wire chaos and all.
 		{Machines: 4, Scenario: fleet.Chaos, Load: load.NetLB, Via: sim.ForkExec, Requests: 9, HeapBytes: 4 << 20,
 			FaultSeed: 7},
+		// The rebalance wave's migration cells and their aggregate
+		// downtime fields must merge identically across shards.
+		{Machines: 4, Scenario: fleet.Rebalance, Via: sim.ForkExec, Requests: 2, HeapBytes: 4 << 20},
 	}
 	for _, spec := range specs {
 		spec := spec

@@ -35,6 +35,11 @@ func TestScenariosDeterministic(t *testing.T) {
 		{Scenario: load.SMPServer, Via: sim.Spawn, Requests: 2, HeapBytes: 4 << 20, CPUs: 2},
 		{Scenario: load.BuildFarm, Via: sim.Spawn, Requests: 8, HeapBytes: 4 << 20, CPUs: 4},
 		{Scenario: load.BuildFarm, Via: sim.ForkExec, Requests: 6, HeapBytes: 4 << 20, CPUs: 2},
+		// Live migration: two machines and the wire between them must
+		// replay bit-for-bit too, refusals included.
+		{Scenario: load.Migrate, Via: sim.ForkExec, Requests: 2, HeapBytes: 8 << 20},
+		{Scenario: load.Migrate, Via: sim.Spawn, Requests: 2, HeapBytes: 8 << 20},
+		{Scenario: load.Migrate, Via: sim.VforkExec, Requests: 2, HeapBytes: 4 << 20},
 	}
 	for _, cfg := range cases {
 		cfg := cfg

@@ -75,6 +75,15 @@
 // `forkbench metrics` renders in Prometheus text format (see README
 // "Inter-machine network & metrics").
 //
+// Migrate is the live-migration cell: two machines on the fabric, a
+// worker created per strategy on the source, iterative pre-copy of
+// its dirtied pages over the wire (the COW dirty tracking, rearmed
+// each round), then a stop-and-copy residue whose cost is the
+// downtime — Θ(dirty heap) for the fork family, ~flat for spawn, a
+// typed refusal for a mid-vfork borrower (E16, `forkbench migrate`).
+// The fleet's Rebalance scenario runs this cell per machine, falling
+// back to the rolling-restart tax when the checkpoint refuses.
+//
 // The forkbench CLI fronts this package (`forkbench load`), and
 // internal/experiments uses it to regenerate the §5 server-claim
 // table. The sim/fleet package runs many of these machines at once —

@@ -29,11 +29,17 @@ const (
 	// KV service with client retries.
 	NetLB   Scenario = "netlb"
 	KVShard Scenario = "kvshard"
+
+	// Migrate live-migrates a resident process between two machines
+	// over the fabric: iterative pre-copy on the COW dirty tracking,
+	// then stop-and-copy of the residue (see migrate.go). Requests is
+	// migrations performed, Workers the pre-copy rounds per migration.
+	Migrate Scenario = "migrate"
 )
 
 // Scenarios lists every workload, in a fixed order.
 func Scenarios() []Scenario {
-	return []Scenario{Prefork, Pipeline, Checkpoint, ForkStorm, SMPServer, BuildFarm, NetLB, KVShard}
+	return []Scenario{Prefork, Pipeline, Checkpoint, ForkStorm, SMPServer, BuildFarm, NetLB, KVShard, Migrate}
 }
 
 // ParseScenario maps a CLI name to its Scenario.
@@ -43,7 +49,7 @@ func ParseScenario(name string) (Scenario, error) {
 			return s, nil
 		}
 	}
-	return "", fmt.Errorf("load: unknown scenario %q (prefork|pipeline|checkpoint|forkstorm|smpserver|buildfarm|netlb|kvshard)", name)
+	return "", fmt.Errorf("load: unknown scenario %q (prefork|pipeline|checkpoint|forkstorm|smpserver|buildfarm|netlb|kvshard|migrate)", name)
 }
 
 // Config parameterizes one run. The zero value of every field selects
@@ -152,6 +158,8 @@ func (cfg Config) withDefaults() Config {
 			cfg.Requests = 24 * cfg.CPUs
 		case NetLB, KVShard:
 			cfg.Requests = 64
+		case Migrate:
+			cfg.Requests = 4
 		default:
 			cfg.Requests = 256
 		}
@@ -162,6 +170,8 @@ func (cfg Config) withDefaults() Config {
 			cfg.Nodes = 2
 		case KVShard:
 			cfg.Nodes = 3
+		case Migrate:
+			cfg.Nodes = 2 // source and destination
 		}
 	}
 	if cfg.Workers == 0 {
@@ -261,6 +271,19 @@ type Metrics struct {
 	NetTimeouts    uint64 `json:"net_timeouts,omitempty"`
 	NetRetries     uint64 `json:"net_retries,omitempty"`
 
+	// Live-migration counters, set only by the Migrate scenario (and
+	// omitted from the JSON elsewhere). MigrateRounds is pre-copy
+	// rounds shipped across all migrations (round 0 included),
+	// MigratePagesSent the 4 KiB pages that crossed the wire,
+	// MigrateDowntimeNanos the summed stop-and-copy outage — the
+	// experiment's y-axis: Θ(dirty heap) for fork-family migrants,
+	// ~flat for spawned ones — and MigrateRefused the migrants the
+	// checkpoint refused to serialize (vfork borrowers).
+	MigrateRounds        uint64 `json:"migrate_rounds,omitempty"`
+	MigratePagesSent     uint64 `json:"migrate_pages_sent,omitempty"`
+	MigrateDowntimeNanos uint64 `json:"migrate_downtime_ns,omitempty"`
+	MigrateRefused       uint64 `json:"migrate_refused,omitempty"`
+
 	// NetFlows is the fabric's flow log — per directed (src, dst,
 	// label) flow — in (src, dst, label) order. The metrics plane
 	// (`forkbench metrics`) renders each as a labelled counter.
@@ -299,6 +322,14 @@ func (m *Metrics) Render() string {
 	row("ctx switches", fmt.Sprint(m.ContextSwitches))
 	row("syscalls", fmt.Sprint(m.Syscalls))
 	row("instructions", fmt.Sprint(m.Instructions))
+	if m.MigrateRounds > 0 || m.MigrateRefused > 0 {
+		row("migrations", fmt.Sprintf("%d (%d refused)", m.Requests, m.MigrateRefused))
+		row("precopy rounds", fmt.Sprint(m.MigrateRounds))
+		row("pages shipped", fmt.Sprintf("%d (%s)", m.MigratePagesSent,
+			HumanBytes(m.MigratePagesSent*uint64(mem.PageSize))))
+		row("downtime", fmt.Sprintf("%.3fms (stop-and-copy, summed)",
+			float64(m.MigrateDowntimeNanos)/1e6))
+	}
 	if m.NetPacketsSent > 0 {
 		row("net packets", fmt.Sprintf("%d sent / %d recv (%d dropped)",
 			m.NetPacketsSent, m.NetPacketsRecv, m.NetDrops))
@@ -462,6 +493,10 @@ func Run(cfg Config) (*Metrics, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Scenario.Distributed() {
 		return runNetCell(cfg, nil)
+	}
+	if cfg.Scenario == Migrate {
+		// Also a network cell: cfg.Faults is the wire's schedule.
+		return runMigrateCell(cfg)
 	}
 	if cfg.Faults != nil && cfg.Scenario != Prefork {
 		return nil, fmt.Errorf("load: scenario %s does not support fault injection (only prefork and the distributed scenarios are failure-tolerant)", cfg.Scenario)

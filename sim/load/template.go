@@ -162,6 +162,11 @@ func (tc *Templates) Run(cfg Config) (*Metrics, error) {
 		// cold path) rather than from a scenario template.
 		return runNetCell(cfg, tc.servers)
 	}
+	if cfg.Scenario == Migrate {
+		// A migration cell boots its own source/destination pair; no
+		// single-machine scenario template matches it.
+		return runMigrateCell(cfg.withDefaults())
+	}
 	t, err := tc.Get(cfg)
 	if err != nil {
 		return nil, err
